@@ -1,0 +1,57 @@
+"""Ablation — the precision / small-value trade-off over tau (Sec. III-B).
+
+Sweeps the kernel time constant and measures accuracy and spike count,
+exposing the trade-off the gradient-based optimization navigates:
+
+* tau too small — precision error ``exp(1/tau) - 1`` blows up;
+* tau too large — values below ``exp(-T/tau)`` are dropped and accuracy
+  collapses (the dominant failure mode on converted networks).
+
+The interior maximum motivates both the ``tau = T/5`` default and GO's
+up-weighted ``L_min`` (DESIGN.md §2, EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.kernels import KernelParams
+from repro.core.t2fsnn import T2FSNN
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_tau_tradeoff_sweep(benchmark, mnist_system):
+    window = mnist_system.config.window
+    multipliers = (8.0, 6.0, 5.0, 4.0, 3.0)
+
+    def sweep():
+        rows = []
+        for divisor in multipliers:
+            tau = window / divisor
+            params = [
+                KernelParams(tau=tau)
+                for _ in range(mnist_system.network.num_spiking_stages + 1)
+            ]
+            model = T2FSNN(mnist_system.network, window=window, kernel_params=params)
+            result = model.run(
+                mnist_system.x_eval,
+                mnist_system.y_eval,
+                batch_size=mnist_system.config.eval_batch,
+            )
+            rows.append([f"tau=T/{divisor:g}", tau,
+                         result.accuracy * 100, result.total_spikes])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + render_table(
+        ["setting", "tau", "accuracy %", "spikes"],
+        rows,
+        title=f"Kernel tau trade-off (T={window}, {mnist_system.config.name})",
+    ))
+
+    accs = [r[2] for r in rows]
+    # The extremes lose to the best interior setting: a genuine trade-off.
+    best = max(accs)
+    assert best >= accs[0] - 1e-9   # smallest tau not the unique best
+    assert best > accs[-1] - 1e-9
+    # Largest tau (T/3) drops the most small values -> fewest input spikes.
+    assert rows[-1][3] <= rows[0][3] + 1e-9

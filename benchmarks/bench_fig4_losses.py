@@ -1,0 +1,71 @@
+"""Fig. 4 — loss trajectories of the gradient-based kernel optimization.
+
+Streams a spiking stage's DNN activations through two KernelOptimizers with
+the paper's initialisations (tau=2 and tau=18 on a T=20 window) and checks
+the dynamics the figure demonstrates:
+
+* tau=2 (red solid): precision loss dominates, tau rises, L_prec falls;
+* tau=18 (blue dashed): L_min dominates (and beats L_prec — "L_min has a
+  greater impact"), tau falls;
+* L_max decreases as t_d learns the activation maximum (Fig. 4b).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import fig4_loss_histories
+from repro.analysis.figures import ascii_curves
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_loss_curves(benchmark, cifar10_system):
+    histories = benchmark.pedantic(
+        lambda: fig4_loss_histories(cifar10_system, stage_index=1, samples=1500),
+        rounds=1,
+        iterations=1,
+    )
+    small, large = histories["tau=2"], histories["tau=18"]
+    x = np.asarray(small.samples_seen, dtype=float)
+
+    print("\n" + ascii_curves(
+        {
+            "Lprec tau=2": np.asarray(small.precision),
+            "Lmin tau=2": np.asarray(small.minimum),
+            "Lprec tau=18": np.asarray(large.precision),
+            "Lmin tau=18": np.asarray(large.minimum),
+        },
+        x=x,
+        logy=True,
+        title="Fig. 4(a): L_prec and L_min vs samples seen (T=20)",
+    ))
+    print("\n" + ascii_curves(
+        {
+            "Lmax tau=2": np.asarray(small.maximum),
+            "Lmax tau=18": np.asarray(large.maximum),
+        },
+        x=x,
+        title="Fig. 4(b): L_max vs samples seen",
+    ))
+    print(
+        f"\ntau=2  -> tau {small.tau[0]:.2f} -> {small.tau[-1]:.2f}, "
+        f"t_d {small.t_delay[0]:.2f} -> {small.t_delay[-1]:.2f}"
+    )
+    print(
+        f"tau=18 -> tau {large.tau[0]:.2f} -> {large.tau[-1]:.2f}, "
+        f"t_d {large.t_delay[0]:.2f} -> {large.t_delay[-1]:.2f}"
+    )
+
+    # --- shape assertions (the figure's claims) ---------------------------
+    # Small tau rises (precision pressure), large tau falls (L_min pressure).
+    assert small.tau[-1] > small.tau[0]
+    assert large.tau[-1] < large.tau[0]
+    # Fig. 4a: with small tau, precision loss decreases as training proceeds.
+    assert np.mean(small.precision[-5:]) < np.mean(small.precision[:5])
+    # Fig. 4a: with large tau, L_min decreases.
+    assert np.mean(large.minimum[-5:]) < np.mean(large.minimum[:5])
+    # "L_min has a greater impact than L_prec": at tau=18 the initial
+    # minimum-representation loss dwarfs the precision loss.
+    assert large.minimum[0] > large.precision[0]
+    # Fig. 4b: L_max decreases in both settings.
+    assert small.maximum[-1] < small.maximum[0]
+    assert large.maximum[-1] <= large.maximum[0] + 1e-9

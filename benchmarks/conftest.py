@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures: one trained system per dataset, per session.
+
+Training the source DNNs dominates benchmark time, so systems are prepared
+once (module-level cache inside ``repro.analysis.experiments`` plus pytest
+session scoping) and shared by every table/figure benchmark.
+
+Scale is controlled by ``REPRO_SCALE`` (``ci`` default — minutes on CPU;
+``paper`` — the full VGG-16/T=80 configuration, hours).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import get_config, prepare_system
+
+
+@pytest.fixture(scope="session")
+def mnist_system():
+    return prepare_system(get_config("mnist"))
+
+
+@pytest.fixture(scope="session")
+def cifar10_system():
+    return prepare_system(get_config("cifar10"))
+
+
+@pytest.fixture(scope="session")
+def cifar100_system():
+    return prepare_system(get_config("cifar100"))

@@ -1,0 +1,44 @@
+"""Compare neural coding schemes on one converted network (mini Table II).
+
+Runs rate, phase, burst and T2FSNN(+GO+EF) on the same trained system and
+prints accuracy, latency, spikes and normalized energy — the structure of
+the paper's Table II.  The headline shape: T2FSNN needs a tiny fraction of
+the spikes of every other scheme at competitive accuracy.
+
+Usage::
+
+    python examples/compare_codings.py
+"""
+
+from repro.analysis import comparison_rows, get_config, prepare_system, render_table
+
+
+def main() -> None:
+    config = get_config("mnist")
+    print(f"preparing system ({config.name}): train DNN + convert ...")
+    system = prepare_system(config, verbose=True)
+    print(f"DNN accuracy {system.dnn_accuracy * 100:.2f}%, "
+          f"analog accuracy {system.analog_accuracy * 100:.2f}%")
+
+    print("\nrunning all coding schemes (this simulates thousands of time steps) ...")
+    rows = comparison_rows(system)
+    print()
+    print(
+        render_table(
+            ["coding", "accuracy %", "latency", "spikes", "E(TrueNorth)", "E(SpiNNaker)"],
+            rows,
+            title=f"Coding comparison on {config.dataset}-like "
+                  f"({config.arch}, width {config.width})",
+        )
+    )
+
+    rate_spikes = rows[0][3]
+    ttfs_spikes = rows[3][3]
+    print(
+        f"\nT2FSNN+GO+EF uses {ttfs_spikes / rate_spikes * 100:.2f}% of rate "
+        f"coding's spikes — the paper reports <1% vs burst on CIFAR-100."
+    )
+
+
+if __name__ == "__main__":
+    main()

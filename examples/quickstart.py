@@ -1,0 +1,54 @@
+"""Quickstart: train a CNN, convert it to a T2FSNN, run TTFS inference.
+
+Runs in under a minute on CPU.  Pipeline:
+
+1. generate a synthetic MNIST-like task (offline stand-in, see DESIGN.md §2);
+2. train a small LeNet-style CNN with the numpy framework;
+3. convert it to a spiking network (data-based normalization);
+4. run T2FSNN inference — every neuron spikes at most once — with and
+   without the paper's early-firing pipeline.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import convert, core, datasets, nn
+
+
+def main() -> None:
+    print("== 1. data ==")
+    task = datasets.synthetic_mnist(n_train=800, n_test=300)
+    x_train, y_train, x_test, y_test = task.train_test()
+    print(f"task: {task}")
+
+    print("\n== 2. train the source DNN ==")
+    model = nn.lenet(width=0.25, rng=0)
+    trainer = nn.Trainer(model, nn.Adam(model.params(), lr=2e-3), rng=1)
+    trainer.fit(x_train, y_train, epochs=8, batch_size=32, verbose=True)
+    dnn_acc = trainer.evaluate(x_test, y_test)
+    print(f"DNN test accuracy: {dnn_acc * 100:.2f}%")
+
+    print("\n== 3. convert to SNN ==")
+    network = convert.convert_to_snn(model, x_train[:512])
+    print(f"stages: {network.stage_names()}")
+    print(f"weight layers L = {network.num_weight_layers}, "
+          f"neurons = {network.total_neurons}")
+    analog_acc = (network.predict_analog(x_test) == y_test).mean()
+    print(f"analog (value-domain) accuracy after normalization: {analog_acc * 100:.2f}%")
+
+    print("\n== 4. T2FSNN inference (TTFS coding) ==")
+    snn = core.T2FSNN(network, window=10)
+    result = snn.run(x_test, y_test, batch_size=100)
+    print(f"baseline pipeline:     {result.summary()}")
+
+    snn.early_firing = True
+    result_ef = snn.run(x_test, y_test, batch_size=100)
+    print(f"early-firing pipeline: {result_ef.summary()}")
+    saved = 1 - result_ef.decision_time / result.decision_time
+    print(f"early firing saved {saved * 100:.1f}% latency "
+          f"({result.decision_time} -> {result_ef.decision_time} steps)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — reproduction of *T2FSNN: Deep Spiking Neural Networks with
+Time-to-first-spike Coding* (Park et al., DAC 2020).
+
+Public API tour
+---------------
+
+* :mod:`repro.nn` — numpy DNN framework (train the source network);
+* :mod:`repro.datasets` — synthetic MNIST/CIFAR-like tasks;
+* :mod:`repro.convert` — DNN->SNN conversion (data-based normalization);
+* :mod:`repro.snn` — clock-driven spiking simulator + monitors;
+* :mod:`repro.coding` — rate / phase / burst / TTFS coding schemes;
+* :mod:`repro.core` — the paper's contribution: TTFS kernels, the
+  gradient-based kernel optimization, early firing, and :class:`T2FSNN`;
+* :mod:`repro.energy` — neuromorphic energy and op-count models;
+* :mod:`repro.analysis` — experiment harness regenerating every table and
+  figure of the paper.
+
+Quickstart::
+
+    from repro import datasets, nn, convert, core
+
+    task = datasets.synthetic_mnist(n_train=512, n_test=128)
+    x_tr, y_tr, x_te, y_te = task.train_test()
+    model = nn.lenet(width=0.25)
+    nn.Trainer(model, nn.SGD(model.params(), lr=0.05, momentum=0.9)).fit(
+        x_tr, y_tr, epochs=3)
+    net = convert.convert_to_snn(model, x_tr[:256])
+    snn = core.T2FSNN(net, window=10, early_firing=True)
+    print(snn.run(x_te, y_te).summary())
+"""
+
+from repro import coding, convert, core, datasets, energy, nn, snn, utils
+from repro.core import T2FSNN
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "datasets",
+    "convert",
+    "snn",
+    "coding",
+    "core",
+    "energy",
+    "utils",
+    "T2FSNN",
+    "__version__",
+]

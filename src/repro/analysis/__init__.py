@@ -1,0 +1,68 @@
+"""Experiment harness: pipelines, tables, figures and paper references."""
+
+from repro.analysis.experiments import (
+    ExperimentConfig,
+    PreparedSystem,
+    SchemeRun,
+    ablation_rows,
+    clear_system_cache,
+    comparison_rows,
+    current_scale,
+    fig4_loss_histories,
+    fig5_spike_histograms,
+    fig6_inference_curves,
+    get_config,
+    prepare_system,
+    run_baseline_scheme,
+    run_ttfs_variant,
+)
+from repro.analysis.figures import ascii_curves, ascii_histogram
+from repro.analysis.report import build_report, generate_report
+from repro.analysis.sweeps import (
+    SweepPoint,
+    as_rows,
+    sweep_fire_offset,
+    sweep_tau,
+    sweep_window,
+)
+from repro.analysis.paper import (
+    PAPER_FIG4_SETTINGS,
+    PAPER_LATENCY,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+)
+from repro.analysis.tables import format_value, render_table
+
+__all__ = [
+    "ExperimentConfig",
+    "get_config",
+    "current_scale",
+    "PreparedSystem",
+    "prepare_system",
+    "clear_system_cache",
+    "SchemeRun",
+    "run_ttfs_variant",
+    "run_baseline_scheme",
+    "ablation_rows",
+    "comparison_rows",
+    "fig4_loss_histories",
+    "fig5_spike_histograms",
+    "fig6_inference_curves",
+    "render_table",
+    "format_value",
+    "ascii_curves",
+    "ascii_histogram",
+    "build_report",
+    "generate_report",
+    "SweepPoint",
+    "sweep_window",
+    "sweep_fire_offset",
+    "sweep_tau",
+    "as_rows",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_LATENCY",
+    "PAPER_FIG4_SETTINGS",
+]

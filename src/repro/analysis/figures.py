@@ -1,0 +1,110 @@
+"""ASCII rendering of the paper's figures (no plotting deps offline).
+
+Provides a braille-free, terminal-safe line chart for Fig. 4 (loss curves)
+and Fig. 6 (inference curves), and a bar histogram for Fig. 5 (spike-time
+distributions).  The numeric series behind every figure are also returned by
+the experiment harness so users can plot them properly elsewhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_curves", "ascii_histogram"]
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_curves(
+    series: dict[str, np.ndarray],
+    x: np.ndarray | None = None,
+    width: int = 72,
+    height: int = 16,
+    title: str | None = None,
+    logy: bool = False,
+) -> str:
+    """Plot one or more named y-series on a shared axis.
+
+    Parameters
+    ----------
+    series:
+        Mapping name -> y values (equal lengths).
+    x:
+        Shared x values; defaults to indices.
+    logy:
+        Log-scale the y axis (losses in Fig. 4 span decades).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {lengths}")
+    n = lengths.pop()
+    if n < 2:
+        raise ValueError("series need at least two points")
+    if x is None:
+        x = np.arange(n, dtype=np.float64)
+    if len(x) != n:
+        raise ValueError(f"x length {len(x)} != series length {n}")
+
+    ys = {k: np.asarray(v, dtype=np.float64) for k, v in series.items()}
+    if logy:
+        floor = min(float(v[v > 0].min()) for v in ys.values() if (v > 0).any())
+        ys = {k: np.log10(np.maximum(v, floor * 0.5)) for k, v in ys.items()}
+
+    y_all = np.concatenate(list(ys.values()))
+    y_min, y_max = float(y_all.min()), float(y_all.max())
+    if y_max - y_min < 1e-12:
+        y_max = y_min + 1.0
+    x_min, x_max = float(x.min()), float(x.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, y) in enumerate(ys.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        cols = np.clip(((x - x_min) / (x_max - x_min) * (width - 1)).astype(int), 0, width - 1)
+        rows = np.clip(
+            ((y - y_min) / (y_max - y_min) * (height - 1)).astype(int), 0, height - 1
+        )
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_hi = f"{y_max:.3g}" + (" (log10)" if logy else "")
+    label_lo = f"{y_min:.3g}"
+    lines.append(f"y max {label_hi}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"y min {label_lo}   x: {x_min:.3g} .. {x_max:.3g}")
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    counts: np.ndarray,
+    bin_labels: list[str] | None = None,
+    width: int = 50,
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart of non-negative counts (Fig. 5 style)."""
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim != 1:
+        raise ValueError(f"counts must be 1-D, got shape {counts.shape}")
+    if (counts < 0).any():
+        raise ValueError("counts must be non-negative")
+    peak = counts.max()
+    scale = width / peak if peak > 0 else 0.0
+    if bin_labels is None:
+        bin_labels = [str(i) for i in range(len(counts))]
+    label_w = max(len(s) for s in bin_labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, c in zip(bin_labels, counts):
+        bar = "#" * int(round(c * scale))
+        lines.append(f"{label.rjust(label_w)} | {bar} {int(c)}")
+    return "\n".join(lines)

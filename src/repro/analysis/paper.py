@@ -1,0 +1,100 @@
+"""Reference values transcribed from the paper (for shape comparison).
+
+These are the published numbers of Park et al., DAC 2020.  The reproduction
+does not target absolute agreement (different substrate, synthetic data —
+DESIGN.md §2) but checks *shape*: orderings, ratios and crossovers.  The
+constants here feed EXPERIMENTS.md and the benchmark printouts, and a few
+are asserted outright where they are substrate-independent (latency model,
+energy formula, Table III op-count conventions).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_LATENCY",
+    "PAPER_FIG4_SETTINGS",
+]
+
+#: Table I — ablation on VGG-16 (latency in time steps, accuracy %, spikes).
+PAPER_TABLE1 = {
+    "T2FSNN": {
+        "latency": 1280,
+        "cifar10_acc": 91.36,
+        "cifar10_spikes": 6.898e4,
+        "cifar100_acc": 66.04,
+        "cifar100_spikes": 8.626e4,
+    },
+    "T2FSNN+GO": {
+        "latency": 1280,
+        "cifar10_acc": 91.37,
+        "cifar10_spikes": 6.887e4,
+        "cifar100_acc": 66.97,
+        "cifar100_spikes": 8.464e4,
+    },
+    "T2FSNN+EF": {
+        "latency": 680,
+        "cifar10_acc": 91.37,
+        "cifar10_spikes": 6.893e4,
+        "cifar100_acc": 68.09,
+        "cifar100_spikes": 8.603e4,
+    },
+    "T2FSNN+GO+EF": {
+        "latency": 680,
+        "cifar10_acc": 91.43,
+        "cifar10_spikes": 6.881e4,
+        "cifar100_acc": 68.79,
+        "cifar100_spikes": 8.444e4,
+    },
+}
+
+#: Table II — comparison across coding schemes (spikes in units of 1e6).
+PAPER_TABLE2 = {
+    "mnist": {
+        "rate": {"acc": 99.10, "latency": 200, "spikes": 0.100e6, "tn": 1.000, "sn": 1.000},
+        "phase": {"acc": 99.20, "latency": 16, "spikes": 3.000e6, "tn": 12.048, "sn": 19.228},
+        "burst": {"acc": 99.25, "latency": 87, "spikes": 0.251e6, "tn": 1.265, "sn": 1.763},
+        "ttfs": {"acc": 99.33, "latency": 40, "spikes": 0.002e6, "tn": 0.128, "sn": 0.085},
+    },
+    "cifar10": {
+        "rate": {"acc": 91.14, "latency": 10000, "spikes": 61.949e6, "tn": 1.000, "sn": 1.000},
+        "phase": {"acc": 91.21, "latency": 1500, "spikes": 35.196e6, "tn": 0.317, "sn": 0.418},
+        "burst": {"acc": 91.41, "latency": 1125, "spikes": 6.920e6, "tn": 0.112, "sn": 0.112},
+        "ttfs": {"acc": 91.43, "latency": 680, "spikes": 0.069e6, "tn": 0.041, "sn": 0.025},
+    },
+    "cifar100": {
+        "rate": {"acc": 66.50, "latency": 10000, "spikes": 81.525e6, "tn": 1.000, "sn": 1.000},
+        "phase": {"acc": 68.66, "latency": 8950, "spikes": 258.408e6, "tn": 1.805, "sn": 2.351},
+        "burst": {"acc": 68.77, "latency": 3100, "spikes": 25.074e6, "tn": 0.309, "sn": 0.308},
+        "ttfs": {"acc": 68.79, "latency": 680, "spikes": 0.084e6, "tn": 0.041, "sn": 0.025},
+    },
+}
+
+#: Table III — million operations, VGG-16 on CIFAR-100.
+PAPER_TABLE3 = {
+    "dnn": {"mult": 146.50, "add": 146.50},
+    "rate": {"mult": 0.0, "add": 81.525},
+    "phase": {"mult": 258.408, "add": 258.408},
+    "burst": {"mult": 25.074, "add": 25.074},
+    "tdsnn": {"mult": 14.84, "add": 154.21},
+    "ttfs": {"mult": 0.084, "add": 0.084},
+}
+
+#: The latency model constants behind Table I (VGG-16, T = 80).
+PAPER_LATENCY = {
+    "num_weight_layers": 16,
+    "window": 80,
+    "baseline": 1280,
+    "early_firing": 680,
+    "reduction": 0.469,
+}
+
+#: Fig. 4 settings: two initialisations on a T=20 window, one training pass.
+PAPER_FIG4_SETTINGS = {
+    "window": 20,
+    "tau_small": 2.0,
+    "tau_large": 18.0,
+    "samples": 50000,
+}

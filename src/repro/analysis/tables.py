@@ -1,0 +1,59 @@
+"""Monospace table rendering for benchmark output."""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value, precision: int = 3) -> str:
+    """Human-friendly cell formatting (scientific for big/small magnitudes)."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: list[str],
+    rows: list[list],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+------
+    1 | 2.500
+    """
+    if not headers:
+        raise ValueError("need at least one header")
+    cells = [[format_value(v, precision) for v in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match headers {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), sum(widths) + 3 * (len(widths) - 1)))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Neural coding schemes: rate, phase, burst and TTFS (T2FSNN)."""
+
+from repro.coding.base import AnalogInputEncoder, BoundCoding, CodingScheme, InputEncoder
+from repro.coding.burst import BurstCoding, BurstIFNeurons
+from repro.coding.phase import PhaseCoding, PhaseIFNeurons, PhaseInputEncoder, phase_weight
+from repro.coding.rate import PoissonInputEncoder, RateCoding
+from repro.coding.registry import SCHEME_FACTORIES, available_schemes, make_scheme
+from repro.coding.reverse import ReverseCoding, ReverseInputEncoder, ReverseNeurons
+from repro.coding.ttfs import (
+    TTFSCoding,
+    TTFSInputEncoder,
+    TTFSNeurons,
+    default_kernel_params,
+)
+
+__all__ = [
+    "InputEncoder",
+    "AnalogInputEncoder",
+    "BoundCoding",
+    "CodingScheme",
+    "RateCoding",
+    "PoissonInputEncoder",
+    "PhaseCoding",
+    "PhaseInputEncoder",
+    "PhaseIFNeurons",
+    "phase_weight",
+    "BurstCoding",
+    "BurstIFNeurons",
+    "ReverseCoding",
+    "ReverseInputEncoder",
+    "ReverseNeurons",
+    "TTFSCoding",
+    "TTFSInputEncoder",
+    "TTFSNeurons",
+    "default_kernel_params",
+    "SCHEME_FACTORIES",
+    "make_scheme",
+    "available_schemes",
+]

@@ -1,0 +1,114 @@
+"""Neural coding interfaces.
+
+A *coding scheme* (Fig. 1 of the paper) defines how analog values become
+spike trains and back: the input encoder, the per-stage neuron dynamics, and
+the readout.  :meth:`CodingScheme.bind` instantiates all three for a concrete
+converted network, producing a :class:`BoundCoding` the engine can run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.convert.converter import ConvertedNetwork
+from repro.snn.neurons import ReadoutAccumulator
+
+__all__ = ["InputEncoder", "AnalogInputEncoder", "BoundCoding", "CodingScheme"]
+
+
+class InputEncoder:
+    """Produces the input-layer spike (or current) tensor at each step.
+
+    Attributes
+    ----------
+    counts_spikes:
+        Whether the emitted tensor represents countable spike events (TTFS,
+        phase) or an analog current injection (rate, burst), which generates
+        no events.
+    constant:
+        True when every step emits the identical tensor — lets the engine
+        cache the first stage's synaptic drive instead of re-convolving.
+    """
+
+    counts_spikes = False
+    constant = False
+
+    def reset(self, x: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def step(self, t: int) -> np.ndarray | None:
+        raise NotImplementedError
+
+
+class AnalogInputEncoder(InputEncoder):
+    """Constant analog current: the image itself, every step.
+
+    The standard input for rate-coded converted networks [Rueckauer 2017]
+    (and for burst coding, following [10]): the first layer's neurons see the
+    exact analog pre-activation each step, so no input spikes are counted.
+    """
+
+    counts_spikes = False
+    constant = True
+
+    def __init__(self):
+        self._x: np.ndarray | None = None
+
+    def reset(self, x: np.ndarray) -> None:
+        self._x = x
+
+    def step(self, t: int) -> np.ndarray | None:
+        return self._x
+
+
+@dataclass
+class BoundCoding:
+    """A coding scheme instantiated for one network.
+
+    Attributes
+    ----------
+    encoder:
+        Input encoder.
+    dynamics:
+        One neuron-dynamics object per spiking stage, in depth order.
+    readout:
+        The classifier accumulator.
+    total_steps:
+        Steps to simulate.
+    decision_time:
+        Latency at which the decision is defined (== total_steps for every
+        scheme in this library; kept separate for clarity in results).
+    counts_input_spikes:
+        Mirror of ``encoder.counts_spikes`` for the engine's bookkeeping.
+    """
+
+    encoder: InputEncoder
+    dynamics: list
+    readout: ReadoutAccumulator
+    total_steps: int
+    decision_time: int
+    counts_input_spikes: bool
+
+
+class CodingScheme:
+    """Base class for coding schemes.
+
+    Subclasses implement :meth:`bind`; ``name`` appears in experiment tables.
+    """
+
+    name = "abstract"
+
+    def bind(self, network: ConvertedNetwork, steps: int | None = None) -> BoundCoding:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check_network(network: ConvertedNetwork) -> None:
+        if not network.stages or network.stages[-1].spiking:
+            raise ValueError("network must end in a non-spiking readout stage")
+        if not any(stage.spiking for stage in network.stages):
+            raise ValueError("network has no spiking stages")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

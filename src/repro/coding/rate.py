@@ -1,0 +1,102 @@
+"""Rate coding [7, 8]: firing frequency carries the value.
+
+The classic conversion scheme: analog input current, integrate-and-fire
+neurons with reset-by-subtraction, and a readout that accumulates synaptic
+current — after T steps the potential approximates ``T *`` the DNN logits.
+Accurate but slow (the paper's Table II reports 10,000 steps on CIFAR) and
+spike-hungry: every neuron fires ``~activation * T`` times.
+
+A Poisson variant (stochastic input spikes with probability equal to the
+pixel intensity) is included as the historical/biological reference; it
+trades accuracy for genuinely binary input events.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.base import AnalogInputEncoder, BoundCoding, CodingScheme, InputEncoder
+from repro.convert.converter import ConvertedNetwork
+from repro.snn.neurons import IFNeurons, ReadoutAccumulator
+from repro.utils.rng import as_generator
+
+__all__ = ["RateCoding", "PoissonInputEncoder"]
+
+
+class PoissonInputEncoder(InputEncoder):
+    """Bernoulli spike sampling: pixel intensity = firing probability."""
+
+    counts_spikes = True
+    constant = False
+
+    def __init__(self, rng=None):
+        self._rng = as_generator(rng)
+        self._x: np.ndarray | None = None
+
+    def reset(self, x: np.ndarray) -> None:
+        if x.min() < 0.0 or x.max() > 1.0:
+            raise ValueError("Poisson encoding requires inputs in [0, 1]")
+        self._x = x
+
+    def step(self, t: int) -> np.ndarray | None:
+        if self._x is None:
+            raise RuntimeError("reset() must be called before step()")
+        return (self._rng.random(self._x.shape) < self._x).astype(np.float64)
+
+
+class RateCoding(CodingScheme):
+    """Rate coding with IF neurons (reset by subtraction).
+
+    Parameters
+    ----------
+    threshold:
+        Firing threshold; 1.0 matches data-based normalization.
+    input_mode:
+        ``"analog"`` (default, deterministic current) or ``"poisson"``.
+    default_steps:
+        Time budget when the simulator does not specify one.
+    """
+
+    name = "rate"
+
+    def __init__(
+        self,
+        threshold: float = 1.0,
+        input_mode: str = "analog",
+        default_steps: int = 200,
+        rng=None,
+    ):
+        if input_mode not in ("analog", "poisson"):
+            raise ValueError(f"unknown input_mode {input_mode!r}")
+        self.threshold = threshold
+        self.input_mode = input_mode
+        self.default_steps = default_steps
+        self._rng = rng
+
+    def bind(self, network: ConvertedNetwork, steps: int | None = None) -> BoundCoding:
+        self._check_network(network)
+        steps = steps if steps is not None else self.default_steps
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        if self.input_mode == "analog":
+            encoder: InputEncoder = AnalogInputEncoder()
+        else:
+            encoder = PoissonInputEncoder(self._rng)
+        dynamics = [
+            IFNeurons(stage.out_shape, stage.bias_broadcast(1), self.threshold)
+            for stage in network.stages
+            if stage.spiking
+        ]
+        readout = ReadoutAccumulator(
+            network.stages[-1].out_shape,
+            network.stages[-1].bias_broadcast(1),
+            bias_policy="per_step",
+        )
+        return BoundCoding(
+            encoder=encoder,
+            dynamics=dynamics,
+            readout=readout,
+            total_steps=steps,
+            decision_time=steps,
+            counts_input_spikes=encoder.counts_spikes,
+        )

@@ -1,0 +1,38 @@
+"""Name-based registry of coding schemes for the experiment harness."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.coding.base import CodingScheme
+from repro.coding.burst import BurstCoding
+from repro.coding.phase import PhaseCoding
+from repro.coding.rate import RateCoding
+from repro.coding.reverse import ReverseCoding
+from repro.coding.ttfs import TTFSCoding
+
+__all__ = ["SCHEME_FACTORIES", "make_scheme", "available_schemes"]
+
+SCHEME_FACTORIES: dict[str, Callable[..., CodingScheme]] = {
+    "rate": RateCoding,
+    "phase": PhaseCoding,
+    "burst": BurstCoding,
+    "ttfs": TTFSCoding,
+    "reverse": ReverseCoding,
+}
+
+
+def make_scheme(name: str, **kwargs) -> CodingScheme:
+    """Instantiate a coding scheme by name.
+
+    >>> make_scheme("rate").name
+    'rate'
+    """
+    if name not in SCHEME_FACTORIES:
+        raise ValueError(f"unknown coding scheme {name!r}; choose from {available_schemes()}")
+    return SCHEME_FACTORIES[name](**kwargs)
+
+
+def available_schemes() -> list[str]:
+    """Sorted scheme names."""
+    return sorted(SCHEME_FACTORIES)

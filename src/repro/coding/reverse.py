@@ -1,0 +1,165 @@
+"""Reverse coding — a TDSNN-style baseline [12] (extension).
+
+TDSNN's reverse coding delivers **larger values later**: a value ``v`` in
+[0, 1] spikes at offset ``round(v * (T-1))`` of its layer's fire phase.
+Decoding uses auxiliary **ticking neurons**: from the start of the phase,
+every synapse is driven each tick *until* its presynaptic spike arrives, so
+a value active for ``dt`` ticks contributes ``w * dt / (T-1) = w * v`` — a
+linear temporal code.
+
+The cost structure this reproduces is the paper's exact critique of TDSNN
+(Sec. II-B, Table III):
+
+* the ticking traffic means work scales with ``neurons x T`` rather than
+  with (single) spikes — in this simulation every per-tick gate activation
+  is counted as a spike event, so the measured "spike" count is the
+  ticking-neuron traffic that "deteriorates the improvement by TTFS coding";
+* the decision is only valid at the very end of the output window (the
+  largest — most decisive — values arrive last), so latency cannot be cut
+  by early firing or early readout.
+
+Accuracy-wise the code is linear with ``1/(T-1)`` quantization per layer,
+competitive with TTFS — matching TDSNN's reported competitive accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.base import BoundCoding, CodingScheme, InputEncoder
+from repro.convert.converter import ConvertedNetwork
+from repro.snn.neurons import NeuronDynamics, ReadoutAccumulator
+from repro.snn.schedule import StageWindow, build_phased_schedule
+
+__all__ = ["ReverseCoding", "ReverseInputEncoder", "ReverseNeurons", "reverse_offset"]
+
+
+def reverse_offset(values: np.ndarray, window: int) -> np.ndarray:
+    """Spike offset for values in [0, 1]: **larger value -> later spike**."""
+    clipped = np.clip(values, 0.0, 1.0)
+    return np.rint(clipped * (window - 1)).astype(np.int64)
+
+
+class ReverseInputEncoder(InputEncoder):
+    """Emit each pixel's ticking gate during ``[0, T)``.
+
+    At step ``t`` the encoder emits ``1/(T-1)`` for every pixel whose spike
+    has not yet arrived (``offset > t``); summed over the window this
+    delivers exactly ``v`` per pixel.  Every per-tick activation counts as
+    one (auxiliary) spike event — the TDSNN ticking traffic.
+    """
+
+    counts_spikes = True
+    constant = False
+
+    def __init__(self, window: int):
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        self.window = window
+        self._offsets: np.ndarray | None = None
+
+    def reset(self, x: np.ndarray) -> None:
+        if x.min() < 0.0:
+            raise ValueError("reverse coding requires non-negative inputs")
+        self._offsets = reverse_offset(x, self.window)
+
+    def step(self, t: int) -> np.ndarray | None:
+        if self._offsets is None:
+            raise RuntimeError("reset() must be called before step()")
+        if not (0 <= t < self.window):
+            return None
+        active = self._offsets > t
+        if not active.any():
+            return None
+        return active.astype(np.float64) / (self.window - 1)
+
+
+class ReverseNeurons(NeuronDynamics):
+    """Fire-once neurons with reverse encoding and ticking-gate output.
+
+    Integration: the incoming (already tick-weighted) current is accumulated
+    directly; the stage bias is injected once at the integration start.
+
+    Fire phase: the neuron's clipped potential determines its reverse spike
+    offset ``round(clip(u) * (T-1))``; before that offset the neuron's
+    ticking gate is active and emits ``1/(T-1)`` each step (each activation
+    = one counted event), after it the gate is closed.
+    """
+
+    def __init__(self, shape, bias, window: StageWindow, phase_len: int):
+        super().__init__(shape, bias)
+        if phase_len < 2:
+            raise ValueError(f"phase_len must be >= 2, got {phase_len}")
+        self.window = window
+        self.phase_len = phase_len
+        self._fired: np.ndarray | None = None
+
+    def reset(self, batch_size: int) -> None:
+        super().reset(batch_size)
+        self._fired = np.zeros((batch_size,) + self.shape, dtype=bool)
+
+    def step(self, drive: np.ndarray | None, t: int) -> np.ndarray | None:
+        u = self._require_state()
+        if self._fired is None:
+            raise RuntimeError("reset() must be called before step()")
+        if drive is not None:
+            u += drive
+        if t == self.window.integration_start and (
+            not np.isscalar(self.bias) or self.bias != 0.0
+        ):
+            u += self.bias
+        if not self.window.in_fire_phase(t):
+            return None
+        dt = t - self.window.fire_start
+        target = np.rint(np.clip(u, 0.0, 1.0) * (self.phase_len - 1))
+        self._fired |= target <= dt
+        active = ~self._fired
+        if not active.any():
+            return None
+        return active.astype(np.float64) / (self.phase_len - 1)
+
+    def spike_fraction(self) -> float:
+        """Fraction of neurons whose reverse spike has been emitted."""
+        if self._fired is None:
+            return 0.0
+        return float(self._fired.mean())
+
+
+class ReverseCoding(CodingScheme):
+    """TDSNN-style reverse coding (baseline pipeline only).
+
+    Early firing does not apply: the most decisive (largest) values arrive
+    at the *end* of each window, so overlapping phases would discard exactly
+    the information that matters — the paper's latency argument against
+    reverse coding.
+    """
+
+    name = "reverse"
+
+    def __init__(self, window: int):
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        self.window = window
+
+    def bind(self, network: ConvertedNetwork, steps: int | None = None) -> BoundCoding:
+        self._check_network(network)
+        schedule = build_phased_schedule(network.num_spiking_stages, self.window)
+        spiking = [s for s in network.stages if s.spiking]
+        dynamics = [
+            ReverseNeurons(stage.out_shape, stage.bias_broadcast(1), win, self.window)
+            for stage, win in zip(spiking, schedule.windows)
+        ]
+        readout = ReadoutAccumulator(
+            network.stages[-1].out_shape,
+            network.stages[-1].bias_broadcast(1),
+            bias_policy="once_at",
+            bias_time=schedule.windows[-1].fire_start,
+        )
+        return BoundCoding(
+            encoder=ReverseInputEncoder(self.window),
+            dynamics=dynamics,
+            readout=readout,
+            total_steps=schedule.total_steps,
+            decision_time=schedule.decision_time,
+            counts_input_spikes=True,
+        )

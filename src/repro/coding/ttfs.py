@@ -1,0 +1,245 @@
+"""TTFS coding — the T2FSNN model (Sec. III-A).
+
+Each spiking stage runs an integration phase then a fire phase within the
+pipeline schedule of Fig. 3.  During the fire phase a *dynamic threshold*
+``theta(t) = theta0 * eps_FI(t - t_ref)`` decays exponentially (Eq. 6); the
+first step at which a neuron's integrated potential meets the threshold is
+its (single) spike time — larger potentials fire earlier.  Each emitted spike
+is weighted by the matching *integration kernel* value (the paper's dendrite,
+Eq. 8), so the receiving layer accumulates the decoded value directly.
+
+Fire-once semantics: once fired, a neuron ignores all further input.  Under
+early firing the fire phase overlaps the tail of integration, so information
+arriving after a neuron fired is lost — the paper's "non-guaranteed
+integration" — while not-yet-fired neurons still benefit from late arrivals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.base import BoundCoding, CodingScheme, InputEncoder
+from repro.convert.converter import ConvertedNetwork
+from repro.core.kernels import ExpKernel, KernelParams, default_kernel_params
+from repro.snn.neurons import NeuronDynamics, ReadoutAccumulator
+from repro.snn.schedule import PhasedSchedule, StageWindow, build_phased_schedule
+
+__all__ = [
+    "TTFSCoding",
+    "TTFSInputEncoder",
+    "TTFSNeurons",
+    "default_kernel_params",
+]
+
+
+class TTFSInputEncoder(InputEncoder):
+    """Encode pixels as first-spike times during ``[0, T)``.
+
+    The image plays the role of pre-integrated membrane potential: pixel
+    intensity ``x`` fires at the first step where ``x >= theta0 * eps(t)``,
+    and the emitted spike is weighted by the kernel (the decoded intensity).
+    """
+
+    counts_spikes = True
+    constant = False
+
+    def __init__(self, kernel: ExpKernel, window: int, theta0: float = 1.0):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.kernel = kernel
+        self.window = window
+        self.theta0 = theta0
+        self._x: np.ndarray | None = None
+        self._fired: np.ndarray | None = None
+
+    def reset(self, x: np.ndarray) -> None:
+        if x.min() < 0.0:
+            raise ValueError("TTFS input encoding requires non-negative inputs")
+        self._x = x
+        self._fired = np.zeros(x.shape, dtype=bool)
+
+    def step(self, t: int) -> np.ndarray | None:
+        if self._x is None or self._fired is None:
+            raise RuntimeError("reset() must be called before step()")
+        if not (0 <= t < self.window):
+            return None
+        weight = float(self.kernel(float(t))) * self.theta0
+        threshold = weight  # theta(t) and the decoded weight coincide
+        can_fire = (~self._fired) & (self._x >= threshold) & (self._x > 0.0)
+        if not can_fire.any():
+            return None
+        self._fired |= can_fire
+        return can_fire.astype(np.float64) * weight
+
+
+class TTFSNeurons(NeuronDynamics):
+    """Fire-once IF neurons under a dynamic exponential threshold.
+
+    Integration: the synaptic drive is accumulated whenever it arrives (the
+    schedule guarantees it arrives during this stage's integration window);
+    the stage bias is injected once, at ``window.integration_start``.
+
+    Fire phase (``[fire_start, fire_end)``): at offset ``dt`` the threshold
+    is ``theta0 * kernel(dt)``; neurons at or above it emit one spike of
+    weight ``kernel(dt) * theta0`` and are latched fired.
+    """
+
+    def __init__(
+        self,
+        shape,
+        bias,
+        window: StageWindow,
+        kernel: ExpKernel,
+        theta0: float = 1.0,
+    ):
+        super().__init__(shape, bias)
+        if theta0 <= 0:
+            raise ValueError(f"theta0 must be positive, got {theta0}")
+        self.window = window
+        self.kernel = kernel
+        self.theta0 = theta0
+        self._fired: np.ndarray | None = None
+
+    def reset(self, batch_size: int) -> None:
+        super().reset(batch_size)
+        self._fired = np.zeros((batch_size,) + self.shape, dtype=bool)
+
+    def step(self, drive: np.ndarray | None, t: int) -> np.ndarray | None:
+        u = self._require_state()
+        if self._fired is None:
+            raise RuntimeError("reset() must be called before step()")
+        if drive is not None:
+            u += drive
+        if t == self.window.integration_start and (
+            not np.isscalar(self.bias) or self.bias != 0.0
+        ):
+            u += self.bias
+        if not self.window.in_fire_phase(t):
+            return None
+        dt = t - self.window.fire_start
+        weight = float(self.kernel(float(dt))) * self.theta0
+        can_fire = (~self._fired) & (u >= weight)
+        if not can_fire.any():
+            return None
+        self._fired |= can_fire
+        return can_fire.astype(np.float64) * weight
+
+    def spike_fraction(self) -> float:
+        """Fraction of neurons that have fired (sparsity diagnostic)."""
+        if self._fired is None:
+            return 0.0
+        return float(self._fired.mean())
+
+
+class TTFSCoding(CodingScheme):
+    """T2FSNN's coding scheme: kernels + pipeline schedule.
+
+    Parameters
+    ----------
+    window:
+        Per-layer time window T.
+    kernel_params:
+        One :class:`KernelParams` per spike source — the input encoder plus
+        each spiking stage, in depth order (``num_spiking_stages + 1``
+        entries).  ``None`` uses :func:`default_kernel_params` everywhere.
+        These are the parameters the gradient-based optimization trains.
+    early_firing:
+        Enable the early-firing pipeline (fire offset ``T/2`` by default).
+    fire_offset:
+        Explicit fire offset (only with ``early_firing=True``).
+    theta0:
+        Threshold constant (1.0 after normalization).
+    use_lut:
+        Evaluate kernels through a lookup table over the fire window instead
+        of the exponential — the hardware realisation the Discussion section
+        proposes.  Bit-identical results (simulations only query integer
+        offsets; property-tested), so this is purely a cost statement.
+
+    Notes
+    -----
+    The integration kernel of stage ``l`` is set equal to the fire kernel of
+    its presynaptic source (Sec. III-A), so each source owns exactly one
+    kernel used for both encoding (threshold) and decoding (spike weight).
+    """
+
+    name = "ttfs"
+
+    def __init__(
+        self,
+        window: int,
+        kernel_params: list[KernelParams] | None = None,
+        early_firing: bool = False,
+        fire_offset: int | None = None,
+        theta0: float = 1.0,
+        use_lut: bool = False,
+    ):
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        self.window = window
+        self.kernel_params = kernel_params
+        self.early_firing = early_firing
+        self.fire_offset = fire_offset
+        self.theta0 = theta0
+        self.use_lut = use_lut
+
+    def expected_sources(self, network: ConvertedNetwork) -> int:
+        """Number of kernels this network needs (input + spiking stages)."""
+        return network.num_spiking_stages + 1
+
+    def resolved_params(self, network: ConvertedNetwork) -> list[KernelParams]:
+        """Kernel parameters per source, applying defaults when unset."""
+        n = self.expected_sources(network)
+        if self.kernel_params is None:
+            return [default_kernel_params(self.window) for _ in range(n)]
+        if len(self.kernel_params) != n:
+            raise ValueError(
+                f"expected {n} kernel parameter sets (input + spiking stages), "
+                f"got {len(self.kernel_params)}"
+            )
+        return list(self.kernel_params)
+
+    def schedule(self, network: ConvertedNetwork) -> PhasedSchedule:
+        """The pipeline schedule this scheme uses for ``network``."""
+        return build_phased_schedule(
+            network.num_spiking_stages,
+            self.window,
+            early_firing=self.early_firing,
+            fire_offset=self.fire_offset,
+        )
+
+    def bind(self, network: ConvertedNetwork, steps: int | None = None) -> BoundCoding:
+        self._check_network(network)
+        params = self.resolved_params(network)
+        schedule = self.schedule(network)
+        kernels = [
+            ExpKernel(p).to_lut(self.window) if self.use_lut else ExpKernel(p)
+            for p in params
+        ]
+
+        encoder = TTFSInputEncoder(kernels[0], self.window, self.theta0)
+        spiking = [s for s in network.stages if s.spiking]
+        dynamics = [
+            TTFSNeurons(
+                stage.out_shape,
+                stage.bias_broadcast(1),
+                window,
+                kernel,
+                self.theta0,
+            )
+            for stage, window, kernel in zip(spiking, schedule.windows, kernels[1:])
+        ]
+        readout = ReadoutAccumulator(
+            network.stages[-1].out_shape,
+            network.stages[-1].bias_broadcast(1),
+            bias_policy="once_at",
+            bias_time=schedule.windows[-1].fire_start,
+        )
+        total = steps if steps is not None else schedule.total_steps
+        return BoundCoding(
+            encoder=encoder,
+            dynamics=dynamics,
+            readout=readout,
+            total_steps=max(total, schedule.total_steps),
+            decision_time=schedule.decision_time,
+            counts_input_spikes=True,
+        )

@@ -1,0 +1,15 @@
+"""DNN-to-SNN conversion substrate (data-based normalization per [7], [8])."""
+
+from repro.convert.converter import ConvertedNetwork, ConvertedStage, convert_to_snn
+from repro.convert.normalize import fold_batchnorm, normalize_model
+from repro.convert.stats import ActivationStats, collect_activation_stats
+
+__all__ = [
+    "ActivationStats",
+    "collect_activation_stats",
+    "fold_batchnorm",
+    "normalize_model",
+    "ConvertedStage",
+    "ConvertedNetwork",
+    "convert_to_snn",
+]

@@ -1,0 +1,278 @@
+"""DNN -> SNN structural conversion.
+
+The converter takes a trained :class:`~repro.nn.network.Sequential`, folds
+BatchNorm, applies data-based normalization, and regroups the layer list into
+*stages*: each stage bundles the purely linear ops (pool / flatten / conv /
+dense) that feed one population of spiking neurons.  The stage structure is
+what every coding scheme (rate, phase, burst, TTFS) simulates — only the
+neuron dynamics differ.
+
+A stage whose source layers ended in ReLU is *spiking* (IF neurons realise
+the rectification); the final stage is a non-spiking accumulator whose
+membrane potential is the classification readout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.convert.normalize import fold_batchnorm, normalize_model
+from repro.convert.stats import ActivationStats, collect_activation_stats
+from repro.nn.activations import Identity, ReLU
+from repro.nn.batchnorm import BatchNorm2D
+from repro.nn.layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, Layer, MaxPool2D
+from repro.nn.network import Sequential
+
+__all__ = ["ConvertedStage", "ConvertedNetwork", "convert_to_snn"]
+
+
+@dataclass
+class ConvertedStage:
+    """One spiking stage: a chain of linear ops feeding a neuron population.
+
+    Attributes
+    ----------
+    ops:
+        Linear layers applied, in order, to the incoming spike tensor.
+        Biases have been stripped from these ops (see ``bias``).
+    bias:
+        Per-output-unit bias, or ``None``; injected by the coding scheme
+        (per time step for rate-like codes, once per integration phase for
+        TTFS), not inside ``ops``.
+    spiking:
+        True if the stage output passes through IF neurons (source had a
+        ReLU here); the final readout stage is non-spiking.
+    out_shape:
+        Neuron population shape, without the batch dimension.
+    name:
+        Diagnostic label, e.g. ``"conv2-1"`` or ``"classifier"``.
+    """
+
+    ops: list[Layer]
+    bias: np.ndarray | None
+    spiking: bool
+    out_shape: tuple[int, ...]
+    name: str
+
+    def apply(self, spikes: np.ndarray) -> np.ndarray:
+        """Propagate a spike tensor through the linear ops (no bias)."""
+        out = spikes
+        for op in self.ops:
+            out = op.forward(out, training=False)
+        return out
+
+    def bias_broadcast(self, batch_size: int) -> np.ndarray | float:
+        """``bias`` reshaped to broadcast over ``(batch_size, *out_shape)``."""
+        if self.bias is None:
+            return 0.0
+        if len(self.out_shape) == 3:
+            return self.bias.reshape(1, -1, 1, 1)
+        return self.bias.reshape(1, -1)
+
+    @property
+    def num_neurons(self) -> int:
+        return int(np.prod(self.out_shape))
+
+
+@dataclass
+class ConvertedNetwork:
+    """The SNN-ready network produced by :func:`convert_to_snn`.
+
+    ``stages[:-1]`` are spiking; ``stages[-1]`` is the readout accumulator.
+    ``num_weight_layers`` is the ``L`` of the paper's latency model
+    (DESIGN.md §5).
+    """
+
+    stages: list[ConvertedStage]
+    input_shape: tuple[int, ...]
+    normalization_factors: list[float] = field(default_factory=list)
+    activation_stats: list[ActivationStats] = field(default_factory=list)
+
+    @property
+    def num_weight_layers(self) -> int:
+        return sum(
+            1
+            for stage in self.stages
+            for op in stage.ops
+            if isinstance(op, (Conv2D, Dense))
+        )
+
+    @property
+    def num_spiking_stages(self) -> int:
+        return sum(1 for stage in self.stages if stage.spiking)
+
+    @property
+    def total_neurons(self) -> int:
+        """Neurons across spiking stages (readout excluded)."""
+        return sum(stage.num_neurons for stage in self.stages if stage.spiking)
+
+    def analog_forward(
+        self, x: np.ndarray, clip: bool = True
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Value-domain forward pass of the normalized network.
+
+        This is the idealised network the SNN approximates: ReLU activations,
+        optionally clipped to [0, 1] (the range a converted SNN can actually
+        represent).  Used for kernel-optimization ground truth ``z̄`` and for
+        conversion sanity checks.
+
+        Returns
+        -------
+        (logits, activations):
+            ``activations[i]`` is the post-nonlinearity output of spiking
+            stage ``i`` (the values its neurons must encode).
+        """
+        activations: list[np.ndarray] = []
+        out = x
+        for stage in self.stages:
+            out = stage.apply(out)
+            out = out + stage.bias_broadcast(len(out))
+            if stage.spiking:
+                out = np.maximum(out, 0.0)
+                if clip:
+                    out = np.minimum(out, 1.0)
+                activations.append(out)
+        return out, activations
+
+    def predict_analog(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Batched argmax predictions of :meth:`analog_forward`."""
+        preds = []
+        for start in range(0, len(x), batch_size):
+            logits, _ = self.analog_forward(x[start : start + batch_size])
+            preds.append(logits.argmax(axis=1))
+        return np.concatenate(preds)
+
+    def stage_names(self) -> list[str]:
+        return [stage.name for stage in self.stages]
+
+
+def _strip_bias(op: Layer) -> np.ndarray | None:
+    """Remove and return the bias from a conv/dense layer (mutates ``op``)."""
+    if isinstance(op, (Conv2D, Dense)) and op.bias is not None:
+        bias = op.bias.data.copy()
+        op.bias = None
+        op.use_bias = False
+        return bias
+    return None
+
+
+def _stage_name(ops: list[Layer], conv_index: int, dense_index: int, spiking: bool) -> str:
+    last = next(
+        (op for op in reversed(ops) if isinstance(op, (Conv2D, Dense))), None
+    )
+    if not spiking:
+        return "classifier"
+    if isinstance(last, Conv2D):
+        return f"conv{conv_index}"
+    return f"fc{dense_index}"
+
+
+def convert_to_snn(
+    model: Sequential,
+    x_norm: np.ndarray,
+    percentile: float = 99.9,
+    replace_maxpool: bool = True,
+    input_scale: float = 1.0,
+) -> ConvertedNetwork:
+    """Convert a trained DNN into a :class:`ConvertedNetwork`.
+
+    Pipeline: fold BN -> (optionally) swap MaxPool for AvgPool -> data-based
+    normalization against ``x_norm`` -> strip dropout -> group into stages.
+
+    Parameters
+    ----------
+    model:
+        Trained source network.  Supported layers: Conv2D, Dense, AvgPool2D,
+        MaxPool2D (only with ``replace_maxpool``), Flatten, Dropout,
+        BatchNorm2D (folded), ReLU, Identity.
+    x_norm:
+        Data for activation statistics (training images in the paper).
+    percentile:
+        Robust-max percentile of the normalization.
+    replace_maxpool:
+        Swap max pools for average pools of the same geometry (DESIGN.md §6).
+        The swap changes values, so the normalization statistics are computed
+        *after* the swap, keeping the converted net self-consistent.
+    input_scale:
+        Scale of raw inputs (1.0 for unit-range images).
+    """
+    if model.input_shape is None:
+        raise ValueError("model must carry input_shape for conversion")
+
+    folded = fold_batchnorm(model)
+
+    swapped_layers: list[Layer] = []
+    for layer in folded.layers:
+        if isinstance(layer, MaxPool2D):
+            if not replace_maxpool:
+                raise ValueError(
+                    "MaxPool2D is not supported by the spiking simulator; "
+                    "pass replace_maxpool=True to swap it for AvgPool2D"
+                )
+            swapped_layers.append(AvgPool2D(layer.size, layer.stride))
+        else:
+            swapped_layers.append(layer)
+    folded = Sequential(swapped_layers, input_shape=folded.input_shape)
+
+    stats = collect_activation_stats(folded, x_norm, percentile=percentile)
+    normalized, factors = normalize_model(
+        folded, x_norm, percentile=percentile, input_scale=input_scale, stats=stats
+    )
+
+    stages: list[ConvertedStage] = []
+    pending_ops: list[Layer] = []
+    pending_bias: np.ndarray | None = None
+    conv_index = 0
+    dense_index = 0
+    shape = normalized.input_shape
+
+    def close_stage(spiking: bool) -> None:
+        nonlocal pending_ops, pending_bias, conv_index, dense_index
+        if not pending_ops:
+            raise ValueError("activation layer with no preceding linear ops")
+        if isinstance(pending_ops[-1], Conv2D):
+            conv_index += 1
+        elif isinstance(pending_ops[-1], Dense):
+            dense_index += 1
+        stages.append(
+            ConvertedStage(
+                ops=pending_ops,
+                bias=pending_bias,
+                spiking=spiking,
+                out_shape=shape,
+                name=_stage_name(pending_ops, conv_index, dense_index, spiking),
+            )
+        )
+        pending_ops = []
+        pending_bias = None
+
+    for layer in normalized.layers:
+        if isinstance(layer, Dropout):
+            continue
+        if isinstance(layer, Identity):
+            continue
+        if isinstance(layer, ReLU):
+            close_stage(spiking=True)
+            continue
+        if isinstance(layer, BatchNorm2D):  # pragma: no cover - folded above
+            raise AssertionError("BatchNorm should have been folded")
+        if not getattr(layer, "linear", False):
+            raise ValueError(f"unsupported layer for conversion: {layer!r}")
+        shape = layer.output_shape(shape)
+        bias = _strip_bias(layer)
+        if bias is not None:
+            pending_bias = bias if pending_bias is None else pending_bias + bias
+        pending_ops.append(layer)
+    close_stage(spiking=False)
+
+    if not stages[-1].spiking and len(stages) < 2:
+        raise ValueError("network must have at least one spiking stage")
+
+    return ConvertedNetwork(
+        stages=stages,
+        input_shape=normalized.input_shape,
+        normalization_factors=factors,
+        activation_stats=stats,
+    )

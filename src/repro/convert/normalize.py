@@ -1,0 +1,127 @@
+"""BatchNorm folding and data-based weight normalization.
+
+Two model-to-model rewrites applied before conversion:
+
+* :func:`fold_batchnorm` — absorb each inference-time BN affine map into the
+  preceding convolution, producing an equivalent BN-free network (required
+  because spiking layers have no notion of running statistics).
+* :func:`normalize_model` — data-based normalization [Diehl 2015, Rueckauer
+  2017]: rescale weights/biases so all ReLU activations lie in [0, 1].  The
+  paper relies on this to set the TTFS threshold constant ``theta0 = 1``
+  ("the range of integrated membrane potentials ... was limited [0, 1] by the
+  data-based normalization").
+
+Both functions return *new* :class:`~repro.nn.network.Sequential` objects and
+leave the input model untouched.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.convert.stats import ActivationStats, collect_activation_stats
+from repro.nn.activations import ReLU
+from repro.nn.batchnorm import BatchNorm2D
+from repro.nn.layers import Conv2D, Dense, Parameter
+from repro.nn.network import Sequential
+
+__all__ = ["fold_batchnorm", "normalize_model"]
+
+
+def fold_batchnorm(model: Sequential) -> Sequential:
+    """Return an equivalent network with every BatchNorm2D folded away.
+
+    Each ``Conv2D -> BatchNorm2D`` pair becomes a single convolution with
+    weights ``w * scale[oc]`` and bias ``shift[oc] (+ scale*old_bias)`` where
+    ``(scale, shift)`` is the BN inference affine map.  A BN with no directly
+    preceding convolution is rejected.
+    """
+    model = copy.deepcopy(model)
+    layers = []
+    for layer in model.layers:
+        if isinstance(layer, BatchNorm2D):
+            if not layers or not isinstance(layers[-1], Conv2D):
+                raise ValueError(
+                    "BatchNorm2D must directly follow a Conv2D to be folded"
+                )
+            conv: Conv2D = layers[-1]
+            scale, shift = layer.fold_constants()
+            if conv.out_channels != len(scale):
+                raise ValueError(
+                    f"channel mismatch: conv has {conv.out_channels}, BN has {len(scale)}"
+                )
+            conv.weight.data *= scale.reshape(-1, 1, 1, 1)
+            old_bias = conv.bias.data if conv.bias is not None else 0.0
+            conv.bias = Parameter(shift + scale * old_bias, name="bias")
+            conv.use_bias = True
+        else:
+            layers.append(layer)
+    return Sequential(layers, input_shape=model.input_shape)
+
+
+def normalize_model(
+    model: Sequential,
+    x: np.ndarray,
+    percentile: float = 99.9,
+    input_scale: float = 1.0,
+    stats: list[ActivationStats] | None = None,
+) -> tuple[Sequential, list[float]]:
+    """Data-based weight normalization.
+
+    Walks weight layers in order; for weight layer ``l`` with previous
+    normalization scale ``λ_{l-1}`` (``input_scale`` for the first) and its
+    own output scale ``λ_l``:
+
+    * weights: ``w <- w * λ_{l-1} / λ_l``
+    * biases:  ``b <- b / λ_l``
+
+    so that each normalized activation is the original divided by ``λ_l``,
+    hence (up to percentile outliers) within [0, 1].
+
+    Parameters
+    ----------
+    model:
+        Source network; BN must already be folded (raises otherwise).
+    x:
+        Data used to measure activation scales (training data in the paper).
+    percentile:
+        Robust-max percentile for the scales.
+    input_scale:
+        Scale of the raw inputs (1.0 for [0, 1] images).
+    stats:
+        Pre-collected statistics (to avoid recomputation); must match the
+        model's normalization points.
+
+    Returns
+    -------
+    (normalized_model, factors):
+        ``factors[i]`` is the λ applied at the i-th normalization point
+        (ReLU outputs, then final logits).
+    """
+    if any(isinstance(layer, BatchNorm2D) for layer in model.layers):
+        raise ValueError("fold_batchnorm must be applied before normalization")
+    if stats is None:
+        stats = collect_activation_stats(model, x, percentile=percentile)
+    model = copy.deepcopy(model)
+
+    # Map each weight layer to the scale of the normalization point that
+    # follows it (its ReLU output, or the logits for the final layer).
+    factors = [s.scale for s in stats]
+    weight_layers = [
+        layer for layer in model.layers if isinstance(layer, (Conv2D, Dense))
+    ]
+    if len(weight_layers) != len(factors):
+        raise ValueError(
+            f"expected one normalization point per weight layer: "
+            f"{len(weight_layers)} weight layers vs {len(factors)} points"
+        )
+
+    prev = input_scale
+    for layer, lam in zip(weight_layers, factors):
+        layer.weight.data *= prev / lam
+        if layer.bias is not None:
+            layer.bias.data /= lam
+        prev = lam
+    return model, factors

@@ -1,0 +1,123 @@
+"""Per-layer activation statistics for data-based normalization.
+
+The conversion method the paper adopts ([8] Rueckauer 2017, [7] Diehl 2015)
+rescales weights so that every ReLU activation lies in [0, 1] when driven by
+training data — the "data-based normalization" referenced under Eq. 7.  This
+module walks a :class:`~repro.nn.network.Sequential` and records the
+activation scale at every normalization point (each ReLU output and the final
+logits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.activations import ReLU
+from repro.nn.network import Sequential
+
+__all__ = ["ActivationStats", "collect_activation_stats"]
+
+
+@dataclass
+class ActivationStats:
+    """Statistics of one normalization point.
+
+    Attributes
+    ----------
+    layer_index:
+        Index into ``model.layers`` of the layer whose *output* is measured.
+    scale:
+        The normalization scale λ (the chosen percentile of the activations).
+    max_value:
+        True maximum observed (≥ ``scale``; the gap is what the percentile
+        clips away as outliers).
+    sparsity:
+        Fraction of exactly-zero activations — TTFS coding's spike count is
+        ``(1 - sparsity) * neurons``, so this drives the Table II comparison.
+    """
+
+    layer_index: int
+    scale: float
+    max_value: float
+    sparsity: float
+
+
+def collect_activation_stats(
+    model: Sequential,
+    x: np.ndarray,
+    percentile: float = 99.9,
+    batch_size: int = 256,
+) -> list[ActivationStats]:
+    """Record activation scales at every ReLU output and at the final layer.
+
+    Parameters
+    ----------
+    model:
+        Trained source network (inference mode is used).
+    x:
+        Representative input batch — typically training data, per [8].
+    percentile:
+        Robust-max percentile; 99.9 follows Rueckauer et al.  Using the true
+        max (``100``) makes conversion lossless but wastes dynamic range on
+        outliers, which for TTFS directly wastes spike-time precision.
+
+    Returns
+    -------
+    One :class:`ActivationStats` per normalization point, in layer order; the
+    final entry always describes the network output (logit scale).
+    """
+    if not (0.0 < percentile <= 100.0):
+        raise ValueError(f"percentile must lie in (0, 100], got {percentile}")
+    n_points = sum(1 for layer in model.layers if isinstance(layer, ReLU)) + 1
+    # Streaming percentile over batches: keep every batch's values would blow
+    # memory for conv feature maps, so we keep per-batch percentiles and the
+    # exact max/sparsity counts, then take the worst-case percentile across
+    # batches (a slightly conservative but standard approximation).
+    batch_scales: list[list[float]] = [[] for _ in range(n_points)]
+    max_vals = np.zeros(n_points)
+    zero_counts = np.zeros(n_points)
+    totals = np.zeros(n_points)
+
+    for start in range(0, len(x), batch_size):
+        xb = x[start : start + batch_size]
+        point = 0
+        out = xb
+        for layer in model.layers:
+            out = layer.forward(out, training=False)
+            if isinstance(layer, ReLU):
+                flat = out.reshape(-1)
+                batch_scales[point].append(float(np.percentile(flat, percentile)))
+                max_vals[point] = max(max_vals[point], float(flat.max(initial=0.0)))
+                zero_counts[point] += float((flat == 0.0).sum())
+                totals[point] += flat.size
+                point += 1
+        flat = np.abs(out.reshape(-1))
+        batch_scales[point].append(float(np.percentile(flat, percentile)))
+        max_vals[point] = max(max_vals[point], float(flat.max(initial=0.0)))
+        zero_counts[point] += float((flat == 0.0).sum())
+        totals[point] += flat.size
+
+    stats: list[ActivationStats] = []
+    point = 0
+    for idx, layer in enumerate(model.layers):
+        if isinstance(layer, ReLU):
+            stats.append(
+                ActivationStats(
+                    layer_index=idx,
+                    scale=max(np.max(batch_scales[point]), 1e-12),
+                    max_value=max_vals[point],
+                    sparsity=float(zero_counts[point] / max(1.0, totals[point])),
+                )
+            )
+            point += 1
+    stats.append(
+        ActivationStats(
+            layer_index=len(model.layers) - 1,
+            scale=max(np.max(batch_scales[point]), 1e-12),
+            max_value=max_vals[point],
+            sparsity=float(zero_counts[point] / max(1.0, totals[point])),
+        )
+    )
+    return stats

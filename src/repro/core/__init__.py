@@ -1,0 +1,27 @@
+"""The paper's primary contribution: TTFS kernels, encoding math,
+gradient-based kernel optimization, and the T2FSNN model."""
+
+from repro.core.encoding import (
+    NO_SPIKE,
+    decode_spike_times,
+    encode_spike_times,
+    roundtrip,
+)
+from repro.core.kernels import ExpKernel, KernelParams, LUTKernel, default_kernel_params
+from repro.core.optimize import KernelLosses, KernelOptimizer, OptimizationHistory
+from repro.core.t2fsnn import T2FSNN
+
+__all__ = [
+    "KernelParams",
+    "ExpKernel",
+    "LUTKernel",
+    "default_kernel_params",
+    "NO_SPIKE",
+    "encode_spike_times",
+    "decode_spike_times",
+    "roundtrip",
+    "KernelLosses",
+    "KernelOptimizer",
+    "OptimizationHistory",
+    "T2FSNN",
+]

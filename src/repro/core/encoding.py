@@ -1,0 +1,110 @@
+"""Closed-form TTFS encode/decode (Eqs. 6-8) in the value domain.
+
+These functions are the *analytical* counterpart of the time-stepped
+simulation: encoding maps a membrane potential to an integer spike-time
+offset via the dynamic threshold, decoding maps the offset back through the
+integration kernel.  The simulator and these closed forms agree exactly
+(property-tested), and the kernel optimizer (:mod:`repro.core.optimize`)
+runs entirely on them, which is what makes layer-wise training cheap.
+
+Convention: an offset of :data:`NO_SPIKE` (= -1) marks a value too small to
+be represented within the window (the neuron stays silent).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernels import ExpKernel
+
+__all__ = ["NO_SPIKE", "encode_spike_times", "decode_spike_times", "roundtrip"]
+
+#: Sentinel offset for "no spike emitted within the window".
+NO_SPIKE = -1
+
+
+def encode_spike_times(
+    values: np.ndarray,
+    kernel: ExpKernel,
+    window: int,
+    theta0: float = 1.0,
+) -> np.ndarray:
+    """Spike-time offsets for membrane potentials ``values`` (Eq. 7).
+
+    A neuron with integrated potential ``u`` fires at the first integer
+    offset ``dt`` where ``u >= theta0 * exp(-(dt - t_d)/tau)``, i.e.
+
+        ``dt = ceil(-tau * ln(u / theta0) + t_d)``
+
+    clamped to 0 (potentials above the kernel maximum fire immediately) and
+    to :data:`NO_SPIKE` when no offset within ``[0, window)`` satisfies the
+    threshold (potential below the minimum representable value, or <= 0).
+
+    Parameters
+    ----------
+    values:
+        Membrane potentials (any shape).
+    kernel:
+        The layer's fire kernel.
+    window:
+        Fire-phase length T in steps.
+    theta0:
+        Threshold constant (1.0 in the paper thanks to data-based
+        normalization).
+
+    Returns
+    -------
+    Integer offsets, same shape as ``values``.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if theta0 <= 0:
+        raise ValueError(f"theta0 must be positive, got {theta0}")
+    values = np.asarray(values, dtype=np.float64)
+    out = np.full(values.shape, NO_SPIKE, dtype=np.int64)
+    positive = values > 0.0
+    if not positive.any():
+        return out
+    v = values[positive]
+    with np.errstate(divide="ignore"):
+        exact = -kernel.tau * np.log(v / theta0) + kernel.t_delay
+    offsets = np.ceil(exact).astype(np.int64)
+    np.maximum(offsets, 0, out=offsets)
+    offsets[offsets >= window] = NO_SPIKE
+    out[positive] = offsets
+    return out
+
+
+def decode_spike_times(
+    offsets: np.ndarray,
+    kernel: ExpKernel,
+    theta0: float = 1.0,
+) -> np.ndarray:
+    """Decoded values for spike-time offsets (Eq. 8's per-spike weight).
+
+    ``NO_SPIKE`` decodes to 0 (a silent neuron contributes nothing to the
+    postsynaptic potential).
+    """
+    offsets = np.asarray(offsets)
+    values = theta0 * kernel(offsets.astype(np.float64))
+    return np.where(offsets == NO_SPIKE, 0.0, values)
+
+
+def roundtrip(
+    values: np.ndarray,
+    kernel: ExpKernel,
+    window: int,
+    theta0: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Encode then decode; returns ``(offsets, decoded)``.
+
+    Invariants (property-tested in ``tests/core/test_encoding.py``):
+
+    * ``decoded <= values`` wherever a spike was emitted (ceil rounds the
+      spike later, the threshold only decays);
+    * ``values - decoded <= decoded * (exp(1/tau) - 1)`` — the paper's
+      precision-error bound;
+    * values below ``kernel.min_value(window)`` never spike.
+    """
+    offsets = encode_spike_times(values, kernel, window, theta0)
+    return offsets, decode_spike_times(offsets, kernel, theta0)

@@ -1,0 +1,31 @@
+"""Synthetic dataset substrate (offline stand-ins for MNIST/CIFAR).
+
+See DESIGN.md §2 for why synthetic class-conditional tasks preserve the
+paper's comparisons.
+"""
+
+from repro.datasets.images import (
+    DATASET_BUILDERS,
+    synthetic_cifar10,
+    synthetic_cifar100,
+    synthetic_mnist,
+)
+from repro.datasets.loaders import DataLoader
+from repro.datasets.synthetic import ImageTaskSpec, SyntheticImages, gabor_patch, gaussian_blob
+from repro.datasets.transforms import flatten_images, one_hot, standardize, to_unit_range
+
+__all__ = [
+    "ImageTaskSpec",
+    "SyntheticImages",
+    "gabor_patch",
+    "gaussian_blob",
+    "DataLoader",
+    "one_hot",
+    "standardize",
+    "to_unit_range",
+    "flatten_images",
+    "synthetic_mnist",
+    "synthetic_cifar10",
+    "synthetic_cifar100",
+    "DATASET_BUILDERS",
+]

@@ -1,0 +1,77 @@
+"""Named dataset stand-ins matching the paper's three evaluation datasets.
+
+Shapes and class counts match the originals exactly; split sizes default to
+CI scale and can be overridden (or scaled with ``ImageTaskSpec.scaled``).
+Difficulty knobs are tuned so the relative ordering matches the paper:
+MNIST-like is nearly saturated, CIFAR-10-like is moderate, CIFAR-100-like is
+hard (100 classes, more noise).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import ImageTaskSpec, SyntheticImages
+
+__all__ = [
+    "synthetic_mnist",
+    "synthetic_cifar10",
+    "synthetic_cifar100",
+    "DATASET_BUILDERS",
+]
+
+
+def synthetic_mnist(n_train: int = 2000, n_test: int = 500, seed: int = 101) -> SyntheticImages:
+    """MNIST stand-in: 28x28 grayscale, 10 classes, easy (low noise, small shift)."""
+    return SyntheticImages(
+        ImageTaskSpec(
+            name="mnist-like",
+            shape=(1, 28, 28),
+            num_classes=10,
+            n_train=n_train,
+            n_test=n_test,
+            noise=0.05,
+            max_shift=2,
+            components=3,
+            seed=seed,
+        )
+    )
+
+
+def synthetic_cifar10(n_train: int = 2000, n_test: int = 500, seed: int = 202) -> SyntheticImages:
+    """CIFAR-10 stand-in: 32x32 RGB, 10 classes, moderate difficulty."""
+    return SyntheticImages(
+        ImageTaskSpec(
+            name="cifar10-like",
+            shape=(3, 32, 32),
+            num_classes=10,
+            n_train=n_train,
+            n_test=n_test,
+            noise=0.10,
+            max_shift=3,
+            components=4,
+            seed=seed,
+        )
+    )
+
+
+def synthetic_cifar100(n_train: int = 4000, n_test: int = 500, seed: int = 303) -> SyntheticImages:
+    """CIFAR-100 stand-in: 32x32 RGB, 100 classes, hard (many classes + noise)."""
+    return SyntheticImages(
+        ImageTaskSpec(
+            name="cifar100-like",
+            shape=(3, 32, 32),
+            num_classes=100,
+            n_train=n_train,
+            n_test=n_test,
+            noise=0.12,
+            max_shift=3,
+            components=5,
+            seed=seed,
+        )
+    )
+
+
+DATASET_BUILDERS = {
+    "mnist": synthetic_mnist,
+    "cifar10": synthetic_cifar10,
+    "cifar100": synthetic_cifar100,
+}

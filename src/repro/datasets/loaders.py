@@ -1,0 +1,55 @@
+"""Mini-batch iteration over in-memory arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate ``(x, y)`` in mini-batches, optionally shuffled per epoch.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> loader = DataLoader(np.arange(10).reshape(5, 2), np.arange(5), batch_size=2)
+    >>> sum(len(yb) for xb, yb in loader)
+    5
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        batch_size: int = 64,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        rng=None,
+    ):
+        if len(x) != len(y):
+            raise ValueError(f"x and y disagree on length: {len(x)} vs {len(y)}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.x = x
+        self.y = y
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = as_generator(rng)
+
+    def __iter__(self):
+        n = len(self.x)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        end = n - (n % self.batch_size) if self.drop_last else n
+        for start in range(0, end, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield self.x[idx], self.y[idx]
+
+    def __len__(self) -> int:
+        n = len(self.x)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size

@@ -1,0 +1,58 @@
+"""Array transforms shared by training and conversion code."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["one_hot", "standardize", "to_unit_range", "flatten_images"]
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels (N,) -> one-hot (N, num_classes)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels out of range [0, {num_classes}): min={labels.min()}, max={labels.max()}"
+        )
+    out = np.zeros((len(labels), num_classes), dtype=np.float64)
+    out[np.arange(len(labels)), labels] = 1.0
+    return out
+
+
+def standardize(
+    x: np.ndarray, mean: np.ndarray | None = None, std: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Zero-mean/unit-std per channel; returns ``(x_std, mean, std)``.
+
+    When ``mean``/``std`` are given they are applied (test-set path);
+    otherwise they are computed from ``x`` (train-set path).
+    """
+    if x.ndim != 4:
+        raise ValueError(f"expected NCHW images, got shape {x.shape}")
+    if mean is None:
+        mean = x.mean(axis=(0, 2, 3), keepdims=True)
+    if std is None:
+        std = x.std(axis=(0, 2, 3), keepdims=True)
+        std = np.where(std < 1e-8, 1.0, std)
+    return (x - mean) / std, mean, std
+
+
+def to_unit_range(x: np.ndarray) -> np.ndarray:
+    """Affinely map ``x`` into [0, 1] over the whole array.
+
+    TTFS input encoding interprets pixel intensity as an activation in
+    [0, 1], so converted networks consume unit-range inputs.
+    """
+    lo, hi = float(x.min()), float(x.max())
+    if hi - lo < 1e-12:
+        return np.zeros_like(x)
+    return (x - lo) / (hi - lo)
+
+
+def flatten_images(x: np.ndarray) -> np.ndarray:
+    """NCHW -> (N, C*H*W)."""
+    if x.ndim != 4:
+        raise ValueError(f"expected NCHW images, got shape {x.shape}")
+    return x.reshape(x.shape[0], -1)

@@ -1,0 +1,31 @@
+"""Energy and computational-cost models (Tables II-III)."""
+
+from repro.energy.cost import (
+    OperationCounts,
+    TDSNNCostModel,
+    dnn_operation_counts,
+    network_fanout,
+    paper_vgg16_cifar100_neurons,
+    scheme_operation_counts,
+)
+from repro.energy.model import (
+    SPINNAKER,
+    TRUENORTH,
+    EnergyModel,
+    EnergyParams,
+    normalized_energy,
+)
+
+__all__ = [
+    "EnergyParams",
+    "TRUENORTH",
+    "SPINNAKER",
+    "normalized_energy",
+    "EnergyModel",
+    "OperationCounts",
+    "dnn_operation_counts",
+    "scheme_operation_counts",
+    "network_fanout",
+    "TDSNNCostModel",
+    "paper_vgg16_cifar100_neurons",
+]

@@ -1,0 +1,88 @@
+"""Energy estimation on neuromorphic hardware (Table II's last columns).
+
+The paper estimates energy as ``(# of spikes) * E_dyn + (latency) * E_sta``
+with dynamic/static weights taken from TrueNorth [18] and SpiNNaker [19]
+measurements, normalized so rate coding costs 1.0.  Concretely the published
+numbers satisfy
+
+    E_norm = E_dyn * S / S_rate  +  E_sta * L / L_rate
+
+with ``(E_dyn, E_sta)`` = (0.4, 0.6) for TrueNorth and (0.64, 0.36) for
+SpiNNaker — verified against every row of Table II (see
+``tests/energy/test_model.py::test_paper_table2_rows``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EnergyParams", "TRUENORTH", "SPINNAKER", "normalized_energy", "EnergyModel"]
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Relative dynamic (per spike) and static (per time step) energy weights."""
+
+    name: str
+    e_dyn: float
+    e_sta: float
+
+    def __post_init__(self):
+        if self.e_dyn < 0 or self.e_sta < 0:
+            raise ValueError(f"energy weights must be non-negative: {self}")
+
+
+#: TrueNorth [18] weights as used by the paper (and by [10]).
+TRUENORTH = EnergyParams("TrueNorth", e_dyn=0.4, e_sta=0.6)
+
+#: SpiNNaker [19] weights.
+SPINNAKER = EnergyParams("SpiNNaker", e_dyn=0.64, e_sta=0.36)
+
+
+def normalized_energy(
+    spikes: float,
+    latency: float,
+    baseline_spikes: float,
+    baseline_latency: float,
+    params: EnergyParams,
+) -> float:
+    """Energy of (spikes, latency) normalized to a baseline scheme.
+
+    >>> round(normalized_energy(3.0e6, 16, 0.1e6, 200, TRUENORTH), 3)  # phase/MNIST
+    12.048
+    """
+    if baseline_spikes <= 0 or baseline_latency <= 0:
+        raise ValueError("baseline spikes and latency must be positive")
+    if spikes < 0 or latency < 0:
+        raise ValueError("spikes and latency must be non-negative")
+    return params.e_dyn * spikes / baseline_spikes + params.e_sta * latency / baseline_latency
+
+
+class EnergyModel:
+    """Convenience wrapper fixing the baseline (rate coding in the paper).
+
+    Examples
+    --------
+    >>> m = EnergyModel(baseline_spikes=0.1e6, baseline_latency=200)
+    >>> round(m.truenorth(0.251e6, 87), 3)  # burst coding on MNIST
+    1.265
+    """
+
+    def __init__(self, baseline_spikes: float, baseline_latency: float):
+        if baseline_spikes <= 0 or baseline_latency <= 0:
+            raise ValueError("baseline spikes and latency must be positive")
+        self.baseline_spikes = baseline_spikes
+        self.baseline_latency = baseline_latency
+
+    def normalized(self, spikes: float, latency: float, params: EnergyParams) -> float:
+        return normalized_energy(
+            spikes, latency, self.baseline_spikes, self.baseline_latency, params
+        )
+
+    def truenorth(self, spikes: float, latency: float) -> float:
+        """Normalized energy under TrueNorth weights."""
+        return self.normalized(spikes, latency, TRUENORTH)
+
+    def spinnaker(self, spikes: float, latency: float) -> float:
+        """Normalized energy under SpiNNaker weights."""
+        return self.normalized(spikes, latency, SPINNAKER)

@@ -1,0 +1,66 @@
+"""A from-scratch numpy deep-learning framework.
+
+This is the substrate that replaces the authors' PyTorch/TensorFlow setup:
+layers with manual backprop, losses, optimizers, a trainer, and the VGG/LeNet
+builders used by the experiments.  See DESIGN.md §2 for the substitution
+rationale.
+"""
+
+from repro.nn.activations import Identity, ReLU, softmax
+from repro.nn.architectures import (
+    build_vgg,
+    count_weight_layers,
+    lenet,
+    vgg7,
+    vgg9,
+    vgg11,
+    vgg16,
+)
+from repro.nn.batchnorm import BatchNorm2D
+from repro.nn.layers import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    Parameter,
+)
+from repro.nn.losses import MSE, Loss, SoftmaxCrossEntropy
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.training import Trainer, TrainHistory, accuracy, step_decay
+
+__all__ = [
+    "Layer",
+    "Parameter",
+    "Dense",
+    "Conv2D",
+    "AvgPool2D",
+    "MaxPool2D",
+    "Flatten",
+    "Dropout",
+    "BatchNorm2D",
+    "ReLU",
+    "Identity",
+    "softmax",
+    "Loss",
+    "SoftmaxCrossEntropy",
+    "MSE",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Sequential",
+    "Trainer",
+    "TrainHistory",
+    "accuracy",
+    "step_decay",
+    "build_vgg",
+    "vgg7",
+    "vgg9",
+    "vgg11",
+    "vgg16",
+    "lenet",
+    "count_weight_layers",
+]

@@ -1,0 +1,57 @@
+"""Activation layers.
+
+ReLU is the only nonlinearity the DNN->SNN conversion supports (an IF neuron
+with a positive threshold realises exactly a rectification of the integrated
+input), which mirrors the constraint in the conversion literature the paper
+builds on [Diehl 2015, Rueckauer 2017].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["ReLU", "Identity", "softmax"]
+
+
+class ReLU(Layer):
+    """Rectified linear unit, ``y = max(x, 0)``."""
+
+    def __init__(self):
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._mask = x > 0
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad * self._mask
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape
+
+
+class Identity(Layer):
+    """No-op layer; useful as a placeholder when composing architectures."""
+
+    linear = True
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)

@@ -1,0 +1,175 @@
+"""Network builders: the VGG family and a LeNet-style MNIST net.
+
+The paper evaluates VGG-16 on CIFAR-10/100 and a small net on MNIST.  Builders
+here accept a ``width`` multiplier so the same topology can run at paper scale
+(``width=1.0``) or at CI scale (e.g. ``width=0.25``) on CPU.  All convolutions
+are 3x3/pad-1 bias-free (biases, if desired, arrive via BatchNorm folding),
+max pools are replaced by average pools (DESIGN.md §6), and every hidden
+nonlinearity is ReLU — the constraints required by the DNN->SNN conversion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import ReLU
+from repro.nn.batchnorm import BatchNorm2D
+from repro.nn.layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten
+from repro.nn.network import Sequential
+from repro.utils.rng import as_generator, spawn_generators
+
+__all__ = ["build_vgg", "vgg7", "vgg9", "vgg11", "vgg16", "lenet", "count_weight_layers"]
+
+#: Layer specs: integers are conv output channels, "P" is a 2x2 average pool.
+#: The name's number counts *weight* layers: convs + dense head + classifier.
+VGG_SPECS: dict[str, list] = {
+    # Compact 6-conv net: enough depth to show the pipeline effects at CI scale.
+    "vgg7": [64, 64, "P", 128, 128, "P", 256, 256, "P"],
+    "vgg9": [64, 64, "P", 128, 128, "P", 256, 256, 256, "P"],
+    "vgg11": [64, "P", 128, "P", 256, 256, "P", 512, 512, "P", 512, 512, "P"],
+    # The paper's VGG-16: 13 convs + 3 dense = 16 weight layers.
+    "vgg16": [
+        64, 64, "P",
+        128, 128, "P",
+        256, 256, 256, "P",
+        512, 512, 512, "P",
+        512, 512, 512, "P",
+    ],
+}
+
+#: Dense head widths per spec (before the final classifier).
+VGG_HEADS: dict[str, list[int]] = {
+    "vgg7": [],
+    "vgg9": [256],
+    "vgg11": [512, 512],
+    "vgg16": [512, 512],
+}
+
+
+def _scaled(channels: int, width: float) -> int:
+    return max(4, int(round(channels * width)))
+
+
+def build_vgg(
+    name: str,
+    input_shape: tuple[int, int, int],
+    num_classes: int,
+    width: float = 1.0,
+    batch_norm: bool = False,
+    dropout: float = 0.0,
+    rng=None,
+) -> Sequential:
+    """Build a VGG-style network.
+
+    Parameters
+    ----------
+    name:
+        One of ``VGG_SPECS`` keys.
+    input_shape:
+        ``(C, H, W)`` of the input images.
+    num_classes:
+        Output dimensionality of the final classifier.
+    width:
+        Channel multiplier in (0, 1] or above; minimum 4 channels per layer.
+    batch_norm:
+        Insert BN after each conv (folded away at conversion time).
+    dropout:
+        Dropout rate applied before dense head layers (training-time only).
+    """
+    if name not in VGG_SPECS:
+        raise ValueError(f"unknown VGG spec {name!r}; choose from {sorted(VGG_SPECS)}")
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    spec = VGG_SPECS[name]
+    rng = as_generator(rng)
+    n_convs = sum(1 for item in spec if item != "P")
+    n_dense = len(VGG_HEADS[name]) + 1
+    rngs = iter(spawn_generators(rng, n_convs + n_dense))
+
+    layers = []
+    c, h, w = input_shape
+    in_ch = c
+    for item in spec:
+        if item == "P":
+            layers.append(AvgPool2D(2))
+            h //= 2
+            w //= 2
+            continue
+        out_ch = _scaled(item, width)
+        layers.append(Conv2D(in_ch, out_ch, 3, stride=1, pad=1, use_bias=False, rng=next(rngs)))
+        if batch_norm:
+            layers.append(BatchNorm2D(out_ch))
+        layers.append(ReLU())
+        in_ch = out_ch
+    layers.append(Flatten())
+    feat = in_ch * h * w
+    for head_width in VGG_HEADS[name]:
+        hw = _scaled(head_width, width)
+        if dropout > 0:
+            layers.append(Dropout(dropout, rng=rng))
+        layers.append(Dense(feat, hw, use_bias=True, rng=next(rngs)))
+        layers.append(ReLU())
+        feat = hw
+    layers.append(Dense(feat, num_classes, use_bias=True, rng=next(rngs)))
+    return Sequential(layers, input_shape=input_shape)
+
+
+def vgg7(input_shape=(3, 32, 32), num_classes=10, width=1.0, **kw) -> Sequential:
+    """6 convs + 1 dense = 7 weight layers."""
+    return build_vgg("vgg7", input_shape, num_classes, width, **kw)
+
+
+def vgg9(input_shape=(3, 32, 32), num_classes=10, width=1.0, **kw) -> Sequential:
+    """7 convs + 2 dense = 9 weight layers."""
+    return build_vgg("vgg9", input_shape, num_classes, width, **kw)
+
+
+def vgg11(input_shape=(3, 32, 32), num_classes=10, width=1.0, **kw) -> Sequential:
+    """8 convs + 3 dense = 11 weight layers."""
+    return build_vgg("vgg11", input_shape, num_classes, width, **kw)
+
+
+def vgg16(input_shape=(3, 32, 32), num_classes=10, width=1.0, **kw) -> Sequential:
+    """The paper's architecture: 13 convs + 3 dense = 16 weight layers."""
+    return build_vgg("vgg16", input_shape, num_classes, width, **kw)
+
+
+def lenet(
+    input_shape=(1, 28, 28), num_classes=10, width: float = 1.0, rng=None
+) -> Sequential:
+    """7-weight-layer MNIST CNN (6 conv + 1 dense).
+
+    Chosen so the early-firing latency formula lands on the paper's MNIST
+    latency of 40 steps at T=10: ``(7-1)*10/2 + 10 = 40`` (DESIGN.md §5).
+    """
+    rng = as_generator(rng)
+    rngs = iter(spawn_generators(rng, 7))
+    c, h, w = input_shape
+    ch1, ch2, ch3 = (_scaled(16, width), _scaled(32, width), _scaled(64, width))
+    layers = [
+        Conv2D(c, ch1, 3, pad=1, use_bias=False, rng=next(rngs)),
+        ReLU(),
+        Conv2D(ch1, ch1, 3, pad=1, use_bias=False, rng=next(rngs)),
+        ReLU(),
+        AvgPool2D(2),
+        Conv2D(ch1, ch2, 3, pad=1, use_bias=False, rng=next(rngs)),
+        ReLU(),
+        Conv2D(ch2, ch2, 3, pad=1, use_bias=False, rng=next(rngs)),
+        ReLU(),
+        AvgPool2D(2),
+        Conv2D(ch2, ch3, 3, pad=1, use_bias=False, rng=next(rngs)),
+        ReLU(),
+        Conv2D(ch3, ch3, 3, pad=1, use_bias=False, rng=next(rngs)),
+        ReLU(),
+        AvgPool2D(2),
+        Flatten(),
+        Dense(ch3 * (h // 8) * (w // 8), num_classes, use_bias=True, rng=next(rngs)),
+    ]
+    return Sequential(layers, input_shape=input_shape)
+
+
+def count_weight_layers(model: Sequential) -> int:
+    """Number of weight (conv/dense) layers — the ``L`` of the latency model."""
+    from repro.nn.layers import Conv2D as _Conv, Dense as _Dense
+
+    return sum(1 for layer in model.layers if isinstance(layer, (_Conv, _Dense)))

@@ -1,0 +1,103 @@
+"""Batch normalization.
+
+Networks in the conversion literature are trained with BN and the BN affine
+transform is *folded* into the preceding convolution's weights and bias before
+conversion (see :mod:`repro.convert.normalize`).  This module provides the
+training-time layer; folding lives with the converter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer, Parameter
+
+__all__ = ["BatchNorm2D"]
+
+
+class BatchNorm2D(Layer):
+    """Per-channel batch normalization over (N, H, W) for NCHW inputs.
+
+    Parameters
+    ----------
+    channels:
+        Number of input channels.
+    momentum:
+        EMA momentum for running statistics (``running = m*running + (1-m)*batch``).
+    eps:
+        Numerical floor added to the variance.
+    """
+
+    def __init__(self, channels: int, momentum: float = 0.9, eps: float = 1e-5):
+        if channels < 1:
+            raise ValueError(f"channels must be positive, got {channels}")
+        if not (0.0 <= momentum < 1.0):
+            raise ValueError(f"momentum must lie in [0, 1), got {momentum}")
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(channels), name="gamma")
+        self.beta = Parameter(np.zeros(channels), name="beta")
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.channels:
+            raise ValueError(f"BatchNorm2D expects (N, {self.channels}, H, W), got {x.shape}")
+        if training:
+            axes = (0, 2, 3)
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            m = self.momentum
+            self.running_mean = m * self.running_mean + (1 - m) * mean
+            self.running_var = m * self.running_var + (1 - m) * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean.reshape(1, -1, 1, 1)) * inv_std.reshape(1, -1, 1, 1)
+        out = self.gamma.data.reshape(1, -1, 1, 1) * x_hat + self.beta.data.reshape(1, -1, 1, 1)
+        if training:
+            self._cache = (x_hat, inv_std)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        x_hat, inv_std = self._cache
+        n, _, h, w = grad.shape
+        m = n * h * w
+        axes = (0, 2, 3)
+        self.gamma.grad += (grad * x_hat).sum(axis=axes)
+        self.beta.grad += grad.sum(axis=axes)
+        g = self.gamma.data.reshape(1, -1, 1, 1)
+        dx_hat = grad * g
+        # Standard BN backward: subtract batch mean of dx_hat and the
+        # projection onto x_hat, then rescale by 1/std.
+        term = (
+            dx_hat
+            - dx_hat.mean(axis=axes, keepdims=True)
+            - x_hat * (dx_hat * x_hat).sum(axis=axes, keepdims=True) / m
+        )
+        return term * inv_std.reshape(1, -1, 1, 1)
+
+    def params(self) -> list[Parameter]:
+        return [self.gamma, self.beta]
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape
+
+    def fold_constants(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return per-channel ``(scale, shift)`` of the inference-time affine map.
+
+        ``y = scale * x + shift`` with running statistics — this is what the
+        converter folds into the preceding convolution.
+        """
+        inv_std = 1.0 / np.sqrt(self.running_var + self.eps)
+        scale = self.gamma.data * inv_std
+        shift = self.beta.data - self.running_mean * scale
+        return scale, shift
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BatchNorm2D({self.channels})"

@@ -1,0 +1,37 @@
+"""Weight initialization schemes for the numpy DNN framework."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["he_normal", "he_uniform", "glorot_uniform", "zeros"]
+
+
+def he_normal(shape: tuple[int, ...], fan_in: int, rng=None, dtype=np.float64) -> np.ndarray:
+    """Kaiming-normal init, the standard choice for ReLU networks."""
+    rng = as_generator(rng)
+    std = np.sqrt(2.0 / max(1, fan_in))
+    return rng.normal(0.0, std, size=shape).astype(dtype)
+
+
+def he_uniform(shape: tuple[int, ...], fan_in: int, rng=None, dtype=np.float64) -> np.ndarray:
+    """Kaiming-uniform init."""
+    rng = as_generator(rng)
+    bound = np.sqrt(6.0 / max(1, fan_in))
+    return rng.uniform(-bound, bound, size=shape).astype(dtype)
+
+
+def glorot_uniform(
+    shape: tuple[int, ...], fan_in: int, fan_out: int, rng=None, dtype=np.float64
+) -> np.ndarray:
+    """Xavier/Glorot-uniform init, used for the final linear classifier."""
+    rng = as_generator(rng)
+    bound = np.sqrt(6.0 / max(1, fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(dtype)
+
+
+def zeros(shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
+    """All-zero init (biases, BN shift)."""
+    return np.zeros(shape, dtype=dtype)

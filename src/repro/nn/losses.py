@@ -1,0 +1,83 @@
+"""Loss functions with analytic gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import softmax
+
+__all__ = ["Loss", "SoftmaxCrossEntropy", "MSE"]
+
+
+class Loss:
+    """Base class: ``forward`` returns the scalar loss, ``backward`` the
+    gradient w.r.t. the predictions passed to the preceding ``forward``."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Softmax + cross entropy fused for numerical stability.
+
+    ``targets`` may be integer class indices ``(N,)`` or one-hot ``(N, C)``.
+    """
+
+    def __init__(self):
+        self._probs: np.ndarray | None = None
+        self._targets_onehot: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        if predictions.ndim != 2:
+            raise ValueError(f"expected logits of shape (N, C), got {predictions.shape}")
+        n, c = predictions.shape
+        probs = softmax(predictions, axis=1)
+        if targets.ndim == 1:
+            onehot = np.zeros((n, c), dtype=predictions.dtype)
+            onehot[np.arange(n), targets.astype(int)] = 1.0
+        elif targets.shape == predictions.shape:
+            onehot = targets
+        else:
+            raise ValueError(
+                f"targets shape {targets.shape} incompatible with logits {predictions.shape}"
+            )
+        self._probs = probs
+        self._targets_onehot = onehot
+        eps = np.finfo(predictions.dtype).tiny
+        return float(-(onehot * np.log(probs + eps)).sum() / n)
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._targets_onehot is None:
+            raise RuntimeError("backward called before forward")
+        n = self._probs.shape[0]
+        return (self._probs - self._targets_onehot) / n
+
+
+class MSE(Loss):
+    """Mean squared error, ``0.5 * mean((pred - target)^2)``.
+
+    The 0.5 factor matches the paper's loss definitions (Eqs. 9-11) so the
+    kernel-optimization gradients line up term for term.
+    """
+
+    def __init__(self):
+        self._diff: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: predictions {predictions.shape} vs targets {targets.shape}"
+            )
+        self._diff = predictions - targets
+        return float(0.5 * np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return self._diff / self._diff.size

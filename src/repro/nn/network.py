@@ -1,0 +1,104 @@
+"""Sequential network container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer, Parameter
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """An ordered stack of layers with joint forward/backward passes.
+
+    This is the source-DNN object handed to the DNN->SNN converter, which
+    walks ``self.layers`` to build the spiking network.
+    """
+
+    def __init__(self, layers: list[Layer], input_shape: tuple[int, ...] | None = None):
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.layers = list(layers)
+        self.input_shape = input_shape
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def params(self) -> list[Parameter]:
+        out: list[Parameter] = []
+        for layer in self.layers:
+            out.extend(layer.params())
+        return out
+
+    def named_params(self) -> dict[str, Parameter]:
+        """Map ``"<layer_index>.<param_name>"`` to parameters (for serialization)."""
+        out: dict[str, Parameter] = {}
+        for idx, layer in enumerate(self.layers):
+            for p in layer.params():
+                out[f"{idx}.{p.name}"] = p
+        return out
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter plus BN running statistics."""
+        state = {name: p.data.copy() for name, p in self.named_params().items()}
+        for idx, layer in enumerate(self.layers):
+            if hasattr(layer, "running_mean"):
+                state[f"{idx}.running_mean"] = layer.running_mean.copy()
+                state[f"{idx}.running_var"] = layer.running_var.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`state_dict`; shapes must match exactly."""
+        named = self.named_params()
+        for name, value in state.items():
+            idx_str, _, attr = name.partition(".")
+            if attr in ("running_mean", "running_var"):
+                layer = self.layers[int(idx_str)]
+                getattr(layer, attr)[...] = value
+            else:
+                if name not in named:
+                    raise KeyError(f"unknown parameter {name!r}")
+                if named[name].data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name!r}: "
+                        f"{named[name].data.shape} vs {value.shape}"
+                    )
+                named[name].data[...] = value
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Inference-mode forward over mini-batches; returns stacked outputs."""
+        outs = [
+            self.forward(x[i : i + batch_size], training=False)
+            for i in range(0, len(x), batch_size)
+        ]
+        return np.concatenate(outs, axis=0)
+
+    def output_shape(self) -> tuple[int, ...]:
+        """Propagate ``input_shape`` through every layer."""
+        if self.input_shape is None:
+            raise ValueError("input_shape was not provided at construction")
+        shape = self.input_shape
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        return shape
+
+    def count_params(self) -> int:
+        return sum(int(np.prod(p.data.shape)) for p in self.params())
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ",\n  ".join(repr(layer) for layer in self.layers)
+        return f"Sequential(\n  {inner}\n)"

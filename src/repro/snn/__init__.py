@@ -1,0 +1,39 @@
+"""Spiking-network simulation substrate: engine, schedules, neurons, monitors."""
+
+from repro.snn.engine import Simulator
+from repro.snn.monitors import (
+    AccuracyCurveMonitor,
+    FirstSpikeMonitor,
+    Monitor,
+    SpikeCountMonitor,
+    SpikeTimeMonitor,
+)
+from repro.snn.neurons import IFNeurons, NeuronDynamics, ReadoutAccumulator
+from repro.snn.results import SimulationResult
+from repro.snn.schedule import (
+    PhasedSchedule,
+    StageWindow,
+    baseline_decision_time,
+    build_phased_schedule,
+    early_firing_decision_time,
+    latency_reduction,
+)
+
+__all__ = [
+    "Simulator",
+    "SimulationResult",
+    "Monitor",
+    "SpikeCountMonitor",
+    "SpikeTimeMonitor",
+    "AccuracyCurveMonitor",
+    "FirstSpikeMonitor",
+    "NeuronDynamics",
+    "IFNeurons",
+    "ReadoutAccumulator",
+    "StageWindow",
+    "PhasedSchedule",
+    "build_phased_schedule",
+    "baseline_decision_time",
+    "early_firing_decision_time",
+    "latency_reduction",
+]

@@ -1,0 +1,165 @@
+"""Clock-driven SNN simulation engine.
+
+The engine is scheme-agnostic: a :class:`~repro.coding.base.CodingScheme`
+binds a :class:`~repro.convert.converter.ConvertedNetwork` into an encoder,
+per-stage neuron dynamics and a readout; the engine advances the global clock,
+routes weighted spike tensors through each stage's linear ops, and bookkeeps
+spike counts and monitors.
+
+Synchronous zero-delay propagation: spikes emitted by stage ``l`` at step
+``t`` arrive at stage ``l+1`` within the same step — consistent with the
+phase pipeline where layer ``l+1`` integrates exactly while layer ``l``
+fires (Fig. 3).
+
+Silent-layer shortcut: an all-zero spike tensor is propagated as ``None`` so
+stages skip their convolution work entirely; neuron state still advances
+(TTFS thresholds decay even without input).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.convert.converter import ConvertedNetwork
+from repro.snn.results import SimulationResult
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Run a converted network under a neural coding scheme.
+
+    Parameters
+    ----------
+    network:
+        The converted (normalized, staged) network.
+    scheme:
+        A :class:`~repro.coding.base.CodingScheme`.
+    steps:
+        Time budget for free-running schemes (rate/phase/burst).  Ignored by
+        phase-scheduled schemes (TTFS), whose binding derives its own length.
+    monitors:
+        Objects implementing the monitor protocol
+        (:mod:`repro.snn.monitors`); observed every step.
+
+    Examples
+    --------
+    >>> # doctest: +SKIP
+    >>> sim = Simulator(net, RateCoding(), steps=200)
+    >>> result = sim.run(x_test, y_test)
+    >>> result.accuracy
+    """
+
+    def __init__(self, network: ConvertedNetwork, scheme, steps: int | None = None, monitors=()):
+        self.network = network
+        self.scheme = scheme
+        self.monitors = list(monitors)
+        self.bound = scheme.bind(network, steps)
+
+    def run(self, x: np.ndarray, y: np.ndarray | None = None) -> SimulationResult:
+        """Simulate a batch ``x`` (optionally scoring against labels ``y``)."""
+        if x.shape[1:] != tuple(self.network.input_shape):
+            raise ValueError(
+                f"input shape {x.shape[1:]} does not match network "
+                f"{self.network.input_shape}"
+            )
+        if y is not None and len(y) != len(x):
+            raise ValueError(f"labels length {len(y)} != batch {len(x)}")
+        bound = self.bound
+        n = len(x)
+
+        bound.encoder.reset(x)
+        for dyn in bound.dynamics:
+            dyn.reset(n)
+        bound.readout.reset(n)
+
+        spiking_stages = [s for s in self.network.stages if s.spiking]
+        readout_stage = self.network.stages[-1]
+        stage_names = [s.name for s in spiking_stages]
+        counts = {name: 0.0 for name in ["input", *stage_names]}
+
+        for monitor in self.monitors:
+            monitor.on_run_start(self, x, y)
+
+        # Constant analog encoders (rate/burst) emit the identical tensor
+        # every step, so the first stage's synaptic drive is computed once.
+        input_drive_cache: np.ndarray | None = None
+
+        for t in range(bound.total_steps):
+            spikes = bound.encoder.step(t)
+            if spikes is not None and not spikes.any():
+                spikes = None
+            if bound.counts_input_spikes and spikes is not None:
+                counts["input"] += float(np.count_nonzero(spikes))
+
+            step_spikes: list[np.ndarray | None] = []
+            for i, (stage, dyn) in enumerate(zip(spiking_stages, bound.dynamics)):
+                if i == 0 and bound.encoder.constant and spikes is not None:
+                    if input_drive_cache is None:
+                        input_drive_cache = stage.apply(spikes)
+                    drive = input_drive_cache
+                else:
+                    drive = stage.apply(spikes) if spikes is not None else None
+                spikes = dyn.step(drive, t)
+                step_spikes.append(spikes)
+                if spikes is not None:
+                    counts[stage.name] += float(np.count_nonzero(spikes))
+
+            current = readout_stage.apply(spikes) if spikes is not None else None
+            bound.readout.accumulate(current, t)
+
+            for monitor in self.monitors:
+                monitor.on_step(t, step_spikes, bound.readout)
+
+        scores = bound.readout.scores().copy()
+        predictions = scores.argmax(axis=1)
+        accuracy = float((predictions == y).mean()) if y is not None else None
+        per_inference = {name: c / n for name, c in counts.items()}
+        result = SimulationResult(
+            scores=scores,
+            predictions=predictions,
+            accuracy=accuracy,
+            spike_counts=per_inference,
+            total_spikes=float(sum(per_inference.values())),
+            steps=bound.total_steps,
+            decision_time=bound.decision_time,
+        )
+        for monitor in self.monitors:
+            monitor.on_run_end(result)
+        return result
+
+    def run_batched(
+        self, x: np.ndarray, y: np.ndarray | None = None, batch_size: int = 64
+    ) -> SimulationResult:
+        """Run :meth:`run` over mini-batches and merge the results.
+
+        Keeps peak memory bounded for large test sets; monitors observe every
+        batch (their accumulators are cumulative).
+        """
+        if len(x) <= batch_size:
+            return self.run(x, y)
+        all_scores = []
+        merged_counts: dict[str, float] = {}
+        total = 0
+        for start in range(0, len(x), batch_size):
+            xb = x[start : start + batch_size]
+            yb = y[start : start + batch_size] if y is not None else None
+            res = self.run(xb, yb)
+            all_scores.append(res.scores)
+            weight = len(xb)
+            total += weight
+            for name, value in res.spike_counts.items():
+                merged_counts[name] = merged_counts.get(name, 0.0) + value * weight
+        scores = np.concatenate(all_scores, axis=0)
+        predictions = scores.argmax(axis=1)
+        accuracy = float((predictions == y).mean()) if y is not None else None
+        per_inference = {name: c / total for name, c in merged_counts.items()}
+        return SimulationResult(
+            scores=scores,
+            predictions=predictions,
+            accuracy=accuracy,
+            spike_counts=per_inference,
+            total_spikes=float(sum(per_inference.values())),
+            steps=self.bound.total_steps,
+            decision_time=self.bound.decision_time,
+        )

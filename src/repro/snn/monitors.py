@@ -1,0 +1,172 @@
+"""Simulation monitors: observe per-step state without touching the engine.
+
+Monitor protocol (duck-typed):
+
+* ``on_run_start(sim, x, y)`` — called once before the clock starts;
+* ``on_step(t, step_spikes, readout)`` — called every step with the list of
+  per-stage weighted spike tensors (``None`` = silent) and the readout;
+* ``on_run_end(result)`` — called with the final
+  :class:`~repro.snn.results.SimulationResult`.
+
+All monitors accumulate across consecutive runs (batched evaluation) until
+:meth:`reset` is called.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Monitor",
+    "SpikeCountMonitor",
+    "SpikeTimeMonitor",
+    "AccuracyCurveMonitor",
+    "FirstSpikeMonitor",
+]
+
+
+class Monitor:
+    """No-op base monitor."""
+
+    def on_run_start(self, sim, x, y) -> None:  # noqa: D102 - protocol
+        pass
+
+    def on_step(self, t, step_spikes, readout) -> None:  # noqa: D102 - protocol
+        pass
+
+    def on_run_end(self, result) -> None:  # noqa: D102 - protocol
+        pass
+
+    def reset(self) -> None:  # noqa: D102 - protocol
+        pass
+
+
+class SpikeCountMonitor(Monitor):
+    """Total spike events per stage index (cumulative across runs)."""
+
+    def __init__(self):
+        self.counts: dict[int, int] = {}
+        self.samples = 0
+
+    def on_run_start(self, sim, x, y) -> None:
+        self.samples += len(x)
+
+    def on_step(self, t, step_spikes, readout) -> None:
+        for i, spikes in enumerate(step_spikes):
+            if spikes is not None:
+                self.counts[i] = self.counts.get(i, 0) + int(np.count_nonzero(spikes))
+
+    def per_inference(self) -> dict[int, float]:
+        """Average events per sample, per stage index."""
+        if self.samples == 0:
+            return {}
+        return {i: c / self.samples for i, c in self.counts.items()}
+
+    def reset(self) -> None:
+        self.counts = {}
+        self.samples = 0
+
+
+class SpikeTimeMonitor(Monitor):
+    """Histogram of spike times per stage — the data behind Fig. 5.
+
+    ``histograms[stage_index][t]`` counts spike events of that stage at
+    global step ``t``.
+    """
+
+    def __init__(self, total_steps: int, num_stages: int):
+        self.histograms = np.zeros((num_stages, total_steps), dtype=np.int64)
+
+    def on_step(self, t, step_spikes, readout) -> None:
+        if t >= self.histograms.shape[1]:
+            return
+        for i, spikes in enumerate(step_spikes):
+            if spikes is not None and i < self.histograms.shape[0]:
+                self.histograms[i, t] += int(np.count_nonzero(spikes))
+
+    def first_spike_time(self, stage_index: int) -> int | None:
+        """Earliest step with any spike for a stage (the orange bar of Fig. 5)."""
+        nz = np.nonzero(self.histograms[stage_index])[0]
+        return int(nz[0]) if len(nz) else None
+
+    def reset(self) -> None:
+        self.histograms[...] = 0
+
+
+class AccuracyCurveMonitor(Monitor):
+    """Accuracy as a function of decision time — the data behind Fig. 6.
+
+    At every step the readout's running potential is argmax-decoded against
+    the labels.  Accumulates correct counts across batched runs.
+    """
+
+    def __init__(self, total_steps: int):
+        self.correct = np.zeros(total_steps, dtype=np.float64)
+        self.samples = 0
+        self._y: np.ndarray | None = None
+
+    def on_run_start(self, sim, x, y) -> None:
+        if y is None:
+            raise ValueError("AccuracyCurveMonitor requires labels")
+        self._y = np.asarray(y)
+        self.samples += len(x)
+
+    def on_step(self, t, step_spikes, readout) -> None:
+        if t >= len(self.correct) or self._y is None:
+            return
+        preds = readout.scores().argmax(axis=1)
+        self.correct[t] += float((preds == self._y).sum())
+
+    def curve(self) -> np.ndarray:
+        """Accuracy in [0, 1] at each time step."""
+        if self.samples == 0:
+            return np.zeros_like(self.correct)
+        return self.correct / self.samples
+
+    def latency_to_plateau(self, tolerance: float = 0.005) -> int:
+        """First step whose accuracy is within ``tolerance`` of the final value.
+
+        This is how the harness extracts a single "latency" number from an
+        inference curve when comparing schemes (Table II's latency column).
+        """
+        acc = self.curve()
+        final = acc[-1]
+        reached = np.nonzero(acc >= final - tolerance)[0]
+        return int(reached[0]) + 1 if len(reached) else len(acc)
+
+    def reset(self) -> None:
+        self.correct[...] = 0
+        self.samples = 0
+        self._y = None
+
+
+class FirstSpikeMonitor(Monitor):
+    """Record each neuron's first spike time for one stage (TTFS analysis).
+
+    ``times`` holds the first spike step per (sample, neuron...) or -1 for
+    neurons that never fired; only tracks the most recent run.
+    """
+
+    def __init__(self, stage_index: int):
+        self.stage_index = stage_index
+        self.times: np.ndarray | None = None
+
+    def on_run_start(self, sim, x, y) -> None:
+        self.times = None
+
+    def on_step(self, t, step_spikes, readout) -> None:
+        if self.stage_index >= len(step_spikes):
+            return
+        spikes = step_spikes[self.stage_index]
+        if spikes is None:
+            return
+        if self.times is None:
+            self.times = -np.ones(spikes.shape, dtype=np.int64)
+        newly = (spikes != 0) & (self.times < 0)
+        self.times[newly] = t
+
+    def spike_fraction(self) -> float:
+        """Fraction of neurons that fired at least once."""
+        if self.times is None:
+            return 0.0
+        return float((self.times >= 0).mean())

@@ -1,0 +1,124 @@
+"""Neuron dynamics (per-stage state machines).
+
+Each class advances one spiking stage's neuron population by one global time
+step: integrate the incoming synaptic drive, apply the scheme's firing rule,
+and return the *weighted* outgoing spike tensor (zeros where silent).  The
+number of spike events at a step is the number of nonzero entries.
+
+The drive may be ``None`` as a cheap encoding of an all-zero input (lets the
+engine skip convolution work for silent layers while neurons still evolve —
+e.g. TTFS thresholds keep decaying with no input).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NeuronDynamics", "IFNeurons", "ReadoutAccumulator"]
+
+
+class NeuronDynamics:
+    """Base class for per-stage neuron populations.
+
+    Subclasses implement :meth:`step`.  ``shape`` is the population shape
+    without batch; ``bias`` (or ``None``) is broadcast-ready for
+    ``(batch, *shape)``.
+    """
+
+    def __init__(self, shape: tuple[int, ...], bias):
+        self.shape = tuple(shape)
+        self.bias = bias  # broadcastable array or 0.0
+        self.u: np.ndarray | None = None
+
+    def reset(self, batch_size: int) -> None:
+        """Zero all state for a fresh inference over ``batch_size`` samples."""
+        self.u = np.zeros((batch_size,) + self.shape, dtype=np.float64)
+
+    def step(self, drive: np.ndarray | None, t: int) -> np.ndarray | None:
+        """Advance one step; return weighted spikes (or ``None`` for silence)."""
+        raise NotImplementedError
+
+    def _require_state(self) -> np.ndarray:
+        if self.u is None:
+            raise RuntimeError("reset() must be called before step()")
+        return self.u
+
+
+class IFNeurons(NeuronDynamics):
+    """Integrate-and-fire with reset by subtraction — rate coding's neuron.
+
+    Reset by subtraction (rather than to zero) preserves the sub-threshold
+    remainder, which is what makes rate-coded conversion asymptotically exact
+    [Rueckauer 2017].  The bias is injected every step, mirroring the constant
+    bias current of the conversion literature.
+    """
+
+    def __init__(self, shape: tuple[int, ...], bias, threshold: float = 1.0):
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        super().__init__(shape, bias)
+        self.threshold = threshold
+
+    def step(self, drive: np.ndarray | None, t: int) -> np.ndarray | None:
+        u = self._require_state()
+        if drive is not None:
+            u += drive
+        if not np.isscalar(self.bias) or self.bias != 0.0:
+            u += self.bias
+        fired = u >= self.threshold
+        if not fired.any():
+            return None
+        spikes = fired.astype(np.float64)
+        u -= spikes * self.threshold
+        return spikes
+
+
+class ReadoutAccumulator:
+    """Non-spiking classifier stage: the membrane potential *is* the score.
+
+    ``bias_policy`` controls bias injection:
+
+    * ``"per_step"`` — every step (rate/burst; logits scale with elapsed time);
+    * ``"per_period"`` — amortized as ``bias/period`` per step (phase coding);
+    * ``"once_at"`` — a single injection at ``bias_time`` (TTFS: the decoded
+      potential directly reconstructs the DNN logits).
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, ...],
+        bias,
+        bias_policy: str = "per_step",
+        period: int = 1,
+        bias_time: int = 0,
+    ):
+        if bias_policy not in ("per_step", "per_period", "once_at"):
+            raise ValueError(f"unknown bias policy {bias_policy!r}")
+        self.shape = tuple(shape)
+        self.bias = bias
+        self.bias_policy = bias_policy
+        self.period = max(1, period)
+        self.bias_time = bias_time
+        self.potential: np.ndarray | None = None
+
+    def reset(self, batch_size: int) -> None:
+        self.potential = np.zeros((batch_size,) + self.shape, dtype=np.float64)
+
+    def accumulate(self, current: np.ndarray | None, t: int) -> None:
+        if self.potential is None:
+            raise RuntimeError("reset() must be called before accumulate()")
+        if current is not None:
+            self.potential += current
+        if np.isscalar(self.bias) and self.bias == 0.0:
+            return
+        if self.bias_policy == "per_step":
+            self.potential += self.bias
+        elif self.bias_policy == "per_period":
+            self.potential += self.bias / self.period
+        elif t == self.bias_time:
+            self.potential += self.bias
+
+    def scores(self) -> np.ndarray:
+        if self.potential is None:
+            raise RuntimeError("reset() must be called before scores()")
+        return self.potential

@@ -1,0 +1,49 @@
+"""Result containers for SNN simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one :class:`~repro.snn.engine.Simulator` run.
+
+    Attributes
+    ----------
+    scores:
+        Readout potentials at decision time, shape ``(N, classes)``.
+    predictions:
+        ``argmax`` of ``scores``.
+    accuracy:
+        Top-1 accuracy when labels were supplied, else ``None``.
+    spike_counts:
+        Average spike events **per inference** (i.e. totals divided by batch
+        size), keyed by stage name; ``"input"`` covers encoder spikes.
+    total_spikes:
+        Sum of ``spike_counts`` values — the paper's "number of spikes".
+    steps:
+        Steps actually simulated.
+    decision_time:
+        The scheme's decision latency in time steps (the paper's "latency").
+    """
+
+    scores: np.ndarray
+    predictions: np.ndarray
+    accuracy: float | None
+    spike_counts: dict[str, float] = field(default_factory=dict)
+    total_spikes: float = 0.0
+    steps: int = 0
+    decision_time: int = 0
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        acc = f"{self.accuracy * 100:.2f}%" if self.accuracy is not None else "n/a"
+        return (
+            f"accuracy={acc} latency={self.decision_time} steps "
+            f"spikes/inference={self.total_spikes:.1f}"
+        )

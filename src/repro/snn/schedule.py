@@ -1,0 +1,172 @@
+"""Layer-phase scheduling: the integration/fire pipeline of Fig. 3.
+
+T2FSNN runs each layer through an *integration phase* (decode incoming spike
+times into membrane potential) followed by a *fire phase* (encode potential
+into one spike time).  Phases of consecutive layers overlap: layer ``l+1``
+integrates exactly while layer ``l`` fires.
+
+The fire phase of a layer starts ``fire_offset`` steps after its integration
+begins:
+
+* baseline (Fig. 3a): ``fire_offset = T`` — integration fully completes
+  before firing ("guaranteed integration");
+* early firing (Fig. 3b): ``fire_offset = T/2`` (the paper's empirical
+  choice) — phases overlap, trading guaranteed integration for latency.
+
+Derived decision times (verified against Table I in ``tests/``):
+
+* baseline: ``L * T`` — VGG-16 at T=80 gives 1280;
+* early firing: ``(L-1) * offset + T`` — VGG-16 at T=80, offset 40 gives 680,
+  the paper's 46.9% latency reduction.
+
+where ``L`` is the number of weight layers (the final classifier only
+integrates; its decision is read at the end of its integration window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "StageWindow",
+    "PhasedSchedule",
+    "build_phased_schedule",
+    "baseline_decision_time",
+    "early_firing_decision_time",
+    "latency_reduction",
+]
+
+
+@dataclass(frozen=True)
+class StageWindow:
+    """Phase boundaries of one spiking stage (global time steps).
+
+    ``integration_start <= fire_start < fire_end = fire_start + T``.
+    Integration effectively lasts until the previous layer stops firing;
+    spikes arriving after a neuron has fired are lost (the paper's
+    "non-guaranteed integration" under early firing).
+    """
+
+    integration_start: int
+    fire_start: int
+    fire_end: int
+
+    def in_fire_phase(self, t: int) -> bool:
+        return self.fire_start <= t < self.fire_end
+
+    @property
+    def fire_window(self) -> int:
+        return self.fire_end - self.fire_start
+
+
+@dataclass(frozen=True)
+class PhasedSchedule:
+    """Complete pipeline schedule for a converted network.
+
+    Attributes
+    ----------
+    windows:
+        One :class:`StageWindow` per *spiking* stage, in depth order.  The
+        input encoder fires during ``[0, window)`` and is not listed.
+    decision_time:
+        Global step at which the readout potential is taken as the decision
+        (= end of the classifier's integration window).
+    window:
+        The per-layer time window T.
+    fire_offset:
+        Steps between a stage's integration start and its fire start.
+    """
+
+    windows: tuple[StageWindow, ...]
+    decision_time: int
+    window: int
+    fire_offset: int
+    early_firing: bool
+
+    @property
+    def total_steps(self) -> int:
+        return self.decision_time
+
+
+def build_phased_schedule(
+    num_spiking_stages: int,
+    window: int,
+    early_firing: bool = False,
+    fire_offset: int | None = None,
+) -> PhasedSchedule:
+    """Construct the pipeline schedule.
+
+    Parameters
+    ----------
+    num_spiking_stages:
+        Number of stages with firing neurons — for a network of ``L`` weight
+        layers this is ``L - 1`` (the classifier stage only integrates).
+    window:
+        Time window T of each phase.
+    early_firing:
+        Enable the paper's early-firing pipeline.
+    fire_offset:
+        Explicit fire-phase start offset; defaults to ``T`` (baseline) or
+        ``T // 2`` (early firing, the paper's setting).  Must satisfy
+        ``1 <= fire_offset <= T``.
+    """
+    if num_spiking_stages < 1:
+        raise ValueError(f"need at least one spiking stage, got {num_spiking_stages}")
+    if window < 2:
+        raise ValueError(f"window must be >= 2, got {window}")
+    if fire_offset is None:
+        fire_offset = window // 2 if early_firing else window
+    if not (1 <= fire_offset <= window):
+        raise ValueError(
+            f"fire_offset must lie in [1, window={window}], got {fire_offset}"
+        )
+    if not early_firing and fire_offset != window:
+        raise ValueError("baseline schedule requires fire_offset == window")
+
+    windows = []
+    integration_start = 0  # stage 0 integrates the input encoder's window
+    for _ in range(num_spiking_stages):
+        fire_start = integration_start + fire_offset
+        windows.append(
+            StageWindow(
+                integration_start=integration_start,
+                fire_start=fire_start,
+                fire_end=fire_start + window,
+            )
+        )
+        integration_start = fire_start
+    decision_time = windows[-1].fire_start + window
+    return PhasedSchedule(
+        windows=tuple(windows),
+        decision_time=decision_time,
+        window=window,
+        fire_offset=fire_offset,
+        early_firing=early_firing,
+    )
+
+
+def baseline_decision_time(num_weight_layers: int, window: int) -> int:
+    """Closed form of the baseline decision time: ``L * T`` (DESIGN.md §5)."""
+    if num_weight_layers < 2:
+        raise ValueError("latency model needs at least 2 weight layers")
+    return num_weight_layers * window
+
+
+def early_firing_decision_time(
+    num_weight_layers: int, window: int, fire_offset: int | None = None
+) -> int:
+    """Closed form with early firing: ``(L-1) * offset + T``."""
+    if num_weight_layers < 2:
+        raise ValueError("latency model needs at least 2 weight layers")
+    if fire_offset is None:
+        fire_offset = window // 2
+    return (num_weight_layers - 1) * fire_offset + window
+
+
+def latency_reduction(
+    num_weight_layers: int, window: int, fire_offset: int | None = None
+) -> float:
+    """Fractional latency saved by early firing (0.469 for VGG-16, T=80)."""
+    base = baseline_decision_time(num_weight_layers, window)
+    ef = early_firing_decision_time(num_weight_layers, window, fire_offset)
+    return 1.0 - ef / base

@@ -1,0 +1,18 @@
+"""Shared utilities: seeding, validation, lookup tables and serialization."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "check_fraction",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+]

@@ -1,0 +1,63 @@
+"""Lookup-table approximation of scalar functions.
+
+The paper's Discussion section (Table III) notes that the exponential kernels
+of T2FSNN — like the non-linear weighting functions of phase and burst coding
+— can be replaced by a lookup table because their inputs live on a small
+discrete domain (the integer time offsets of a fire phase).  :class:`LookupTable`
+captures exactly that: a function tabulated on ``0..size-1`` with O(1)
+evaluation and no transcendental ops at inference time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = ["LookupTable"]
+
+
+class LookupTable:
+    """Tabulate ``fn`` on the integer domain ``[0, size)``.
+
+    Parameters
+    ----------
+    fn:
+        Scalar (vectorised) function of a float array.
+    size:
+        Number of table entries; indices outside ``[0, size)`` are clamped.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> lut = LookupTable(lambda t: np.exp(-t / 4.0), size=8)
+    >>> float(lut(np.array([0])))
+    1.0
+    """
+
+    def __init__(self, fn: Callable[[np.ndarray], np.ndarray], size: int):
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self.size = int(size)
+        self.table = np.asarray(fn(np.arange(self.size, dtype=np.float64)), dtype=np.float64)
+        if self.table.shape != (self.size,):
+            raise ValueError(
+                f"fn must map an array of shape ({self.size},) to the same shape, "
+                f"got {self.table.shape}"
+            )
+
+    def __call__(self, indices: np.ndarray) -> np.ndarray:
+        """Evaluate the table at (clamped, floored) ``indices``."""
+        idx = np.clip(np.asarray(indices, dtype=np.int64), 0, self.size - 1)
+        return self.table[idx]
+
+    def max_abs_error(self, fn: Callable[[np.ndarray], np.ndarray]) -> float:
+        """Worst-case absolute error of the table against ``fn`` on its domain."""
+        exact = np.asarray(fn(np.arange(self.size, dtype=np.float64)))
+        return float(np.max(np.abs(exact - self.table)))
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LookupTable(size={self.size})"

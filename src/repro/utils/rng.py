@@ -1,0 +1,43 @@
+"""Random-number-generator plumbing.
+
+All stochastic code in this library accepts either an integer seed or a
+``numpy.random.Generator`` and converts it through :func:`as_generator`, so
+every experiment is reproducible end to end from a single integer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_generators"]
+
+
+def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh OS entropy), an ``int`` seed, or an existing
+        ``Generator`` (returned unchanged, so generator state is shared with
+        the caller).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Split ``seed`` into ``n`` independent child generators.
+
+    Uses ``SeedSequence.spawn`` semantics so children are statistically
+    independent regardless of how many are drawn.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    root = as_generator(seed)
+    return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(n)] if hasattr(
+        root.bit_generator, "seed_seq"
+    ) and root.bit_generator.seed_seq is not None else [
+        np.random.default_rng(root.integers(0, 2**63 - 1)) for _ in range(n)
+    ]

@@ -1,0 +1,42 @@
+"""Save/load trained network parameters as ``.npz`` archives.
+
+The experiment harness trains source DNNs once and caches their weights so
+benchmarks for different tables can share them.  The format is deliberately
+dumb: a flat ``dict`` of arrays keyed ``"<layer_index>.<param_name>"`` plus a
+``__meta__`` JSON string for architecture bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save_params", "load_params"]
+
+
+def save_params(path: str | Path, params: dict[str, np.ndarray], meta: dict | None = None) -> None:
+    """Write ``params`` (+ optional JSON-serialisable ``meta``) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(params)
+    if meta is not None:
+        payload["__meta__"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **payload)
+
+
+def load_params(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Read a parameter archive written by :func:`save_params`.
+
+    Returns
+    -------
+    (params, meta):
+        ``params`` maps names to arrays; ``meta`` is ``{}`` when absent.
+    """
+    with np.load(Path(path)) as archive:
+        params = {k: archive[k] for k in archive.files if k != "__meta__"}
+        meta: dict = {}
+        if "__meta__" in archive.files:
+            meta = json.loads(archive["__meta__"].tobytes().decode("utf-8"))
+    return params, meta

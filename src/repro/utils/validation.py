@@ -1,0 +1,52 @@
+"""Small argument-validation helpers used across the library.
+
+These raise ``ValueError``/``TypeError`` with the offending name embedded so
+call sites stay one-liners and error messages stay uniform.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "check_fraction",
+    "check_in",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value`` to be a finite number > 0."""
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return value
+
+
+def check_positive_int(name: str, value: int) -> int:
+    """Require ``value`` to be an integer >= 1."""
+    if not isinstance(value, (int,)) or isinstance(value, bool) or value < 1:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``value`` in the closed interval [0, 1]."""
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Require ``value`` in the half-open interval (0, 1]."""
+    if not (0.0 < value <= 1.0):
+        raise ValueError(f"{name} must lie in (0, 1], got {value!r}")
+    return value
+
+
+def check_in(name: str, value: object, allowed: tuple) -> object:
+    """Require ``value`` to be one of ``allowed``."""
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed}, got {value!r}")
+    return value

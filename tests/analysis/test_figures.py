@@ -1,0 +1,69 @@
+"""ASCII figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import ascii_curves, ascii_histogram
+
+
+class TestAsciiCurves:
+    def test_renders_marks(self):
+        text = ascii_curves({"a": np.linspace(0, 1, 10)})
+        assert "o" in text
+        assert "legend: o=a" in text
+
+    def test_multiple_series_marks(self):
+        text = ascii_curves({"a": np.zeros(5), "b": np.ones(5)})
+        assert "o" in text and "x" in text
+
+    def test_title_included(self):
+        text = ascii_curves({"a": np.arange(5.0)}, title="Fig 6")
+        assert text.splitlines()[0] == "Fig 6"
+
+    def test_log_scale(self):
+        text = ascii_curves({"a": np.array([1e-4, 1e-2, 1.0])}, logy=True)
+        assert "log10" in text
+
+    def test_constant_series_ok(self):
+        text = ascii_curves({"a": np.full(5, 3.0)})
+        assert "o" in text
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="lengths"):
+            ascii_curves({"a": np.zeros(3), "b": np.zeros(4)})
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            ascii_curves({"a": np.zeros(1)})
+
+    def test_custom_x(self):
+        text = ascii_curves({"a": np.arange(4.0)}, x=np.array([0, 10, 20, 30.0]))
+        assert "30" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_curves({})
+
+
+class TestAsciiHistogram:
+    def test_bars_scale(self):
+        text = ascii_histogram(np.array([1.0, 2.0, 4.0]), width=8)
+        lines = text.splitlines()
+        assert lines[-1].count("#") == 8
+        assert lines[0].count("#") == 2
+
+    def test_labels(self):
+        text = ascii_histogram(np.array([1.0]), bin_labels=["conv2-1"])
+        assert "conv2-1" in text
+
+    def test_zero_counts_ok(self):
+        text = ascii_histogram(np.zeros(3))
+        assert "#" not in text
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ascii_histogram(np.array([-1.0]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            ascii_histogram(np.zeros((2, 2)))

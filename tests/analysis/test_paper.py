@@ -1,0 +1,117 @@
+"""Internal consistency of the transcribed paper values.
+
+These cross-checks catch transcription typos and simultaneously verify that
+our analytic models (latency, energy, op counts) explain the published
+numbers — strong evidence the reproduction implements the right formulas.
+"""
+
+import pytest
+
+from repro.analysis.paper import (
+    PAPER_FIG4_SETTINGS,
+    PAPER_LATENCY,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+)
+from repro.snn.schedule import baseline_decision_time, early_firing_decision_time
+
+
+class TestLatencyConsistency:
+    def test_table1_baseline_matches_model(self):
+        assert PAPER_TABLE1["T2FSNN"]["latency"] == baseline_decision_time(
+            PAPER_LATENCY["num_weight_layers"], PAPER_LATENCY["window"]
+        )
+
+    def test_table1_ef_matches_model(self):
+        assert PAPER_TABLE1["T2FSNN+EF"]["latency"] == early_firing_decision_time(
+            PAPER_LATENCY["num_weight_layers"], PAPER_LATENCY["window"]
+        )
+
+    def test_table2_ttfs_latency_matches_table1(self):
+        assert PAPER_TABLE2["cifar10"]["ttfs"]["latency"] == (
+            PAPER_TABLE1["T2FSNN+GO+EF"]["latency"]
+        )
+
+    def test_go_does_not_change_latency(self):
+        assert PAPER_TABLE1["T2FSNN+GO"]["latency"] == PAPER_TABLE1["T2FSNN"]["latency"]
+
+
+class TestTable1Claims:
+    def test_ef_reduction_is_46_9(self):
+        base = PAPER_TABLE1["T2FSNN"]["latency"]
+        ef = PAPER_TABLE1["T2FSNN+EF"]["latency"]
+        assert 1 - ef / base == pytest.approx(PAPER_LATENCY["reduction"], abs=0.001)
+
+    def test_go_reduces_spikes(self):
+        for ds in ("cifar10", "cifar100"):
+            assert (
+                PAPER_TABLE1["T2FSNN+GO"][f"{ds}_spikes"]
+                < PAPER_TABLE1["T2FSNN"][f"{ds}_spikes"]
+            )
+
+    def test_full_method_best_accuracy(self):
+        for ds in ("cifar10", "cifar100"):
+            best = max(v[f"{ds}_acc"] for v in PAPER_TABLE1.values())
+            assert PAPER_TABLE1["T2FSNN+GO+EF"][f"{ds}_acc"] == best
+
+    def test_cifar100_ef_accuracy_gain(self):
+        """The paper's +2.05% EF accuracy gain on CIFAR-100."""
+        gain = (
+            PAPER_TABLE1["T2FSNN+EF"]["cifar100_acc"]
+            - PAPER_TABLE1["T2FSNN"]["cifar100_acc"]
+        )
+        assert gain == pytest.approx(2.05, abs=0.01)
+
+
+class TestTable2Claims:
+    def test_ttfs_best_accuracy_everywhere(self):
+        for ds, block in PAPER_TABLE2.items():
+            best = max(row["acc"] for row in block.values())
+            assert block["ttfs"]["acc"] == best, ds
+
+    def test_ttfs_fewest_spikes_everywhere(self):
+        for ds, block in PAPER_TABLE2.items():
+            fewest = min(row["spikes"] for row in block.values())
+            assert block["ttfs"]["spikes"] == fewest, ds
+
+    def test_cifar100_spikes_below_1pct_of_burst(self):
+        block = PAPER_TABLE2["cifar100"]
+        assert block["ttfs"]["spikes"] < 0.01 * block["burst"]["spikes"]
+
+    def test_cifar100_latency_22pct_of_burst(self):
+        block = PAPER_TABLE2["cifar100"]
+        assert block["ttfs"]["latency"] / block["burst"]["latency"] == pytest.approx(
+            0.22, abs=0.005
+        )
+
+    def test_phase_spike_inversion_on_cifar100(self):
+        """Phase coding's pathological spike count on the hard task."""
+        block = PAPER_TABLE2["cifar100"]
+        assert block["phase"]["spikes"] > block["rate"]["spikes"]
+
+
+class TestTable3Claims:
+    def test_spiking_rows_equal_table2_spikes(self):
+        for scheme in ("rate", "phase", "burst", "ttfs"):
+            spikes_m = PAPER_TABLE2["cifar100"][scheme]["spikes"] / 1e6
+            key = scheme
+            assert PAPER_TABLE3[key]["add"] == pytest.approx(spikes_m, rel=1e-6)
+
+    def test_rate_has_no_multiplies(self):
+        assert PAPER_TABLE3["rate"]["mult"] == 0.0
+
+    def test_t2fsnn_orders_of_magnitude_cheaper(self):
+        assert PAPER_TABLE3["ttfs"]["add"] < 0.01 * PAPER_TABLE3["burst"]["add"]
+
+    def test_tdsnn_add_dominated_by_ticking(self):
+        assert PAPER_TABLE3["tdsnn"]["add"] > 10 * PAPER_TABLE3["tdsnn"]["mult"] * 0.9
+
+
+class TestFig4Settings:
+    def test_window(self):
+        assert PAPER_FIG4_SETTINGS["window"] == 20
+
+    def test_taus(self):
+        assert PAPER_FIG4_SETTINGS["tau_small"] == 2.0
+        assert PAPER_FIG4_SETTINGS["tau_large"] == 18.0

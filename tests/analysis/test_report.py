@@ -1,0 +1,78 @@
+"""Report assembly (string-level tests; heavy pipelines are mocked out by
+using the cached micro system from test_experiments)."""
+
+import pytest
+
+from repro.analysis.report import Report, ReportSection, build_report, generate_report
+from repro.analysis.experiments import prepare_system
+
+from tests.analysis.test_experiments import MICRO
+
+
+class TestReportPrimitives:
+    def test_section_render(self):
+        text = ReportSection("Title", "body").render()
+        assert text.startswith("## Title")
+        assert "body" in text
+
+    def test_report_render_order(self):
+        report = Report(title="T")
+        report.add("A", "1")
+        report.add("B", "2")
+        text = report.render()
+        assert text.index("## A") < text.index("## B")
+        assert text.startswith("# T")
+
+
+class TestBuildReport:
+    @pytest.fixture(scope="class")
+    def micro_report(self):
+        # Reuses the in-process cache if test_experiments ran first.
+        prepare_system(MICRO)
+        import repro.analysis.report as report_mod
+        import repro.analysis.experiments as exp_mod
+
+        original = exp_mod.get_config
+        try:
+            exp_mod.get_config = lambda dataset, scale=None: MICRO
+            report_mod.get_config = exp_mod.get_config
+            yield report_mod.build_report(["mnist"])
+        finally:
+            exp_mod.get_config = original
+            report_mod.get_config = original
+
+    def test_contains_system_section(self, micro_report):
+        titles = [s.title for s in micro_report.sections]
+        assert any("System" in t for t in titles)
+
+    def test_contains_table2_block(self, micro_report):
+        text = micro_report.render()
+        assert "Table II block" in text
+        assert "T2FSNN+GO+EF" in text
+
+    def test_paper_numbers_included(self, micro_report):
+        text = micro_report.render()
+        assert "99.33" in text or "99.330" in text  # paper MNIST TTFS accuracy
+
+    def test_empty_datasets_rejected(self):
+        with pytest.raises(ValueError):
+            build_report([])
+
+
+class TestGenerateReport:
+    def test_writes_file(self, tmp_path):
+        import repro.analysis.report as report_mod
+        import repro.analysis.experiments as exp_mod
+
+        prepare_system(MICRO)
+        original = exp_mod.get_config
+        try:
+            exp_mod.get_config = lambda dataset, scale=None: MICRO
+            report_mod.get_config = exp_mod.get_config
+            out = tmp_path / "report.md"
+            text = report_mod.generate_report(["mnist"], out_path=str(out))
+            assert out.read_text() == text
+            assert text.startswith("# T2FSNN reproduction report")
+        finally:
+            exp_mod.get_config = original
+            report_mod.get_config = original

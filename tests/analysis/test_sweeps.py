@@ -1,0 +1,80 @@
+"""Sweep utilities on the micro system."""
+
+import pytest
+
+from repro.analysis.experiments import prepare_system
+from repro.analysis.sweeps import (
+    as_rows,
+    sweep_fire_offset,
+    sweep_tau,
+    sweep_window,
+)
+
+from tests.analysis.test_experiments import MICRO
+
+
+@pytest.fixture(scope="module")
+def micro_system():
+    return prepare_system(MICRO)
+
+
+class TestSweepWindow:
+    def test_latency_scales_linearly(self, micro_system):
+        points = sweep_window(micro_system, [8, 16])
+        layers = micro_system.network.num_weight_layers
+        assert points[0].latency == layers * 8
+        assert points[1].latency == layers * 16
+
+    def test_bigger_window_not_less_accurate(self, micro_system):
+        points = sweep_window(micro_system, [4, 24])
+        assert points[1].accuracy >= points[0].accuracy - 0.05
+
+    def test_empty_rejected(self, micro_system):
+        with pytest.raises(ValueError):
+            sweep_window(micro_system, [])
+
+
+class TestSweepFireOffset:
+    def test_full_offset_is_baseline(self, micro_system):
+        window = micro_system.config.window
+        points = sweep_fire_offset(micro_system, [window])
+        layers = micro_system.network.num_weight_layers
+        assert points[0].latency == layers * window
+
+    def test_latency_linear_in_offset(self, micro_system):
+        window = micro_system.config.window
+        offsets = [window // 2, window]
+        points = sweep_fire_offset(micro_system, offsets)
+        layers = micro_system.network.num_weight_layers
+        for point, offset in zip(points, offsets):
+            assert point.latency == (layers - 1) * offset + window
+
+    def test_empty_rejected(self, micro_system):
+        with pytest.raises(ValueError):
+            sweep_fire_offset(micro_system, [])
+
+
+class TestSweepTau:
+    def test_points_labelled(self, micro_system):
+        points = sweep_tau(micro_system, [2.0, 3.0])
+        assert [p.value for p in points] == [2.0, 3.0]
+        assert all(p.parameter == "tau" for p in points)
+
+    def test_huge_tau_drops_spikes(self, micro_system):
+        """Large tau cannot represent small values -> fewer spikes emitted."""
+        window = micro_system.config.window
+        points = sweep_tau(micro_system, [window / 5.0, window / 1.5])
+        assert points[1].spikes <= points[0].spikes
+
+    def test_empty_rejected(self, micro_system):
+        with pytest.raises(ValueError):
+            sweep_tau(micro_system, [])
+
+
+class TestAsRows:
+    def test_row_shape(self, micro_system):
+        points = sweep_window(micro_system, [8])
+        rows = as_rows(points)
+        assert len(rows) == 1
+        assert len(rows[0]) == 4
+        assert rows[0][0] == 8

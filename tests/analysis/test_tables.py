@@ -1,0 +1,57 @@
+"""Table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_value, render_table
+
+
+class TestFormatValue:
+    def test_none(self):
+        assert format_value(None) == "-"
+
+    def test_int_thousands(self):
+        assert format_value(1280) == "1,280"
+
+    def test_float_plain(self):
+        assert format_value(91.43, precision=2) == "91.43"
+
+    def test_float_scientific_large(self):
+        assert "e" in format_value(8.626e4 * 10)
+
+    def test_float_scientific_small(self):
+        assert "e" in format_value(2.5e-5)
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_string_passthrough(self):
+        assert format_value("rate") == "rate"
+
+
+class TestRenderTable:
+    def test_header_and_rows(self):
+        text = render_table(["name", "acc"], [["rate", 91.14], ["ttfs", 91.43]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "ttfs" in lines[-1]
+
+    def test_alignment(self):
+        text = render_table(["a", "bbbb"], [[1, 2]])
+        header, sep, row = text.splitlines()
+        assert len(header) == len(sep) == len(row)
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="Table I")
+        assert text.splitlines()[0] == "Table I"
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError, match="row width"):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text

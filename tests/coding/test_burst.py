@@ -1,0 +1,90 @@
+"""Burst coding: geometric burst weights and value transmission."""
+
+import numpy as np
+import pytest
+
+from repro.coding.burst import BurstCoding, BurstIFNeurons
+
+
+class TestBurstNeurons:
+    def test_burst_grows_geometrically(self):
+        n = BurstIFNeurons((1,), bias=0.0, gamma=2.0, max_burst=5)
+        n.reset(1)
+        n.u[...] = 7.0  # will emit 1, 2, 4 on consecutive steps
+        weights = []
+        for t in range(3):
+            s = n.step(None, t)
+            weights.append(float(s[0, 0]))
+        assert weights == [1.0, 2.0, 4.0]
+
+    def test_burst_resets_when_unsustainable(self):
+        n = BurstIFNeurons((1,), bias=0.0, gamma=2.0)
+        n.reset(1)
+        n.u[...] = 4.0
+        assert float(n.step(None, 0)[0, 0]) == 1.0  # u -> 3
+        assert float(n.step(None, 1)[0, 0]) == 2.0  # u -> 1
+        # Cannot afford 4; restarts at weight 1.
+        assert float(n.step(None, 2)[0, 0]) == 1.0  # u -> 0
+        assert n.step(None, 3) is None
+
+    def test_counter_resets_on_silence(self):
+        n = BurstIFNeurons((1,), bias=0.0)
+        n.reset(1)
+        n.u[...] = 1.0
+        n.step(None, 0)
+        assert n.step(None, 1) is None
+        assert n._k[0, 0] == 0
+
+    def test_transmits_large_value_fast(self):
+        """Burst delivers value V in O(log V) steps; rate needs O(V)."""
+        n = BurstIFNeurons((1,), bias=0.0, gamma=2.0, max_burst=10)
+        n.reset(1)
+        n.u[...] = 63.0  # 1+2+4+8+16+32
+        sent = 0.0
+        steps = 0
+        while n.u[0, 0] > 0.5 and steps < 20:
+            s = n.step(None, steps)
+            if s is not None:
+                sent += float(s.sum())
+            steps += 1
+        assert sent == pytest.approx(63.0)
+        assert steps <= 7
+
+    def test_max_burst_caps_weight(self):
+        n = BurstIFNeurons((1,), bias=0.0, gamma=2.0, max_burst=2)
+        n.reset(1)
+        n.u[...] = 100.0
+        weights = [float(n.step(None, t)[0, 0]) for t in range(5)]
+        assert max(weights) == 4.0  # gamma^max_burst
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            BurstIFNeurons((1,), bias=0.0, gamma=1.0)
+
+    def test_rejects_bad_max_burst(self):
+        with pytest.raises(ValueError):
+            BurstIFNeurons((1,), bias=0.0, max_burst=0)
+
+
+class TestBurstCodingBinding:
+    def test_bind_structure(self, tiny_network):
+        bound = BurstCoding(default_steps=48).bind(tiny_network)
+        assert len(bound.dynamics) == 2
+        assert bound.counts_input_spikes is False
+
+    def test_accuracy_reasonable(self, tiny_network, tiny_data):
+        from repro.snn.engine import Simulator
+
+        x, y = tiny_data[2][:40], tiny_data[3][:40]
+        result = Simulator(tiny_network, BurstCoding(), steps=64).run(x, y)
+        analog_acc = float((tiny_network.predict_analog(x) == y).mean())
+        assert result.accuracy >= analog_acc - 0.15
+
+    def test_fewer_spikes_than_rate(self, tiny_network, tiny_data):
+        from repro.coding.rate import RateCoding
+        from repro.snn.engine import Simulator
+
+        x = tiny_data[2][:20]
+        burst = Simulator(tiny_network, BurstCoding(), steps=64).run(x)
+        rate = Simulator(tiny_network, RateCoding(), steps=64).run(x)
+        assert burst.total_spikes < rate.total_spikes

@@ -1,0 +1,107 @@
+"""Value-conservation properties of the coding neurons (hypothesis).
+
+Every IF-style scheme must conserve value: whatever entered the membrane is
+either emitted as (weighted) spikes or still held as residual potential.
+These invariants catch sign errors and double-counting in the neuron
+updates.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.burst import BurstIFNeurons
+from repro.coding.phase import PhaseIFNeurons
+from repro.snn.neurons import IFNeurons
+
+drives = st.lists(
+    st.floats(0.0, 2.0, allow_nan=False), min_size=1, max_size=30
+)
+
+
+def run_neuron(neuron, drive_values):
+    neuron.reset(1)
+    emitted = 0.0
+    for t, d in enumerate(drive_values):
+        s = neuron.step(np.array([[d]]), t)
+        if s is not None:
+            emitted += float(s.sum())
+    return emitted, float(neuron.u[0, 0])
+
+
+class TestRateConservation:
+    @settings(max_examples=40, deadline=None)
+    @given(drive_values=drives)
+    def test_value_conserved(self, drive_values):
+        neuron = IFNeurons((1,), bias=0.0, threshold=1.0)
+        emitted, residual = run_neuron(neuron, drive_values)
+        total_in = sum(drive_values)
+        assert emitted + residual == np.float64(total_in) or abs(
+            emitted + residual - total_in
+        ) < 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(drive_values=drives)
+    def test_residual_drains_below_threshold(self, drive_values):
+        """An IF neuron fires at most once per step, so a large final drive
+        can leave u above threshold — but a few quiet steps drain it."""
+        neuron = IFNeurons((1,), bias=0.0, threshold=1.0)
+        neuron.reset(1)
+        for t, d in enumerate(drive_values):
+            neuron.step(np.array([[d]]), t)
+        for t in range(len(drive_values), len(drive_values) + 10):
+            neuron.step(None, t)
+        assert float(neuron.u[0, 0]) < 1.0 + 1e-9
+
+
+class TestPhaseConservation:
+    @settings(max_examples=40, deadline=None)
+    @given(drive_values=drives)
+    def test_value_conserved(self, drive_values):
+        neuron = PhaseIFNeurons((1,), bias=0.0, period=8)
+        emitted, residual = run_neuron(neuron, drive_values)
+        assert abs(emitted + residual - sum(drive_values)) < 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(drive_values=drives)
+    def test_emitted_nonnegative(self, drive_values):
+        neuron = PhaseIFNeurons((1,), bias=0.0, period=8)
+        emitted, _ = run_neuron(neuron, drive_values)
+        assert emitted >= 0.0
+
+
+class TestBurstConservation:
+    @settings(max_examples=40, deadline=None)
+    @given(drive_values=drives)
+    def test_value_conserved(self, drive_values):
+        neuron = BurstIFNeurons((1,), bias=0.0, gamma=2.0, max_burst=5)
+        emitted, residual = run_neuron(neuron, drive_values)
+        assert abs(emitted + residual - sum(drive_values)) < 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(drive_values=drives)
+    def test_residual_below_base_threshold_when_silent(self, drive_values):
+        """After the final step, if the neuron did not fire, u < theta0."""
+        neuron = BurstIFNeurons((1,), bias=0.0)
+        neuron.reset(1)
+        last_spike = None
+        for t, d in enumerate(drive_values):
+            last_spike = neuron.step(np.array([[d]]), t)
+        if last_spike is None:
+            assert float(neuron.u[0, 0]) < 1.0 + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(value=st.floats(1.0, 200.0))
+    def test_polylog_transmission_time(self, value):
+        """A potential V drains in O(log^2 V) steps with burst restarts
+        (each doubling run is log-long and the remainder halves) — still
+        exponentially faster than rate coding's O(V)."""
+        neuron = BurstIFNeurons((1,), bias=0.0, gamma=2.0, max_burst=30)
+        neuron.reset(1)
+        neuron.u[...] = value
+        steps = 0
+        while float(neuron.u[0, 0]) >= 1.0 and steps < 200:
+            neuron.step(None, steps)
+            steps += 1
+        assert steps <= np.log2(value + 2) ** 2 + 6
+        assert steps < value + 1  # strictly beats rate coding

@@ -1,0 +1,72 @@
+"""Rate coding specifics."""
+
+import numpy as np
+import pytest
+
+from repro.coding.rate import PoissonInputEncoder, RateCoding
+
+
+class TestPoissonEncoder:
+    def test_spike_probability_matches_intensity(self):
+        enc = PoissonInputEncoder(rng=0)
+        x = np.full((1, 1000), 0.3)
+        enc.reset(x)
+        rates = np.mean([enc.step(t).mean() for t in range(200)])
+        assert rates == pytest.approx(0.3, abs=0.02)
+
+    def test_binary_output(self):
+        enc = PoissonInputEncoder(rng=0)
+        enc.reset(np.random.default_rng(0).random(size=(2, 8)))
+        s = enc.step(0)
+        assert set(np.unique(s)).issubset({0.0, 1.0})
+
+    def test_rejects_out_of_range(self):
+        enc = PoissonInputEncoder(rng=0)
+        with pytest.raises(ValueError):
+            enc.reset(np.array([[1.5]]))
+
+    def test_counts_spikes(self):
+        assert PoissonInputEncoder().counts_spikes is True
+
+
+class TestRateCoding:
+    def test_default_binding(self, tiny_network):
+        bound = RateCoding(default_steps=77).bind(tiny_network)
+        assert bound.total_steps == 77
+        assert bound.decision_time == 77
+        assert bound.counts_input_spikes is False
+
+    def test_explicit_steps_override(self, tiny_network):
+        bound = RateCoding(default_steps=77).bind(tiny_network, steps=10)
+        assert bound.total_steps == 10
+
+    def test_poisson_mode_counts_input(self, tiny_network):
+        bound = RateCoding(input_mode="poisson", rng=0).bind(tiny_network, steps=5)
+        assert bound.counts_input_spikes is True
+
+    def test_unknown_input_mode_rejected(self):
+        with pytest.raises(ValueError):
+            RateCoding(input_mode="banana")
+
+    def test_invalid_steps_rejected(self, tiny_network):
+        with pytest.raises(ValueError):
+            RateCoding().bind(tiny_network, steps=0)
+
+    def test_poisson_run_close_to_analog(self, tiny_network, tiny_data):
+        from repro.snn.engine import Simulator
+
+        x, y = tiny_data[2][:30], tiny_data[3][:30]
+        result = Simulator(
+            tiny_network, RateCoding(input_mode="poisson", rng=1), steps=400
+        ).run(x, y)
+        analog_acc = float((tiny_network.predict_analog(x) == y).mean())
+        # Stochastic input costs some accuracy but should stay in range.
+        assert result.accuracy >= analog_acc - 0.2
+
+    def test_longer_window_more_accurate(self, tiny_network, tiny_data):
+        from repro.snn.engine import Simulator
+
+        x, y = tiny_data[2][:40], tiny_data[3][:40]
+        short = Simulator(tiny_network, RateCoding(), steps=5).run(x, y)
+        long = Simulator(tiny_network, RateCoding(), steps=300).run(x, y)
+        assert long.accuracy >= short.accuracy

@@ -1,0 +1,29 @@
+"""Coding-scheme registry."""
+
+import pytest
+
+from repro.coding.registry import SCHEME_FACTORIES, available_schemes, make_scheme
+
+
+class TestRegistry:
+    def test_all_schemes_listed(self):
+        assert available_schemes() == ["burst", "phase", "rate", "reverse", "ttfs"]
+
+    def test_make_rate(self):
+        assert make_scheme("rate").name == "rate"
+
+    def test_make_with_kwargs(self):
+        scheme = make_scheme("ttfs", window=16, early_firing=True)
+        assert scheme.window == 16
+        assert scheme.early_firing is True
+
+    def test_make_reverse(self):
+        assert make_scheme("reverse", window=12).name == "reverse"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown coding scheme"):
+            make_scheme("smoke-signals")
+
+    def test_factories_are_classes(self):
+        for factory in SCHEME_FACTORIES.values():
+            assert callable(factory)

@@ -1,0 +1,149 @@
+"""Reverse (TDSNN-style) coding extension + LUT kernel equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.coding.reverse import (
+    ReverseCoding,
+    ReverseInputEncoder,
+    ReverseNeurons,
+    reverse_offset,
+)
+from repro.snn.engine import Simulator
+from repro.snn.schedule import StageWindow
+
+
+class TestReverseOffset:
+    def test_zero_fires_immediately(self):
+        assert reverse_offset(np.array([0.0]), 16)[0] == 0
+
+    def test_one_fires_last(self):
+        assert reverse_offset(np.array([1.0]), 16)[0] == 15
+
+    def test_larger_values_later(self):
+        offs = reverse_offset(np.array([0.1, 0.5, 0.9]), 32)
+        assert offs[0] < offs[1] < offs[2]
+
+    def test_clips_above_one(self):
+        assert reverse_offset(np.array([5.0]), 16)[0] == 15
+
+
+class TestReverseInputEncoder:
+    def test_tick_sum_reconstructs_value(self, rng):
+        """Summing the ticking gate over the window recovers each pixel."""
+        enc = ReverseInputEncoder(window=17)
+        x = rng.random(size=(2, 8))
+        enc.reset(x)
+        total = np.zeros_like(x)
+        for t in range(17):
+            s = enc.step(t)
+            if s is not None:
+                total += s
+        np.testing.assert_allclose(total, x, atol=0.5 / 16 + 1e-12)
+
+    def test_zero_pixels_never_tick(self):
+        enc = ReverseInputEncoder(window=8)
+        enc.reset(np.zeros((1, 4)))
+        for t in range(8):
+            assert enc.step(t) is None
+
+    def test_ticking_traffic_is_heavy(self, rng):
+        """The TDSNN critique: events scale with values * T, not one/neuron."""
+        enc = ReverseInputEncoder(window=16)
+        x = rng.uniform(0.5, 1.0, size=(1, 100))
+        enc.reset(x)
+        events = sum(
+            int(np.count_nonzero(s)) for s in (enc.step(t) for t in range(16)) if s is not None
+        )
+        assert events > 100 * 4  # far more than one event per pixel
+
+    def test_rejects_negative(self):
+        enc = ReverseInputEncoder(window=8)
+        with pytest.raises(ValueError):
+            enc.reset(np.array([[-0.1]]))
+
+    def test_outside_window_silent(self):
+        enc = ReverseInputEncoder(window=8)
+        enc.reset(np.array([[0.9]]))
+        assert enc.step(20) is None
+
+
+class TestReverseNeurons:
+    def window(self):
+        return StageWindow(integration_start=0, fire_start=17, fire_end=34)
+
+    def test_gate_emits_value_over_fire_phase(self):
+        """Output ticking sums to the neuron's clipped potential."""
+        n = ReverseNeurons((1,), bias=0.0, window=self.window(), phase_len=17)
+        n.reset(1)
+        n.step(np.array([[0.7]]), 0)
+        total = 0.0
+        for t in range(17, 34):
+            s = n.step(None, t)
+            if s is not None:
+                total += float(s.sum())
+        assert total == pytest.approx(0.7, abs=0.5 / 16)
+
+    def test_bias_injected_once(self):
+        n = ReverseNeurons((1,), bias=np.array([[0.25]]), window=self.window(), phase_len=17)
+        n.reset(1)
+        for t in range(3):
+            n.step(None, t)
+        assert n.u[0, 0] == pytest.approx(0.25)
+
+    def test_zero_potential_silent(self):
+        n = ReverseNeurons((1,), bias=0.0, window=self.window(), phase_len=17)
+        n.reset(1)
+        for t in range(34):
+            s = n.step(None, t)
+            assert s is None
+
+    def test_spike_fraction(self):
+        n = ReverseNeurons((2,), bias=0.0, window=self.window(), phase_len=17)
+        n.reset(1)
+        n.step(np.array([[0.0, 1.0]]), 0)
+        n.step(None, 17)  # zero-valued neuron "fires" (gate closed) at dt=0
+        assert n.spike_fraction() == 0.5
+
+    def test_rejects_tiny_phase(self):
+        with pytest.raises(ValueError):
+            ReverseNeurons((1,), bias=0.0, window=self.window(), phase_len=1)
+
+
+class TestReverseCodingEndToEnd:
+    def test_accuracy_reasonable(self, tiny_network, tiny_data):
+        x, y = tiny_data[2][:50], tiny_data[3][:50]
+        result = Simulator(tiny_network, ReverseCoding(window=24)).run(x, y)
+        analog = float((tiny_network.predict_analog(x) == y).mean())
+        assert result.accuracy >= analog - 0.2
+
+    def test_far_more_events_than_ttfs(self, tiny_network, tiny_data):
+        """The paper's Table III point: reverse coding's ticking traffic
+        dwarfs T2FSNN's one-spike-per-neuron."""
+        from repro.coding.ttfs import TTFSCoding
+
+        x = tiny_data[2][:20]
+        reverse = Simulator(tiny_network, ReverseCoding(window=16)).run(x)
+        ttfs = Simulator(tiny_network, TTFSCoding(window=16)).run(x)
+        assert reverse.total_spikes > 3.0 * ttfs.total_spikes
+
+    def test_decision_time_is_full_pipeline(self, tiny_network):
+        bound = ReverseCoding(window=16).bind(tiny_network)
+        assert bound.decision_time == tiny_network.num_weight_layers * 16
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(ValueError):
+            ReverseCoding(window=1)
+
+
+class TestLUTEquivalence:
+    def test_lut_simulation_identical(self, tiny_network, tiny_data):
+        """The Discussion's LUT substitution changes nothing measurable."""
+        from repro.coding.ttfs import TTFSCoding
+
+        x, y = tiny_data[2][:30], tiny_data[3][:30]
+        exp = Simulator(tiny_network, TTFSCoding(window=16)).run(x, y)
+        lut = Simulator(tiny_network, TTFSCoding(window=16, use_lut=True)).run(x, y)
+        np.testing.assert_allclose(lut.scores, exp.scores, atol=1e-12)
+        assert lut.total_spikes == exp.total_spikes
+        assert lut.accuracy == exp.accuracy

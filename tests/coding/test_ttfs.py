@@ -1,0 +1,188 @@
+"""TTFS coding: fire-once invariant, closed-form agreement, pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.coding.ttfs import TTFSCoding, TTFSInputEncoder, TTFSNeurons
+from repro.core.encoding import NO_SPIKE, encode_spike_times
+from repro.core.kernels import ExpKernel, KernelParams
+from repro.snn.engine import Simulator
+from repro.snn.schedule import StageWindow
+
+
+def kernel(tau=4.0, td=0.0):
+    return ExpKernel(KernelParams(tau=tau, t_delay=td))
+
+
+class TestTTFSInputEncoder:
+    def test_each_pixel_spikes_at_most_once(self, rng):
+        enc = TTFSInputEncoder(kernel(), window=16)
+        x = rng.random(size=(2, 3, 4, 4))
+        enc.reset(x)
+        fired = np.zeros_like(x)
+        for t in range(16):
+            s = enc.step(t)
+            if s is not None:
+                fired += (s != 0).astype(float)
+        assert fired.max() <= 1.0
+
+    def test_larger_pixels_fire_earlier(self):
+        enc = TTFSInputEncoder(kernel(), window=16)
+        x = np.array([[0.9, 0.3]])
+        enc.reset(x)
+        times = {}
+        for t in range(16):
+            s = enc.step(t)
+            if s is not None:
+                for i in np.nonzero(s[0])[0]:
+                    times[i] = t
+        assert times[0] < times[1]
+
+    def test_spike_times_match_closed_form(self, rng):
+        k = kernel(tau=3.0)
+        enc = TTFSInputEncoder(k, window=12)
+        x = rng.random(size=(1, 20))
+        enc.reset(x)
+        sim_times = np.full(x.shape, NO_SPIKE, dtype=np.int64)
+        for t in range(12):
+            s = enc.step(t)
+            if s is not None:
+                sim_times[s != 0] = t
+        expected = encode_spike_times(x, k, 12)
+        np.testing.assert_array_equal(sim_times, expected)
+
+    def test_zero_pixels_never_fire(self):
+        enc = TTFSInputEncoder(kernel(), window=16)
+        enc.reset(np.zeros((1, 5)))
+        for t in range(16):
+            assert enc.step(t) is None
+
+    def test_emitted_weight_is_kernel_value(self):
+        k = kernel(tau=4.0)
+        enc = TTFSInputEncoder(k, window=16)
+        enc.reset(np.array([[1.0]]))
+        s = enc.step(0)
+        assert float(s[0, 0]) == pytest.approx(float(k(0.0)))
+
+    def test_outside_window_silent(self):
+        enc = TTFSInputEncoder(kernel(), window=4)
+        enc.reset(np.array([[0.9]]))
+        assert enc.step(10) is None
+
+    def test_negative_input_rejected(self):
+        enc = TTFSInputEncoder(kernel(), window=8)
+        with pytest.raises(ValueError):
+            enc.reset(np.array([[-0.2]]))
+
+
+class TestTTFSNeurons:
+    def window(self):
+        return StageWindow(integration_start=0, fire_start=4, fire_end=12)
+
+    def test_no_fire_before_fire_phase(self):
+        n = TTFSNeurons((1,), bias=0.0, window=self.window(), kernel=kernel())
+        n.reset(1)
+        assert n.step(np.array([[5.0]]), 0) is None
+
+    def test_fires_once_only(self):
+        n = TTFSNeurons((1,), bias=0.0, window=self.window(), kernel=kernel())
+        n.reset(1)
+        n.step(np.array([[2.0]]), 0)
+        spikes = [n.step(None, t) for t in range(4, 12)]
+        fired = [s for s in spikes if s is not None]
+        assert len(fired) == 1
+
+    def test_threshold_decays_until_fire(self):
+        n = TTFSNeurons((1,), bias=0.0, window=self.window(), kernel=kernel(tau=2.0))
+        n.reset(1)
+        n.step(np.array([[0.2]]), 0)  # fires when exp(-dt/2) <= 0.2 -> dt=4
+        times = [t for t in range(4, 12) if n.step(None, t) is not None]
+        assert times == [4 + 4]
+
+    def test_bias_injected_once(self):
+        win = self.window()
+        n = TTFSNeurons((1,), bias=np.array([[0.5]]), window=win, kernel=kernel())
+        n.reset(1)
+        for t in range(3):
+            n.step(None, t)
+        assert n.u[0, 0] == pytest.approx(0.5)
+
+    def test_late_arrivals_help_unfired_neurons(self):
+        """Non-guaranteed integration: late input still drives unfired
+        neurons during the fire phase (early-firing semantics)."""
+        n = TTFSNeurons((1,), bias=0.0, window=self.window(), kernel=kernel(tau=2.0))
+        n.reset(1)
+        n.step(np.array([[0.05]]), 0)  # alone, would fire only at dt=6 (t=10)
+        late = n.step(np.array([[0.9]]), 6)  # late arrival mid fire-phase
+        # The boost lifts u above the dt=2 threshold within the same step.
+        assert late is not None and float(late[0, 0]) > 0.0
+
+    def test_late_arrivals_ignored_after_fire(self):
+        n = TTFSNeurons((1,), bias=0.0, window=self.window(), kernel=kernel())
+        n.reset(1)
+        n.step(np.array([[2.0]]), 0)
+        assert n.step(None, 4) is not None  # fires immediately at fire start
+        # Huge late input cannot elicit a second spike.
+        for t in range(5, 12):
+            assert n.step(np.array([[10.0]]), t) is None
+
+    def test_spike_fraction(self):
+        n = TTFSNeurons((2,), bias=0.0, window=self.window(), kernel=kernel())
+        n.reset(1)
+        n.step(np.array([[2.0, 0.0]]), 0)
+        for t in range(4, 12):
+            n.step(None, t)
+        assert n.spike_fraction() == 0.5
+
+
+class TestTTFSCodingScheme:
+    def test_one_spike_per_neuron_network_wide(self, tiny_network, tiny_data):
+        scheme = TTFSCoding(window=12)
+        result = Simulator(tiny_network, scheme).run(tiny_data[2][:20])
+        # input pixels + hidden neurons, each at most one spike
+        n_inputs = int(np.prod(tiny_network.input_shape))
+        upper = n_inputs + tiny_network.total_neurons
+        assert result.total_spikes <= upper
+
+    def test_spikes_far_below_rate(self, tiny_network, tiny_data):
+        from repro.coding.rate import RateCoding
+
+        x = tiny_data[2][:20]
+        ttfs = Simulator(tiny_network, TTFSCoding(window=12)).run(x)
+        rate = Simulator(tiny_network, RateCoding(), steps=200).run(x)
+        assert ttfs.total_spikes < 0.2 * rate.total_spikes
+
+    def test_accuracy_close_to_analog(self, tiny_network, tiny_data):
+        x, y = tiny_data[2][:60], tiny_data[3][:60]
+        result = Simulator(tiny_network, TTFSCoding(window=24)).run(x, y)
+        analog_acc = float((tiny_network.predict_analog(x) == y).mean())
+        assert result.accuracy >= analog_acc - 0.15
+
+    def test_decision_time_matches_schedule(self, tiny_network):
+        scheme = TTFSCoding(window=10)
+        bound = scheme.bind(tiny_network)
+        assert bound.decision_time == scheme.schedule(tiny_network).decision_time
+        # L=3 weight layers at T=10: baseline 30.
+        assert bound.decision_time == 30
+
+    def test_early_firing_cuts_latency(self, tiny_network):
+        base = TTFSCoding(window=10).bind(tiny_network)
+        ef = TTFSCoding(window=10, early_firing=True).bind(tiny_network)
+        assert ef.decision_time < base.decision_time
+        assert ef.decision_time == 2 * 5 + 10  # (L-1)*T/2 + T
+
+    def test_early_firing_accuracy_degrades_gracefully(self, tiny_network, tiny_data):
+        x, y = tiny_data[2][:60], tiny_data[3][:60]
+        base = Simulator(tiny_network, TTFSCoding(window=24)).run(x, y)
+        ef = Simulator(tiny_network, TTFSCoding(window=24, early_firing=True)).run(x, y)
+        assert ef.accuracy >= base.accuracy - 0.15
+
+    def test_kernel_count_validation(self, tiny_network):
+        with pytest.raises(ValueError, match="kernel parameter"):
+            TTFSCoding(window=10, kernel_params=[KernelParams(2.0)]).bind(tiny_network)
+
+    def test_resolved_params_defaults(self, tiny_network):
+        scheme = TTFSCoding(window=16)
+        params = scheme.resolved_params(tiny_network)
+        assert len(params) == 3  # input + 2 spiking stages
+        assert all(p.tau == 16 / 5.0 for p in params)

@@ -1,0 +1,93 @@
+"""Shared fixtures: a tiny trained-and-converted system reused across tests.
+
+The session-scoped ``tiny_system`` keeps the suite fast: one small CNN is
+trained once on an 8x8 synthetic task and shared by conversion, simulation,
+coding and analysis tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.convert.converter import convert_to_snn
+from repro.datasets.synthetic import ImageTaskSpec, SyntheticImages
+from repro.nn.activations import ReLU
+from repro.nn.layers import AvgPool2D, Conv2D, Dense, Flatten
+from repro.nn.network import Sequential
+from repro.nn.optim import Adam
+from repro.nn.training import Trainer
+
+
+def build_tiny_model(rng=0, in_channels: int = 1, num_classes: int = 3) -> Sequential:
+    """A 3-weight-layer CNN on 8x8 inputs: conv-relu-pool-conv-relu-pool-fc."""
+    return Sequential(
+        [
+            Conv2D(in_channels, 6, 3, pad=1, use_bias=False, rng=rng),
+            ReLU(),
+            AvgPool2D(2),
+            Conv2D(6, 8, 3, pad=1, use_bias=False, rng=rng),
+            ReLU(),
+            AvgPool2D(2),
+            Flatten(),
+            Dense(8 * 2 * 2, num_classes, use_bias=True, rng=rng),
+        ],
+        input_shape=(in_channels, 8, 8),
+    )
+
+
+TINY_SPEC = ImageTaskSpec(
+    name="tiny",
+    shape=(1, 8, 8),
+    num_classes=3,
+    n_train=240,
+    n_test=90,
+    noise=0.05,
+    max_shift=1,
+    components=3,
+    seed=11,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_disk_cache(monkeypatch):
+    """Keep unit tests hermetic: no trained-weight disk cache unless a test
+    opts in by overriding REPRO_CACHE_DIR itself."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+
+
+@pytest.fixture(scope="session")
+def tiny_task():
+    return SyntheticImages(TINY_SPEC)
+
+
+@pytest.fixture(scope="session")
+def tiny_data(tiny_task):
+    return tiny_task.train_test()
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_data):
+    x_tr, y_tr, _, _ = tiny_data
+    model = build_tiny_model(rng=3)
+    trainer = Trainer(model, Adam(model.params(), lr=3e-3), rng=5)
+    trainer.fit(x_tr, y_tr, epochs=12, batch_size=32)
+    return model
+
+
+@pytest.fixture(scope="session")
+def tiny_network(tiny_model, tiny_data):
+    x_tr = tiny_data[0]
+    return convert_to_snn(tiny_model, x_tr[:128])
+
+
+@pytest.fixture(scope="session")
+def tiny_accuracy(tiny_model, tiny_data):
+    _, _, x_te, y_te = tiny_data
+    logits = tiny_model.predict(x_te)
+    return float((logits.argmax(axis=1) == y_te).mean())
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,128 @@
+"""DNN->SNN structural conversion."""
+
+import numpy as np
+import pytest
+
+from repro.convert.converter import convert_to_snn
+from repro.nn.activations import ReLU
+from repro.nn.layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D
+from repro.nn.network import Sequential
+
+from tests.conftest import build_tiny_model
+
+
+class TestStageGrouping:
+    def test_stage_count(self, tiny_network):
+        # conv-relu, conv-relu, classifier
+        assert len(tiny_network.stages) == 3
+
+    def test_last_stage_nonspiking(self, tiny_network):
+        assert not tiny_network.stages[-1].spiking
+        assert all(s.spiking for s in tiny_network.stages[:-1])
+
+    def test_stage_names(self, tiny_network):
+        assert tiny_network.stage_names() == ["conv1", "conv2", "classifier"]
+
+    def test_weight_layer_count(self, tiny_network):
+        assert tiny_network.num_weight_layers == 3
+
+    def test_out_shapes(self, tiny_network):
+        assert tiny_network.stages[0].out_shape == (6, 8, 8)
+        assert tiny_network.stages[1].out_shape == (8, 4, 4)
+        assert tiny_network.stages[2].out_shape == (3,)
+
+    def test_total_neurons_excludes_readout(self, tiny_network):
+        assert tiny_network.total_neurons == 6 * 8 * 8 + 8 * 4 * 4
+
+    def test_biases_stripped_from_ops(self, tiny_network):
+        for stage in tiny_network.stages:
+            for op in stage.ops:
+                if isinstance(op, (Conv2D, Dense)):
+                    assert op.bias is None
+
+    def test_classifier_kept_bias(self, tiny_network):
+        assert tiny_network.stages[-1].bias is not None
+
+
+class TestAnalogForward:
+    def test_matches_source_predictions(self, tiny_model, tiny_network, tiny_data):
+        x = tiny_data[2][:64]
+        src = tiny_model.predict(x).argmax(axis=1)
+        converted = tiny_network.predict_analog(x)
+        # Data-based normalization at 99.9% may clip a few outliers; the
+        # overwhelming majority of predictions must survive conversion.
+        assert (src == converted).mean() >= 0.95
+
+    def test_activation_list_lengths(self, tiny_network, tiny_data):
+        _, acts = tiny_network.analog_forward(tiny_data[0][:8])
+        assert len(acts) == 2
+
+    def test_activations_clipped(self, tiny_network, tiny_data):
+        _, acts = tiny_network.analog_forward(tiny_data[0][:32], clip=True)
+        for a in acts:
+            assert a.min() >= 0.0
+            assert a.max() <= 1.0
+
+    def test_unclipped_can_exceed_one(self, tiny_network, tiny_data):
+        _, clipped = tiny_network.analog_forward(tiny_data[0][:128], clip=True)
+        _, unclipped = tiny_network.analog_forward(tiny_data[0][:128], clip=False)
+        assert max(a.max() for a in unclipped) >= max(a.max() for a in clipped)
+
+
+class TestConversionOptions:
+    def test_maxpool_swapped(self, tiny_data):
+        model = Sequential(
+            [
+                Conv2D(1, 4, 3, pad=1, use_bias=False, rng=0),
+                ReLU(),
+                MaxPool2D(2),
+                Flatten(),
+                Dense(4 * 4 * 4, 3, rng=0),
+            ],
+            input_shape=(1, 8, 8),
+        )
+        net = convert_to_snn(model, tiny_data[0][:32], replace_maxpool=True)
+        ops = [op for stage in net.stages for op in stage.ops]
+        assert not any(isinstance(op, MaxPool2D) for op in ops)
+        assert any(isinstance(op, AvgPool2D) for op in ops)
+
+    def test_maxpool_rejected_without_flag(self, tiny_data):
+        model = Sequential(
+            [
+                Conv2D(1, 4, 3, pad=1, use_bias=False, rng=0),
+                ReLU(),
+                MaxPool2D(2),
+                Flatten(),
+                Dense(4 * 4 * 4, 3, rng=0),
+            ],
+            input_shape=(1, 8, 8),
+        )
+        with pytest.raises(ValueError, match="MaxPool2D"):
+            convert_to_snn(model, tiny_data[0][:32], replace_maxpool=False)
+
+    def test_dropout_stripped(self, tiny_data):
+        model = Sequential(
+            [
+                Conv2D(1, 4, 3, pad=1, use_bias=False, rng=0),
+                ReLU(),
+                Flatten(),
+                Dropout(0.5, rng=0),
+                Dense(4 * 8 * 8, 3, rng=0),
+            ],
+            input_shape=(1, 8, 8),
+        )
+        net = convert_to_snn(model, tiny_data[0][:32])
+        ops = [op for stage in net.stages for op in stage.ops]
+        assert not any(isinstance(op, Dropout) for op in ops)
+
+    def test_requires_input_shape(self, tiny_data):
+        model = Sequential([Dense(64, 3, rng=0)])
+        with pytest.raises(ValueError, match="input_shape"):
+            convert_to_snn(model, tiny_data[0][:8])
+
+    def test_normalization_factors_recorded(self, tiny_network):
+        assert len(tiny_network.normalization_factors) == 3
+        assert all(f > 0 for f in tiny_network.normalization_factors)
+
+    def test_stats_recorded(self, tiny_network):
+        assert len(tiny_network.activation_stats) == 3

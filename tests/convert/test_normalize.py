@@ -1,0 +1,121 @@
+"""BatchNorm folding and data-based normalization."""
+
+import numpy as np
+import pytest
+
+from repro.convert.normalize import fold_batchnorm, normalize_model
+from repro.nn.activations import ReLU
+from repro.nn.batchnorm import BatchNorm2D
+from repro.nn.layers import AvgPool2D, Conv2D, Dense, Flatten
+from repro.nn.network import Sequential
+
+
+def bn_model(rng=0):
+    model = Sequential(
+        [
+            Conv2D(1, 4, 3, pad=1, use_bias=False, rng=rng),
+            BatchNorm2D(4),
+            ReLU(),
+            AvgPool2D(2),
+            Flatten(),
+            Dense(4 * 4 * 4, 3, rng=rng),
+        ],
+        input_shape=(1, 8, 8),
+    )
+    return model
+
+
+class TestFoldBatchnorm:
+    def _prime_bn(self, model, x):
+        """Give BN non-trivial running stats via a few training passes."""
+        for _ in range(3):
+            model.forward(x, training=True)
+
+    def test_outputs_unchanged(self, rng):
+        model = bn_model()
+        x = rng.random(size=(16, 1, 8, 8))
+        self._prime_bn(model, x)
+        folded = fold_batchnorm(model)
+        np.testing.assert_allclose(
+            folded.forward(x), model.forward(x, training=False), atol=1e-10
+        )
+
+    def test_bn_removed(self, rng):
+        model = bn_model()
+        self._prime_bn(model, rng.random(size=(8, 1, 8, 8)))
+        folded = fold_batchnorm(model)
+        assert not any(isinstance(l, BatchNorm2D) for l in folded.layers)
+
+    def test_conv_gains_bias(self, rng):
+        model = bn_model()
+        self._prime_bn(model, rng.random(size=(8, 1, 8, 8)))
+        folded = fold_batchnorm(model)
+        conv = folded.layers[0]
+        assert isinstance(conv, Conv2D) and conv.bias is not None
+
+    def test_original_untouched(self, rng):
+        model = bn_model()
+        self._prime_bn(model, rng.random(size=(8, 1, 8, 8)))
+        w_before = model.layers[0].weight.data.copy()
+        fold_batchnorm(model)
+        np.testing.assert_array_equal(model.layers[0].weight.data, w_before)
+
+    def test_bn_without_conv_raises(self):
+        model = Sequential([BatchNorm2D(3)], input_shape=(3, 4, 4))
+        with pytest.raises(ValueError, match="follow a Conv2D"):
+            fold_batchnorm(model)
+
+    def test_folds_existing_conv_bias(self, rng):
+        model = Sequential(
+            [Conv2D(1, 2, 3, pad=1, use_bias=True, rng=0), BatchNorm2D(2)],
+            input_shape=(1, 4, 4),
+        )
+        model.layers[0].bias.data[...] = rng.normal(size=2)
+        x = rng.random(size=(8, 1, 4, 4))
+        for _ in range(2):
+            model.forward(x, training=True)
+        folded = fold_batchnorm(model)
+        np.testing.assert_allclose(
+            folded.forward(x), model.forward(x, training=False), atol=1e-10
+        )
+
+
+class TestNormalizeModel:
+    def test_activations_bounded(self, tiny_model, tiny_data):
+        x = tiny_data[0][:128]
+        normalized, factors = normalize_model(tiny_model, x, percentile=100.0)
+        out = x
+        for layer in normalized.layers:
+            out = layer.forward(out)
+            if isinstance(layer, ReLU):
+                assert out.max() <= 1.0 + 1e-9
+
+    def test_argmax_preserved(self, tiny_model, tiny_data):
+        """Normalization rescales logits positively, preserving predictions."""
+        x = tiny_data[0][:64]
+        normalized, _ = normalize_model(tiny_model, x, percentile=100.0)
+        a = tiny_model.predict(x).argmax(axis=1)
+        b = normalized.predict(x).argmax(axis=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_logits_scaled_by_product(self, tiny_model, tiny_data):
+        """Output logits equal original divided by the final scale factor."""
+        x = tiny_data[0][:32]
+        normalized, factors = normalize_model(tiny_model, x, percentile=100.0)
+        np.testing.assert_allclose(
+            normalized.predict(x) * factors[-1], tiny_model.predict(x), rtol=1e-8
+        )
+
+    def test_original_untouched(self, tiny_model, tiny_data):
+        w_before = tiny_model.layers[0].weight.data.copy()
+        normalize_model(tiny_model, tiny_data[0][:32])
+        np.testing.assert_array_equal(tiny_model.layers[0].weight.data, w_before)
+
+    def test_rejects_unfolded_bn(self, rng):
+        model = bn_model()
+        with pytest.raises(ValueError, match="fold_batchnorm"):
+            normalize_model(model, rng.random(size=(8, 1, 8, 8)))
+
+    def test_factor_count(self, tiny_model, tiny_data):
+        _, factors = normalize_model(tiny_model, tiny_data[0][:32])
+        assert len(factors) == 3  # one per weight layer

@@ -1,0 +1,52 @@
+"""Activation statistics collection."""
+
+import numpy as np
+import pytest
+
+from repro.convert.stats import collect_activation_stats
+from tests.conftest import build_tiny_model
+
+
+class TestCollectStats:
+    def test_one_stat_per_relu_plus_output(self, tiny_model, tiny_data):
+        x = tiny_data[0][:64]
+        stats = collect_activation_stats(tiny_model, x)
+        # Tiny model: 2 ReLUs + logits = 3 normalization points.
+        assert len(stats) == 3
+
+    def test_scale_positive(self, tiny_model, tiny_data):
+        stats = collect_activation_stats(tiny_model, tiny_data[0][:64])
+        assert all(s.scale > 0 for s in stats)
+
+    def test_scale_below_max(self, tiny_model, tiny_data):
+        stats = collect_activation_stats(tiny_model, tiny_data[0][:128], percentile=99.0)
+        for s in stats:
+            assert s.scale <= s.max_value + 1e-12
+
+    def test_percentile_100_equals_max_per_batch(self, tiny_data):
+        model = build_tiny_model(rng=0)
+        x = tiny_data[0][:32]
+        stats = collect_activation_stats(model, x, percentile=100.0, batch_size=32)
+        for s in stats:
+            assert s.scale == pytest.approx(s.max_value, rel=1e-9)
+
+    def test_sparsity_in_unit_interval(self, tiny_model, tiny_data):
+        stats = collect_activation_stats(tiny_model, tiny_data[0][:64])
+        for s in stats[:-1]:  # ReLU outputs have genuine sparsity
+            assert 0.0 <= s.sparsity <= 1.0
+
+    def test_relu_sparsity_nonzero(self, tiny_model, tiny_data):
+        stats = collect_activation_stats(tiny_model, tiny_data[0][:64])
+        assert any(s.sparsity > 0.0 for s in stats[:-1])
+
+    def test_bad_percentile_raises(self, tiny_model, tiny_data):
+        with pytest.raises(ValueError):
+            collect_activation_stats(tiny_model, tiny_data[0][:8], percentile=0.0)
+
+    def test_batching_invariant(self, tiny_model, tiny_data):
+        x = tiny_data[0][:64]
+        a = collect_activation_stats(tiny_model, x, percentile=100.0, batch_size=64)
+        b = collect_activation_stats(tiny_model, x, percentile=100.0, batch_size=16)
+        for sa, sb in zip(a, b):
+            assert sa.max_value == pytest.approx(sb.max_value)
+            assert sa.scale == pytest.approx(sb.scale)

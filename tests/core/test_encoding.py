@@ -1,0 +1,157 @@
+"""Closed-form TTFS encode/decode: Eq. 7 invariants (property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoding import NO_SPIKE, decode_spike_times, encode_spike_times, roundtrip
+from repro.core.kernels import ExpKernel, KernelParams
+
+
+def kernel(tau=4.0, td=0.0):
+    return ExpKernel(KernelParams(tau=tau, t_delay=td))
+
+
+class TestEncode:
+    def test_value_one_fires_immediately(self):
+        offsets = encode_spike_times(np.array([1.0]), kernel(), window=16)
+        assert offsets[0] == 0
+
+    def test_larger_values_fire_earlier(self):
+        values = np.array([0.9, 0.5, 0.1])
+        offsets = encode_spike_times(values, kernel(), window=32)
+        assert offsets[0] <= offsets[1] <= offsets[2]
+
+    def test_zero_never_fires(self):
+        offsets = encode_spike_times(np.array([0.0, -0.5]), kernel(), window=16)
+        assert (offsets == NO_SPIKE).all()
+
+    def test_below_min_never_fires(self):
+        k = kernel(tau=2.0)
+        tiny = k.min_value(8) * 0.5
+        offsets = encode_spike_times(np.array([tiny]), k, window=8)
+        assert offsets[0] == NO_SPIKE
+
+    def test_above_max_clamps_to_zero_offset(self):
+        k = kernel(tau=2.0, td=2.0)  # max_value = e
+        offsets = encode_spike_times(np.array([10.0]), k, window=8)
+        assert offsets[0] == 0
+
+    def test_eq7_formula(self):
+        """Offsets match ceil(-tau ln(u/theta0) + t_d)."""
+        k = kernel(tau=3.0, td=1.0)
+        u = np.array([0.7, 0.3, 0.05])
+        expected = np.ceil(-3.0 * np.log(u) + 1.0)
+        offsets = encode_spike_times(u, k, window=64)
+        np.testing.assert_array_equal(offsets, expected.astype(np.int64))
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            encode_spike_times(np.array([0.5]), kernel(), window=0)
+
+    def test_theta0_validation(self):
+        with pytest.raises(ValueError):
+            encode_spike_times(np.array([0.5]), kernel(), window=8, theta0=0.0)
+
+
+class TestDecode:
+    def test_no_spike_decodes_to_zero(self):
+        decoded = decode_spike_times(np.array([NO_SPIKE]), kernel())
+        assert decoded[0] == 0.0
+
+    def test_offset_zero_decodes_to_max(self):
+        k = kernel(tau=2.0, td=1.0)
+        decoded = decode_spike_times(np.array([0]), k)
+        assert decoded[0] == pytest.approx(k.max_value())
+
+
+values_arrays = st.lists(
+    st.floats(0.0, 1.5, allow_nan=False), min_size=1, max_size=40
+).map(np.array)
+
+
+class TestRoundtripProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(values=values_arrays, tau=st.floats(0.5, 20.0), window=st.integers(2, 64))
+    def test_decoded_never_exceeds_value(self, values, tau, window):
+        """Ceil rounds the spike later; the threshold only decays — so the
+        decoded value can only undershoot."""
+        k = kernel(tau=tau)
+        offsets, decoded = roundtrip(values, k, window)
+        fired = offsets != NO_SPIKE
+        assert (decoded[fired] <= values[fired] + 1e-12).all()
+
+    @settings(max_examples=80, deadline=None)
+    @given(values=values_arrays, tau=st.floats(0.5, 20.0), window=st.integers(2, 64))
+    def test_precision_error_bound(self, values, tau, window):
+        """|x - x_hat| <= x_hat (exp(1/tau) - 1), the paper's bound.
+
+        The bound applies to values within the kernel's representable range;
+        values above the maximum saturate to offset 0 (a clipping error, not
+        a precision error).
+        """
+        k = kernel(tau=tau)
+        offsets, decoded = roundtrip(values, k, window)
+        in_range = (offsets != NO_SPIKE) & (values <= k.max_value())
+        bound = decoded[in_range] * k.precision_error_factor()
+        assert (values[in_range] - decoded[in_range] <= bound + 1e-9).all()
+
+    @settings(max_examples=80, deadline=None)
+    @given(values=values_arrays, tau=st.floats(0.5, 20.0), window=st.integers(2, 64))
+    def test_small_values_dropped_exactly(self, values, tau, window):
+        """Representability boundary.
+
+        The paper's minimum (Eq. 10 context) is ``exp(-(T - t_d)/tau)``,
+        which would fire exactly at offset T — one step outside the discrete
+        window [0, T).  So: strictly below the paper minimum never fires,
+        and at/above the last in-window threshold ``exp(-(T-1-t_d)/tau)``
+        always fires.
+        """
+        k = kernel(tau=tau)
+        offsets = encode_spike_times(values, k, window)
+        fired = offsets != NO_SPIKE
+        below_paper_min = values < k.min_value(window)
+        assert not fired[below_paper_min].any()
+        last_threshold = np.exp(-(window - 1) / tau)
+        assert fired[(values >= last_threshold) & (values > 0)].all()
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=values_arrays, tau=st.floats(0.5, 20.0))
+    def test_monotonicity(self, values, tau):
+        """Encoding preserves order: bigger value -> no later spike."""
+        k = kernel(tau=tau)
+        offsets = encode_spike_times(values, k, window=128)
+        order = np.argsort(-values)
+        fired_sorted = offsets[order]
+        fired = fired_sorted[fired_sorted != NO_SPIKE]
+        assert (np.diff(fired) >= 0).all()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=values_arrays,
+        tau=st.floats(0.5, 20.0),
+        td=st.floats(0.0, 8.0),
+        window=st.integers(2, 64),
+    )
+    def test_offsets_in_range(self, values, tau, td, window):
+        offsets = encode_spike_times(values, kernel(tau, td), window)
+        valid = offsets[offsets != NO_SPIKE]
+        assert ((0 <= valid) & (valid < window)).all()
+
+    @settings(max_examples=50, deadline=None)
+    @given(tau=st.floats(1.0, 20.0), window=st.integers(8, 64))
+    def test_error_shrinks_with_tau_for_common_values(self, tau, window):
+        """Doubling tau cannot increase the quantization error of values both
+        kernels can represent — the precision side of the paper's trade-off.
+        (Values only one kernel represents embody the other side: larger tau
+        drops more small values.)"""
+        values = np.linspace(0.3, 1.0, 50)
+        k1, k2 = kernel(tau), kernel(2 * tau)
+        o1, d1 = roundtrip(values, k1, window)
+        o2, d2 = roundtrip(values, k2, window)
+        both = (o1 != NO_SPIKE) & (o2 != NO_SPIKE)
+        if both.any():
+            err1 = np.mean(values[both] - d1[both])
+            err2 = np.mean(values[both] - d2[both])
+            assert err2 <= err1 + 1e-9

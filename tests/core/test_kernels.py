@@ -1,0 +1,123 @@
+"""Kernel functions: Eq. 5 properties and LUT equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernels import ExpKernel, KernelParams, LUTKernel, default_kernel_params
+
+taus = st.floats(0.5, 50.0)
+delays = st.floats(0.0, 10.0)
+
+
+class TestKernelParams:
+    def test_validated_ok(self):
+        assert KernelParams(tau=2.0, t_delay=1.0).validated().tau == 2.0
+
+    def test_rejects_tiny_tau(self):
+        with pytest.raises(ValueError, match="tau"):
+            KernelParams(tau=1e-6).validated()
+
+    def test_rejects_nan_delay(self):
+        with pytest.raises(ValueError, match="t_delay"):
+            KernelParams(tau=2.0, t_delay=float("nan")).validated()
+
+
+class TestExpKernel:
+    def test_value_at_delay_is_one(self):
+        k = ExpKernel(KernelParams(tau=3.0, t_delay=2.0))
+        assert float(k(2.0)) == pytest.approx(1.0)
+
+    def test_formula(self):
+        k = ExpKernel(KernelParams(tau=4.0, t_delay=1.0))
+        dt = np.array([0.0, 1.0, 5.0])
+        np.testing.assert_allclose(k(dt), np.exp(-(dt - 1.0) / 4.0))
+
+    @settings(max_examples=50, deadline=None)
+    @given(tau=taus, td=delays)
+    def test_monotonically_decreasing(self, tau, td):
+        """Eq. 5: 'The kernels decrease monotonically'."""
+        k = ExpKernel(KernelParams(tau=tau, t_delay=td))
+        values = k(np.arange(0.0, 30.0))
+        assert (np.diff(values) < 0).all()
+
+    @settings(max_examples=50, deadline=None)
+    @given(tau=taus, td=st.floats(0.0, 5.0), window=st.integers(4, 64))
+    def test_min_max_consistent_with_samples(self, tau, td, window):
+        k = ExpKernel(KernelParams(tau=tau, t_delay=td))
+        samples = k(np.arange(window, dtype=float))
+        assert k.max_value() >= samples.max() - 1e-12
+        assert k.min_value(window) <= samples.min() + 1e-12
+
+    def test_min_value_formula(self):
+        k = ExpKernel(KernelParams(tau=5.0, t_delay=1.0))
+        assert k.min_value(20) == pytest.approx(np.exp(-(20 - 1) / 5))
+
+    def test_max_value_formula(self):
+        k = ExpKernel(KernelParams(tau=5.0, t_delay=2.0))
+        assert k.max_value() == pytest.approx(np.exp(2 / 5))
+
+    def test_precision_error_factor(self):
+        k = ExpKernel(KernelParams(tau=2.0))
+        assert k.precision_error_factor() == pytest.approx(np.exp(0.5) - 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(tau_a=taus, tau_b=taus)
+    def test_precision_error_decreases_with_tau(self, tau_a, tau_b):
+        """Sec. III-B: precision error is inversely proportional to tau."""
+        lo, hi = sorted([tau_a, tau_b])
+        err_lo = ExpKernel(KernelParams(tau=lo)).precision_error_factor()
+        err_hi = ExpKernel(KernelParams(tau=hi)).precision_error_factor()
+        assert err_hi <= err_lo + 1e-12
+
+
+class TestLUTKernel:
+    def test_matches_exp_on_integer_domain(self):
+        params = KernelParams(tau=3.5, t_delay=0.7)
+        exp = ExpKernel(params)
+        lut = LUTKernel(params, window=32)
+        dt = np.arange(32)
+        np.testing.assert_array_equal(lut(dt), exp(dt.astype(float)))
+
+    def test_to_lut_roundtrip(self):
+        exp = ExpKernel(KernelParams(tau=2.0))
+        lut = exp.to_lut(16)
+        np.testing.assert_array_equal(lut(np.arange(16)), exp(np.arange(16.0)))
+
+    def test_min_max_match_exp(self):
+        params = KernelParams(tau=6.0, t_delay=1.5)
+        exp = ExpKernel(params)
+        lut = LUTKernel(params, window=20)
+        assert lut.max_value() == exp.max_value()
+        assert lut.min_value() == exp.min_value(20)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            LUTKernel(KernelParams(tau=2.0), window=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(tau=taus, td=st.floats(0.0, 5.0), window=st.integers(2, 64))
+    def test_simulation_equivalence_property(self, tau, td, window):
+        """Swapping LUT for exp changes nothing at integer offsets — the
+        premise of the paper's Table III cost reduction."""
+        params = KernelParams(tau=tau, t_delay=td)
+        exp = ExpKernel(params)
+        lut = LUTKernel(params, window=window)
+        dt = np.arange(window)
+        np.testing.assert_array_equal(lut(dt), exp(dt.astype(float)))
+
+
+class TestDefaults:
+    def test_default_params(self):
+        p = default_kernel_params(20)
+        assert p.tau == 4.0  # T/5
+        assert p.t_delay == 0.0
+
+    def test_default_max_is_one(self):
+        k = ExpKernel(default_kernel_params(16))
+        assert k.max_value() == 1.0
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(ValueError):
+            default_kernel_params(1)

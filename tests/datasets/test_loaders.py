@@ -1,0 +1,61 @@
+"""DataLoader iteration semantics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import DataLoader
+
+
+def make_data(n=10):
+    return np.arange(n * 2.0).reshape(n, 2), np.arange(n)
+
+
+class TestDataLoader:
+    def test_covers_all_samples(self):
+        x, y = make_data(10)
+        loader = DataLoader(x, y, batch_size=3)
+        seen = np.concatenate([yb for _, yb in loader])
+        np.testing.assert_array_equal(np.sort(seen), np.arange(10))
+
+    def test_batch_sizes(self):
+        x, y = make_data(10)
+        sizes = [len(yb) for _, yb in DataLoader(x, y, batch_size=4)]
+        assert sizes == [4, 4, 2]
+
+    def test_drop_last(self):
+        x, y = make_data(10)
+        sizes = [len(yb) for _, yb in DataLoader(x, y, batch_size=4, drop_last=True)]
+        assert sizes == [4, 4]
+
+    def test_len(self):
+        x, y = make_data(10)
+        assert len(DataLoader(x, y, batch_size=4)) == 3
+        assert len(DataLoader(x, y, batch_size=4, drop_last=True)) == 2
+
+    def test_shuffle_changes_order(self):
+        x, y = make_data(50)
+        loader = DataLoader(x, y, batch_size=50, shuffle=True, rng=0)
+        (_, yb), = list(loader)
+        assert not np.array_equal(yb, y)
+        np.testing.assert_array_equal(np.sort(yb), y)
+
+    def test_shuffle_reshuffles_each_epoch(self):
+        x, y = make_data(30)
+        loader = DataLoader(x, y, batch_size=30, shuffle=True, rng=0)
+        (_, first), = list(loader)
+        (_, second), = list(loader)
+        assert not np.array_equal(first, second)
+
+    def test_pairs_stay_aligned(self):
+        x, y = make_data(20)
+        loader = DataLoader(x, y, batch_size=7, shuffle=True, rng=1)
+        for xb, yb in loader:
+            np.testing.assert_array_equal(xb[:, 0], y[yb] * 2.0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            DataLoader(np.zeros((3, 1)), np.zeros(4))
+
+    def test_bad_batch_size_raises(self):
+        with pytest.raises(ValueError):
+            DataLoader(np.zeros((3, 1)), np.zeros(3), batch_size=0)

@@ -1,0 +1,147 @@
+"""Synthetic image generator: determinism, ranges, learnability."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.synthetic import (
+    ImageTaskSpec,
+    SyntheticImages,
+    gabor_patch,
+    gaussian_blob,
+)
+
+
+def small_spec(**overrides):
+    base = dict(
+        name="t",
+        shape=(1, 8, 8),
+        num_classes=3,
+        n_train=30,
+        n_test=12,
+        seed=5,
+    )
+    base.update(overrides)
+    return ImageTaskSpec(**base)
+
+
+class TestGaborPatch:
+    def test_shape(self):
+        assert gabor_patch(8, 10, 2.0, 0.3, 0.0, 0.5).shape == (8, 10)
+
+    def test_bounded(self):
+        patch = gabor_patch(16, 16, 2.0, 0.7, 1.0, 0.4)
+        assert np.abs(patch).max() <= 1.0 + 1e-9
+
+    def test_envelope_decays(self):
+        patch = np.abs(gabor_patch(33, 33, 1.0, 0.0, np.pi / 2, 0.3))
+        assert patch[16, 16] > patch[0, 0]
+
+
+class TestGaussianBlob:
+    def test_peak_at_center(self):
+        blob = gaussian_blob(9, 9, 0.5, 0.5, 0.2)
+        assert blob.max() == pytest.approx(blob[4, 4])
+        assert blob.max() == pytest.approx(1.0, abs=1e-6)
+
+    def test_moves_with_center(self):
+        blob = gaussian_blob(9, 9, 0.0, 0.0, 0.2)
+        assert blob[0, 0] == blob.max()
+
+
+class TestSyntheticImages:
+    def test_shapes(self):
+        task = SyntheticImages(small_spec())
+        x_tr, y_tr, x_te, y_te = task.train_test()
+        assert x_tr.shape == (30, 1, 8, 8)
+        assert x_te.shape == (12, 1, 8, 8)
+        assert y_tr.shape == (30,)
+        assert y_te.dtype == np.int64
+
+    def test_pixel_range(self):
+        x_tr, *_ = SyntheticImages(small_spec()).train_test()
+        assert x_tr.min() >= 0.0
+        assert x_tr.max() <= 1.0
+
+    def test_deterministic_by_seed(self):
+        a = SyntheticImages(small_spec()).train_test()
+        b = SyntheticImages(small_spec()).train_test()
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_seed_changes_data(self):
+        a = SyntheticImages(small_spec(seed=1)).train_test()[0]
+        b = SyntheticImages(small_spec(seed=2)).train_test()[0]
+        assert not np.allclose(a, b)
+
+    def test_labels_cover_range(self):
+        spec = small_spec(n_train=300)
+        _, y_tr, _, _ = SyntheticImages(spec).train_test()
+        assert set(np.unique(y_tr)) == {0, 1, 2}
+
+    def test_class_structure_present(self):
+        """Same-class samples are more alike than cross-class samples."""
+        task = SyntheticImages(small_spec(n_train=200, noise=0.03))
+        x, y, _, _ = task.train_test()
+        protos = np.stack([x[y == c].mean(axis=0) for c in range(3)])
+        within = np.mean([
+            np.linalg.norm(x[i] - protos[y[i]]) for i in range(len(x))
+        ])
+        across = np.mean([
+            np.linalg.norm(x[i] - protos[(y[i] + 1) % 3]) for i in range(len(x))
+        ])
+        assert within < across
+
+    def test_sample_count_validation(self):
+        task = SyntheticImages(small_spec())
+        with pytest.raises(ValueError):
+            task.sample(0, 1)
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError, match="classes"):
+            SyntheticImages(small_spec(num_classes=1))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            SyntheticImages(small_spec(shape=(0, 8, 8)))
+
+    def test_scaled_spec(self):
+        spec = small_spec(n_train=100, n_test=50).scaled(0.1)
+        assert spec.n_train == 10
+        assert spec.n_test == 5
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        channels=st.integers(1, 3),
+        size=st.integers(6, 16),
+        classes=st.integers(2, 6),
+    )
+    def test_arbitrary_specs_valid(self, channels, size, classes):
+        spec = small_spec(shape=(channels, size, size), num_classes=classes, n_train=8)
+        x, y = SyntheticImages(spec).sample(8, 0)
+        assert x.shape == (8, channels, size, size)
+        assert 0.0 <= x.min() and x.max() <= 1.0
+        assert ((0 <= y) & (y < classes)).all()
+
+
+class TestNamedDatasets:
+    def test_mnist_like_shape(self):
+        from repro.datasets.images import synthetic_mnist
+
+        task = synthetic_mnist(n_train=10, n_test=5)
+        assert task.spec.shape == (1, 28, 28)
+        assert task.spec.num_classes == 10
+
+    def test_cifar10_like_shape(self):
+        from repro.datasets.images import synthetic_cifar10
+
+        task = synthetic_cifar10(n_train=10, n_test=5)
+        assert task.spec.shape == (3, 32, 32)
+        assert task.spec.num_classes == 10
+
+    def test_cifar100_like_classes(self):
+        from repro.datasets.images import synthetic_cifar100
+
+        task = synthetic_cifar100(n_train=10, n_test=5)
+        assert task.spec.num_classes == 100

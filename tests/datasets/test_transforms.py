@@ -1,0 +1,64 @@
+"""Array transforms."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.transforms import flatten_images, one_hot, standardize, to_unit_range
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(out, np.eye(3)[[0, 2, 1]])
+
+    def test_rows_sum_to_one(self):
+        out = one_hot(np.array([1, 1, 0]), 4)
+        np.testing.assert_array_equal(out.sum(axis=1), np.ones(3))
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="range"):
+            one_hot(np.array([3]), 3)
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestStandardize:
+    def test_zero_mean_unit_std(self, rng):
+        x = rng.normal(loc=3.0, scale=2.0, size=(10, 2, 4, 4))
+        out, mean, std = standardize(x)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-10)
+
+    def test_reuses_train_stats(self, rng):
+        x_tr = rng.normal(size=(10, 1, 3, 3))
+        x_te = rng.normal(size=(4, 1, 3, 3))
+        _, mean, std = standardize(x_tr)
+        out, _, _ = standardize(x_te, mean, std)
+        np.testing.assert_allclose(out, (x_te - mean) / std)
+
+    def test_requires_nchw(self):
+        with pytest.raises(ValueError):
+            standardize(np.zeros((3, 4)))
+
+
+class TestToUnitRange:
+    def test_maps_to_01(self, rng):
+        x = rng.normal(size=(5, 5)) * 10
+        out = to_unit_range(x)
+        assert out.min() == pytest.approx(0.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_constant_input(self):
+        out = to_unit_range(np.full((3, 3), 7.0))
+        np.testing.assert_array_equal(out, np.zeros((3, 3)))
+
+
+class TestFlatten:
+    def test_shape(self):
+        assert flatten_images(np.zeros((2, 3, 4, 4))).shape == (2, 48)
+
+    def test_requires_nchw(self):
+        with pytest.raises(ValueError):
+            flatten_images(np.zeros((2, 3)))

@@ -1,0 +1,107 @@
+"""Operation-count analysis (Table III)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.paper import PAPER_TABLE3
+from repro.energy.cost import (
+    OperationCounts,
+    TDSNNCostModel,
+    dnn_operation_counts,
+    network_fanout,
+    paper_vgg16_cifar100_neurons,
+    scheme_operation_counts,
+)
+
+
+class TestOperationCounts:
+    def test_millions(self):
+        ops = OperationCounts(2e6, 4e6).in_millions()
+        assert ops.mult == 2.0 and ops.add == 4.0
+
+    def test_add(self):
+        total = OperationCounts(1.0, 2.0) + OperationCounts(3.0, 4.0)
+        assert total.mult == 4.0 and total.add == 6.0
+
+
+class TestDNNOps:
+    def test_counts_tiny_network(self, tiny_network):
+        ops = dnn_operation_counts(tiny_network)
+        # conv1: 8*8 positions * 1*3*3 * 6 = 3456
+        # conv2: 4*4 * 6*3*3 * 8 = 6912 ; fc: 32*3 = 96
+        assert ops.mult == pytest.approx(3456 + 6912 + 96)
+        assert ops.add == ops.mult
+
+    def test_mult_equals_add(self, tiny_network):
+        ops = dnn_operation_counts(tiny_network)
+        assert ops.mult == ops.add
+
+
+class TestSchemeOps:
+    def test_rate_has_no_multiplies(self):
+        ops = scheme_operation_counts("rate", 1000.0)
+        assert ops.mult == 0.0 and ops.add == 1000.0
+
+    @pytest.mark.parametrize("scheme", ["phase", "burst", "ttfs"])
+    def test_weighted_schemes_mac_per_spike(self, scheme):
+        ops = scheme_operation_counts(scheme, 500.0)
+        assert ops.mult == 500.0 and ops.add == 500.0
+
+    def test_fanout_weighting(self):
+        ops = scheme_operation_counts("rate", 100.0, per_spike_fanout=54.0)
+        assert ops.add == 5400.0
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            scheme_operation_counts("morse", 10.0)
+
+    def test_negative_spikes_rejected(self):
+        with pytest.raises(ValueError):
+            scheme_operation_counts("rate", -1.0)
+
+    def test_paper_convention_reproduces_table3(self):
+        """Table III's spiking rows equal the Table II spike counts under the
+        one-op-per-spike convention."""
+        from repro.analysis.paper import PAPER_TABLE2
+
+        for scheme in ("rate", "phase", "burst", "ttfs"):
+            spikes_millions = PAPER_TABLE2["cifar100"][scheme]["spikes"] / 1e6
+            ops = scheme_operation_counts(scheme, spikes_millions)
+            assert ops.add == pytest.approx(PAPER_TABLE3[scheme]["add"], rel=1e-6)
+            expected_mult = PAPER_TABLE3[scheme]["mult"]
+            assert ops.mult == pytest.approx(expected_mult, rel=1e-6)
+
+
+class TestNetworkFanout:
+    def test_fanout_positive(self, tiny_network):
+        fans = network_fanout(tiny_network)
+        assert set(fans) == {"conv1", "conv2"}
+        assert all(f > 0 for f in fans.values())
+
+    def test_fanout_magnitude(self, tiny_network):
+        fans = network_fanout(tiny_network)
+        # conv1 -> conv2 ops = 6912 over 384 neurons = 18 per neuron.
+        assert fans["conv1"] == pytest.approx(6912 / 384)
+
+
+class TestTDSNNModel:
+    def test_paper_neuron_count(self):
+        assert paper_vgg16_cifar100_neurons() == 277_604
+
+    def test_default_estimate_matches_paper_row(self):
+        model = TDSNNCostModel(num_neurons=paper_vgg16_cifar100_neurons())
+        ops = model.operation_counts().in_millions()
+        assert ops.mult == pytest.approx(PAPER_TABLE3["tdsnn"]["mult"], rel=0.02)
+        assert ops.add == pytest.approx(PAPER_TABLE3["tdsnn"]["add"], rel=0.02)
+
+    def test_for_network(self, tiny_network):
+        model = TDSNNCostModel.for_network(tiny_network)
+        assert model.num_neurons == tiny_network.total_neurons
+
+    def test_rejects_bad_neurons(self):
+        with pytest.raises(ValueError):
+            TDSNNCostModel(num_neurons=0).operation_counts()
+
+    def test_ticking_overhead_dominates_adds(self):
+        ops = TDSNNCostModel(num_neurons=1000).operation_counts()
+        assert ops.add > ops.mult

@@ -1,0 +1,75 @@
+"""Energy model — including exact reproduction of Table II's energy columns."""
+
+import pytest
+
+from repro.analysis.paper import PAPER_TABLE2
+from repro.energy.model import SPINNAKER, TRUENORTH, EnergyModel, EnergyParams, normalized_energy
+
+
+class TestEnergyParams:
+    def test_presets(self):
+        assert TRUENORTH.e_dyn == 0.4 and TRUENORTH.e_sta == 0.6
+        assert SPINNAKER.e_dyn == 0.64 and SPINNAKER.e_sta == 0.36
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EnergyParams("bad", -0.1, 0.5)
+
+
+class TestNormalizedEnergy:
+    def test_baseline_is_one(self):
+        assert normalized_energy(5.0, 10.0, 5.0, 10.0, TRUENORTH) == pytest.approx(1.0)
+
+    def test_linear_in_spikes(self):
+        base = normalized_energy(1.0, 10.0, 1.0, 10.0, TRUENORTH)
+        double = normalized_energy(2.0, 10.0, 1.0, 10.0, TRUENORTH)
+        assert double - base == pytest.approx(TRUENORTH.e_dyn)
+
+    def test_rejects_bad_baseline(self):
+        with pytest.raises(ValueError):
+            normalized_energy(1.0, 1.0, 0.0, 1.0, TRUENORTH)
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            normalized_energy(-1.0, 1.0, 1.0, 1.0, TRUENORTH)
+
+
+class TestPaperTable2Rows:
+    """Every published energy value follows from the published spikes and
+    latency via E = Edyn*S/S_rate + Esta*L/L_rate — strong evidence this is
+    the paper's exact formula, and a regression test for our implementation."""
+
+    @pytest.mark.parametrize("dataset", ["mnist", "cifar10", "cifar100"])
+    @pytest.mark.parametrize("scheme", ["rate", "phase", "burst", "ttfs"])
+    def test_truenorth_column(self, dataset, scheme):
+        block = PAPER_TABLE2[dataset]
+        model = EnergyModel(block["rate"]["spikes"], block["rate"]["latency"])
+        row = block[scheme]
+        assert model.truenorth(row["spikes"], row["latency"]) == pytest.approx(
+            row["tn"], abs=0.002
+        )
+
+    @pytest.mark.parametrize("dataset", ["mnist", "cifar10", "cifar100"])
+    @pytest.mark.parametrize("scheme", ["rate", "phase", "burst", "ttfs"])
+    def test_spinnaker_column(self, dataset, scheme):
+        block = PAPER_TABLE2[dataset]
+        model = EnergyModel(block["rate"]["spikes"], block["rate"]["latency"])
+        row = block[scheme]
+        assert model.spinnaker(row["spikes"], row["latency"]) == pytest.approx(
+            row["sn"], abs=0.002
+        )
+
+    def test_paper_headline_energy_claim(self):
+        """'reduce energy consumption to about 6% ... compared to rate
+        coding' — mean of TTFS TN/SN across datasets."""
+        ratios = []
+        for dataset in ("mnist", "cifar10", "cifar100"):
+            row = PAPER_TABLE2[dataset]["ttfs"]
+            ratios.extend([row["tn"], row["sn"]])
+        assert sum(ratios) / len(ratios) == pytest.approx(0.06, abs=0.02)
+
+
+class TestEnergyModelWrapper:
+    def test_requires_positive_baseline(self):
+        with pytest.raises(ValueError):
+            EnergyModel(0.0, 10.0)

@@ -1,0 +1,87 @@
+"""Integration: the VGG family end to end on a color task.
+
+Covers the code path the CIFAR benchmarks use — VGG builder, conversion of
+a deeper conv stack with pooling between stages, and the TTFS pipeline over
+7 weight layers — at a width/test-size small enough for the unit suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.convert.converter import convert_to_snn
+from repro.core.t2fsnn import T2FSNN
+from repro.datasets.synthetic import ImageTaskSpec, SyntheticImages
+from repro.nn.architectures import count_weight_layers, vgg7
+from repro.nn.optim import Adam
+from repro.nn.training import Trainer
+
+
+@pytest.fixture(scope="module")
+def vgg_system():
+    spec = ImageTaskSpec(
+        name="color-tiny",
+        shape=(3, 32, 32),
+        num_classes=4,
+        n_train=160,
+        n_test=60,
+        noise=0.06,
+        max_shift=2,
+        components=3,
+        seed=23,
+    )
+    task = SyntheticImages(spec)
+    x_tr, y_tr, x_te, y_te = task.train_test()
+    model = vgg7(input_shape=(3, 32, 32), num_classes=4, width=0.07, rng=9)
+    trainer = Trainer(model, Adam(model.params(), lr=3e-3), rng=2)
+    trainer.fit(x_tr, y_tr, epochs=5, batch_size=32)
+    network = convert_to_snn(model, x_tr[:96])
+    return model, network, (x_tr, y_tr, x_te, y_te)
+
+
+class TestVGGConversion:
+    def test_seven_weight_layers(self, vgg_system):
+        model, network, _ = vgg_system
+        assert count_weight_layers(model) == 7
+        assert network.num_weight_layers == 7
+
+    def test_stage_structure(self, vgg_system):
+        _, network, _ = vgg_system
+        names = network.stage_names()
+        assert names[-1] == "classifier"
+        assert sum(1 for n in names if n.startswith("conv")) == 6
+
+    def test_pools_inside_stages(self, vgg_system):
+        from repro.nn.layers import AvgPool2D
+
+        _, network, _ = vgg_system
+        ops = [op for stage in network.stages for op in stage.ops]
+        assert sum(1 for op in ops if isinstance(op, AvgPool2D)) == 3
+
+    def test_analog_matches_source(self, vgg_system):
+        model, network, data = vgg_system
+        x_te = data[2]
+        src = model.predict(x_te).argmax(axis=1)
+        conv = network.predict_analog(x_te)
+        assert (src == conv).mean() >= 0.9
+
+
+class TestVGGT2FSNN:
+    def test_latency_formulas(self, vgg_system):
+        _, network, _ = vgg_system
+        base = T2FSNN(network, window=20)
+        ef = T2FSNN(network, window=20, early_firing=True)
+        assert base.decision_time == 7 * 20
+        assert ef.decision_time == 6 * 10 + 20
+
+    def test_ttfs_accuracy_tracks_analog(self, vgg_system):
+        _, network, data = vgg_system
+        x_te, y_te = data[2], data[3]
+        analog = float((network.predict_analog(x_te) == y_te).mean())
+        result = T2FSNN(network, window=20).run(x_te, y_te)
+        assert result.accuracy >= analog - 0.2
+
+    def test_spike_sparsity(self, vgg_system):
+        _, network, data = vgg_system
+        result = T2FSNN(network, window=20).run(data[2][:20])
+        upper = int(np.prod(network.input_shape)) + network.total_neurons
+        assert result.total_spikes <= upper

@@ -1,0 +1,77 @@
+"""Architecture builders: shapes, layer counts and the latency-model L."""
+
+import numpy as np
+import pytest
+
+from repro.nn.architectures import (
+    VGG_SPECS,
+    build_vgg,
+    count_weight_layers,
+    lenet,
+    vgg7,
+    vgg16,
+)
+
+
+class TestVGGBuilders:
+    def test_vgg7_forward_shape(self, rng):
+        model = vgg7(input_shape=(3, 32, 32), num_classes=10, width=0.1, rng=0)
+        out = model.forward(rng.random(size=(2, 3, 32, 32)))
+        assert out.shape == (2, 10)
+
+    def test_vgg7_weight_layers(self):
+        model = vgg7(width=0.1, rng=0)
+        assert count_weight_layers(model) == 7
+
+    def test_vgg16_weight_layers(self):
+        # The paper's L = 16 (13 conv + 3 dense).
+        model = vgg16(width=0.05, rng=0)
+        assert count_weight_layers(model) == 16
+
+    def test_all_specs_build(self, rng):
+        for name in VGG_SPECS:
+            model = build_vgg(name, (3, 32, 32), 10, width=0.05, rng=0)
+            out = model.forward(rng.random(size=(1, 3, 32, 32)))
+            assert out.shape == (1, 10)
+
+    def test_width_scales_channels(self):
+        narrow = vgg7(width=0.25, rng=0)
+        wide = vgg7(width=1.0, rng=0)
+        assert wide.count_params() > narrow.count_params()
+
+    def test_batch_norm_inserted(self):
+        from repro.nn.batchnorm import BatchNorm2D
+
+        model = vgg7(width=0.1, batch_norm=True, rng=0)
+        assert any(isinstance(layer, BatchNorm2D) for layer in model.layers)
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(ValueError, match="unknown VGG"):
+            build_vgg("vgg99", (3, 32, 32), 10)
+
+    def test_bad_width_raises(self):
+        with pytest.raises(ValueError, match="width"):
+            build_vgg("vgg7", (3, 32, 32), 10, width=0.0)
+
+    def test_deterministic_given_seed(self, rng):
+        a = vgg7(width=0.1, rng=42)
+        b = vgg7(width=0.1, rng=42)
+        x = rng.random(size=(1, 3, 32, 32))
+        np.testing.assert_allclose(a.forward(x), b.forward(x))
+
+
+class TestLeNet:
+    def test_forward_shape(self, rng):
+        model = lenet(width=0.25, rng=0)
+        assert model.forward(rng.random(size=(2, 1, 28, 28))).shape == (2, 10)
+
+    def test_weight_layers_is_seven(self):
+        # DESIGN.md §5: L=7 so EF latency at T=10 lands on the paper's 40.
+        assert count_weight_layers(lenet(width=0.25, rng=0)) == 7
+
+    def test_convs_have_no_bias(self):
+        from repro.nn.layers import Conv2D
+
+        model = lenet(width=0.25, rng=0)
+        convs = [l for l in model.layers if isinstance(l, Conv2D)]
+        assert convs and all(c.bias is None for c in convs)

@@ -1,0 +1,95 @@
+"""BatchNorm2D statistics, gradients and folding constants."""
+
+import numpy as np
+import pytest
+
+from repro.nn.batchnorm import BatchNorm2D
+
+
+class TestForward:
+    def test_normalizes_batch(self, rng):
+        bn = BatchNorm2D(3)
+        x = rng.normal(loc=5.0, scale=2.0, size=(8, 3, 4, 4))
+        out = bn.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_gamma_beta_applied(self, rng):
+        bn = BatchNorm2D(2)
+        bn.gamma.data[...] = 3.0
+        bn.beta.data[...] = -1.0
+        out = bn.forward(rng.normal(size=(6, 2, 3, 3)), training=True)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), -1.0, atol=1e-10)
+
+    def test_running_stats_updated(self, rng):
+        bn = BatchNorm2D(2, momentum=0.0)  # momentum 0: running = batch stats
+        x = rng.normal(loc=2.0, size=(16, 2, 4, 4))
+        bn.forward(x, training=True)
+        np.testing.assert_allclose(bn.running_mean, x.mean(axis=(0, 2, 3)))
+
+    def test_inference_uses_running_stats(self, rng):
+        bn = BatchNorm2D(2, momentum=0.0)
+        x = rng.normal(size=(16, 2, 4, 4))
+        bn.forward(x, training=True)
+        out_train_stats = bn.forward(x, training=False)
+        x_hat = (x - bn.running_mean.reshape(1, -1, 1, 1)) / np.sqrt(
+            bn.running_var.reshape(1, -1, 1, 1) + bn.eps
+        )
+        np.testing.assert_allclose(out_train_stats, x_hat, atol=1e-10)
+
+    def test_rejects_bad_channels(self, rng):
+        with pytest.raises(ValueError, match="expects"):
+            BatchNorm2D(3).forward(rng.normal(size=(2, 2, 4, 4)))
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            BatchNorm2D(3, momentum=1.0)
+
+
+class TestBackward:
+    def test_gradient_numerical(self, rng):
+        bn = BatchNorm2D(2)
+        x = rng.normal(size=(4, 2, 3, 3))
+
+        def loss_fn(inp):
+            out = BatchNorm2D(2).forward(inp, training=True)
+            return 0.5 * float((out**2).sum())
+
+        out = bn.forward(x, training=True)
+        analytic = bn.backward(out.copy())
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        it = np.nditer(x, flags=["multi_index"])
+        while not it.finished:
+            idx = it.multi_index
+            orig = x[idx]
+            x[idx] = orig + eps
+            fp = loss_fn(x)
+            x[idx] = orig - eps
+            fm = loss_fn(x)
+            x[idx] = orig
+            numeric[idx] = (fp - fm) / (2 * eps)
+            it.iternext()
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_gamma_beta_gradients(self, rng):
+        bn = BatchNorm2D(2)
+        x = rng.normal(size=(4, 2, 3, 3))
+        out = bn.forward(x, training=True)
+        bn.backward(np.ones_like(out))
+        # dL/dbeta for L = sum(out) is the element count per channel.
+        np.testing.assert_allclose(bn.beta.grad, [36.0, 36.0])
+
+
+class TestFolding:
+    def test_fold_constants_reproduce_inference(self, rng):
+        bn = BatchNorm2D(3)
+        bn.gamma.data[...] = rng.uniform(0.5, 2.0, size=3)
+        bn.beta.data[...] = rng.normal(size=3)
+        bn.running_mean = rng.normal(size=3)
+        bn.running_var = rng.uniform(0.5, 2.0, size=3)
+        x = rng.normal(size=(5, 3, 4, 4))
+        scale, shift = bn.fold_constants()
+        expected = bn.forward(x, training=False)
+        folded = x * scale.reshape(1, -1, 1, 1) + shift.reshape(1, -1, 1, 1)
+        np.testing.assert_allclose(folded, expected, atol=1e-10)

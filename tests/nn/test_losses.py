@@ -1,0 +1,100 @@
+"""Loss values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import softmax
+from repro.nn.losses import MSE, SoftmaxCrossEntropy
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        assert loss.forward(logits, np.array([0, 1])) < 1e-6
+
+    def test_uniform_prediction(self):
+        loss = SoftmaxCrossEntropy()
+        value = loss.forward(np.zeros((4, 8)), np.arange(4) % 8)
+        assert value == pytest.approx(np.log(8))
+
+    def test_one_hot_targets_match_integer(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[1.0, 2.0, 0.5], [0.1, -1.0, 0.3]])
+        labels = np.array([1, 2])
+        onehot = np.zeros((2, 3))
+        onehot[np.arange(2), labels] = 1.0
+        assert loss.forward(logits, labels) == pytest.approx(
+            SoftmaxCrossEntropy().forward(logits, onehot)
+        )
+
+    def test_gradient_formula(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[0.2, -0.3, 1.0]])
+        loss.forward(logits, np.array([2]))
+        grad = loss.backward()
+        expected = softmax(logits) - np.array([[0.0, 0.0, 1.0]])
+        np.testing.assert_allclose(grad, expected)
+
+    def test_gradient_numerical(self):
+        logits = np.array([[0.4, -0.1], [0.3, 0.9]])
+        labels = np.array([0, 1])
+        loss = SoftmaxCrossEntropy()
+        loss.forward(logits, labels)
+        analytic = loss.backward()
+        eps = 1e-6
+        numeric = np.zeros_like(logits)
+        for i in range(2):
+            for j in range(2):
+                plus, minus = logits.copy(), logits.copy()
+                plus[i, j] += eps
+                minus[i, j] -= eps
+                numeric[i, j] = (
+                    SoftmaxCrossEntropy().forward(plus, labels)
+                    - SoftmaxCrossEntropy().forward(minus, labels)
+                ) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-8)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy().forward(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError, match="incompatible"):
+            SoftmaxCrossEntropy().forward(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropy().backward()
+
+
+class TestMSE:
+    def test_zero_for_equal(self):
+        assert MSE().forward(np.ones(5), np.ones(5)) == 0.0
+
+    def test_value(self):
+        # 0.5 * mean((1)^2) = 0.5
+        assert MSE().forward(np.ones(4), np.zeros(4)) == pytest.approx(0.5)
+
+    def test_gradient(self):
+        loss = MSE()
+        pred = np.array([1.0, 2.0, 3.0])
+        loss.forward(pred, np.zeros(3))
+        np.testing.assert_allclose(loss.backward(), pred / 3)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            MSE().forward(np.ones(3), np.ones(4))
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(5, 7)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+
+    def test_shift_invariance(self, rng):
+        logits = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_extreme_values_stable(self):
+        probs = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)

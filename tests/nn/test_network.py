@@ -1,0 +1,86 @@
+"""Sequential container behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import ReLU
+from repro.nn.layers import Conv2D, Dense, Flatten
+from repro.nn.network import Sequential
+
+from tests.conftest import build_tiny_model
+
+
+class TestForwardBackward:
+    def test_forward_shape(self, rng):
+        model = build_tiny_model(rng=0)
+        out = model.forward(rng.random(size=(4, 1, 8, 8)))
+        assert out.shape == (4, 3)
+
+    def test_backward_runs(self, rng):
+        model = build_tiny_model(rng=0)
+        out = model.forward(rng.random(size=(2, 1, 8, 8)), training=True)
+        grad = model.backward(np.ones_like(out))
+        assert grad.shape == (2, 1, 8, 8)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+
+class TestParams:
+    def test_param_collection(self):
+        model = build_tiny_model(rng=0)
+        # conv(1) + conv(1) + dense(2: weight+bias)
+        assert len(model.params()) == 4
+
+    def test_named_params_keys(self):
+        model = build_tiny_model(rng=0)
+        names = set(model.named_params())
+        assert "0.weight" in names
+        assert "7.weight" in names and "7.bias" in names
+
+    def test_count_params_positive(self):
+        assert build_tiny_model(rng=0).count_params() > 100
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        a = build_tiny_model(rng=1)
+        b = build_tiny_model(rng=2)
+        x = rng.random(size=(3, 1, 8, 8))
+        assert not np.allclose(a.forward(x), b.forward(x))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.forward(x), b.forward(x))
+
+    def test_unknown_key_raises(self):
+        model = build_tiny_model(rng=0)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"99.weight": np.zeros(3)})
+
+    def test_shape_mismatch_raises(self):
+        model = build_tiny_model(rng=0)
+        state = model.state_dict()
+        state["0.weight"] = np.zeros((1, 1, 1, 1))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            model.load_state_dict(state)
+
+
+class TestPredict:
+    def test_predict_matches_forward(self, rng):
+        model = build_tiny_model(rng=0)
+        x = rng.random(size=(10, 1, 8, 8))
+        np.testing.assert_allclose(model.predict(x, batch_size=3), model.forward(x))
+
+
+class TestOutputShape:
+    def test_propagates(self):
+        model = Sequential(
+            [Conv2D(1, 4, 3, pad=1, rng=0), ReLU(), Flatten(), Dense(4 * 6 * 6, 5, rng=0)],
+            input_shape=(1, 6, 6),
+        )
+        assert model.output_shape() == (5,)
+
+    def test_requires_input_shape(self):
+        model = Sequential([Dense(3, 2, rng=0)])
+        with pytest.raises(ValueError):
+            model.output_shape()

@@ -1,0 +1,110 @@
+"""Optimizer behaviour on analytically tractable problems."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.optim import SGD, Adam
+
+
+def quadratic_grad(p):
+    """Gradient of f(w) = 0.5 ||w||^2 is w itself."""
+    return p.data.copy()
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = Parameter(np.array([2.0]))
+        opt = SGD([p], lr=0.5)
+        p.grad[...] = quadratic_grad(p)
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = SGD([p], lr=0.3)
+        for _ in range(50):
+            opt.zero_grad()
+            p.grad[...] = quadratic_grad(p)
+            opt.step()
+        assert np.abs(p.data).max() < 1e-6
+
+    def test_momentum_accelerates(self):
+        def distance_after(momentum, steps=10):
+            p = Parameter(np.array([1.0]))
+            opt = SGD([p], lr=0.05, momentum=momentum)
+            for _ in range(steps):
+                opt.zero_grad()
+                p.grad[...] = quadratic_grad(p)
+                opt.step()
+            return abs(float(p.data[0]))
+
+        assert distance_after(0.9) < distance_after(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad[...] = 0.0
+        opt.step()
+        np.testing.assert_allclose(p.data, [0.9])
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError, match="nesterov"):
+            SGD([Parameter(np.ones(1))], lr=0.1, nesterov=True)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.0)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_zero_grad(self):
+        p = Parameter(np.ones(2))
+        opt = SGD([p], lr=0.1)
+        p.grad += 5.0
+        opt.zero_grad()
+        np.testing.assert_array_equal(p.grad, np.zeros(2))
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([4.0, -2.0]))
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            p.grad[...] = quadratic_grad(p)
+            opt.step()
+        assert np.abs(p.data).max() < 1e-3
+
+    def test_first_step_size_is_lr(self):
+        # With bias correction the very first Adam step is ~lr * sign(grad).
+        p = Parameter(np.array([10.0]))
+        opt = Adam([p], lr=0.1)
+        p.grad[...] = np.array([3.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [10.0 - 0.1], atol=1e-6)
+
+    def test_scale_invariance(self):
+        # Adam normalizes by gradient magnitude: big/small grads take
+        # comparable first steps.
+        outs = []
+        for scale in (1e-3, 1e3):
+            p = Parameter(np.array([1.0]))
+            opt = Adam([p], lr=0.01)
+            p.grad[...] = np.array([scale])
+            opt.step()
+            outs.append(float(1.0 - p.data[0]))
+        assert outs[0] == pytest.approx(outs[1], rel=1e-3)
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValueError, match="betas"):
+            Adam([Parameter(np.ones(1))], lr=0.1, betas=(1.0, 0.9))
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad[...] = 0.0
+        opt.step()
+        assert float(p.data[0]) < 1.0

@@ -1,0 +1,101 @@
+"""Trainer: learning progress, history, schedules, clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense
+from repro.nn.activations import ReLU
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD, Adam
+from repro.nn.training import Trainer, accuracy, step_decay
+
+
+def make_blobs(n_per_class=60, rng=None):
+    """Two well-separated Gaussian blobs in 2-D."""
+    rng = np.random.default_rng(rng)
+    a = rng.normal(loc=(-2.0, 0.0), scale=0.5, size=(n_per_class, 2))
+    b = rng.normal(loc=(2.0, 0.0), scale=0.5, size=(n_per_class, 2))
+    x = np.concatenate([a, b])
+    y = np.concatenate([np.zeros(n_per_class, int), np.ones(n_per_class, int)])
+    return x, y
+
+
+def make_mlp(rng=0):
+    return Sequential([Dense(2, 16, rng=rng), ReLU(), Dense(16, 2, rng=rng)])
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+
+    def test_half(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1])) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestTrainer:
+    def test_learns_blobs(self):
+        x, y = make_blobs(rng=0)
+        model = make_mlp()
+        trainer = Trainer(model, SGD(model.params(), lr=0.1), rng=0)
+        trainer.fit(x, y, epochs=20, batch_size=16)
+        assert trainer.evaluate(x, y) > 0.95
+
+    def test_loss_decreases(self):
+        x, y = make_blobs(rng=1)
+        model = make_mlp(rng=1)
+        trainer = Trainer(model, Adam(model.params(), lr=1e-2), rng=1)
+        history = trainer.fit(x, y, epochs=10, batch_size=16)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_history_lengths(self):
+        x, y = make_blobs(rng=2)
+        model = make_mlp(rng=2)
+        trainer = Trainer(model, SGD(model.params(), lr=0.05), rng=2)
+        history = trainer.fit(x, y, epochs=4, batch_size=32, val_data=(x, y))
+        assert history.epochs == 4
+        assert len(history.val_accuracy) == 4
+
+    def test_mismatched_xy_raises(self):
+        model = make_mlp()
+        trainer = Trainer(model, SGD(model.params(), lr=0.1))
+        with pytest.raises(ValueError, match="length"):
+            trainer.fit(np.zeros((4, 2)), np.zeros(3), epochs=1)
+
+    def test_zero_epochs_raises(self):
+        model = make_mlp()
+        trainer = Trainer(model, SGD(model.params(), lr=0.1))
+        with pytest.raises(ValueError, match="epochs"):
+            trainer.fit(np.zeros((4, 2)), np.zeros(4, int), epochs=0)
+
+    def test_grad_clip_limits_norm(self):
+        x, y = make_blobs(rng=3)
+        model = make_mlp(rng=3)
+        trainer = Trainer(model, SGD(model.params(), lr=0.1), grad_clip=1e-9, rng=3)
+        before = [p.data.copy() for p in model.params()]
+        trainer.train_batch(x[:16], y[:16])
+        after = model.params()
+        # With a vanishing clip threshold the update is ~zero.
+        for b, a in zip(before, after):
+            np.testing.assert_allclose(b, a.data, atol=1e-8)
+
+    def test_lr_schedule_applied(self):
+        x, y = make_blobs(rng=4)
+        model = make_mlp(rng=4)
+        opt = SGD(model.params(), lr=1.0)
+        trainer = Trainer(model, opt, lr_schedule=step_decay([1], gamma=0.1), rng=4)
+        trainer.fit(x, y, epochs=2, batch_size=64)
+        assert opt.lr == pytest.approx(0.1)
+
+
+class TestStepDecay:
+    def test_milestones(self):
+        sched = step_decay([5, 10], gamma=0.5)
+        assert sched(0) == 1.0
+        assert sched(5) == 0.5
+        assert sched(10) == 0.25

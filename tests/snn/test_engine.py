@@ -1,0 +1,92 @@
+"""Simulation engine: correctness against analog references and bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.coding.rate import RateCoding
+from repro.coding.ttfs import TTFSCoding
+from repro.snn.engine import Simulator
+from repro.snn.monitors import SpikeCountMonitor
+
+
+class TestRateSimulation:
+    def test_matches_analog_predictions(self, tiny_network, tiny_data):
+        """Long rate simulation converges to the analog network's argmax."""
+        x, y = tiny_data[2][:40], tiny_data[3][:40]
+        sim = Simulator(tiny_network, RateCoding(), steps=300)
+        result = sim.run(x, y)
+        analog = tiny_network.predict_analog(x)
+        assert (result.predictions == analog).mean() >= 0.9
+
+    def test_accuracy_close_to_analog(self, tiny_network, tiny_data):
+        x, y = tiny_data[2][:40], tiny_data[3][:40]
+        result = Simulator(tiny_network, RateCoding(), steps=300).run(x, y)
+        analog_acc = float((tiny_network.predict_analog(x) == y).mean())
+        assert result.accuracy >= analog_acc - 0.1
+
+    def test_spike_counts_scale_with_steps(self, tiny_network, tiny_data):
+        x = tiny_data[2][:10]
+        short = Simulator(tiny_network, RateCoding(), steps=50).run(x)
+        long = Simulator(tiny_network, RateCoding(), steps=200).run(x)
+        assert long.total_spikes > 2 * short.total_spikes
+
+    def test_no_input_spikes_counted_for_analog(self, tiny_network, tiny_data):
+        result = Simulator(tiny_network, RateCoding(), steps=20).run(tiny_data[2][:5])
+        assert result.spike_counts["input"] == 0.0
+
+    def test_per_stage_counts_present(self, tiny_network, tiny_data):
+        result = Simulator(tiny_network, RateCoding(), steps=30).run(tiny_data[2][:5])
+        assert set(result.spike_counts) == {"input", "conv1", "conv2"}
+
+
+class TestEngineValidation:
+    def test_wrong_input_shape_rejected(self, tiny_network):
+        sim = Simulator(tiny_network, RateCoding(), steps=10)
+        with pytest.raises(ValueError, match="input shape"):
+            sim.run(np.zeros((2, 3, 8, 8)))
+
+    def test_label_length_mismatch_rejected(self, tiny_network, tiny_data):
+        sim = Simulator(tiny_network, RateCoding(), steps=10)
+        with pytest.raises(ValueError, match="labels"):
+            sim.run(tiny_data[2][:4], tiny_data[3][:3])
+
+    def test_accuracy_none_without_labels(self, tiny_network, tiny_data):
+        result = Simulator(tiny_network, RateCoding(), steps=10).run(tiny_data[2][:4])
+        assert result.accuracy is None
+
+
+class TestBatchedRun:
+    def test_batched_matches_single(self, tiny_network, tiny_data):
+        x, y = tiny_data[2][:30], tiny_data[3][:30]
+        sim = Simulator(tiny_network, RateCoding(), steps=60)
+        whole = sim.run(x, y)
+        batched = sim.run_batched(x, y, batch_size=7)
+        np.testing.assert_allclose(batched.scores, whole.scores, atol=1e-9)
+        assert batched.accuracy == whole.accuracy
+        assert batched.total_spikes == pytest.approx(whole.total_spikes)
+
+    def test_small_batch_passthrough(self, tiny_network, tiny_data):
+        x, y = tiny_data[2][:5], tiny_data[3][:5]
+        sim = Simulator(tiny_network, RateCoding(), steps=20)
+        result = sim.run_batched(x, y, batch_size=64)
+        assert len(result.predictions) == 5
+
+
+class TestMonitorsIntegration:
+    def test_spike_count_monitor_agrees_with_result(self, tiny_network, tiny_data):
+        x = tiny_data[2][:8]
+        monitor = SpikeCountMonitor()
+        sim = Simulator(tiny_network, RateCoding(), steps=40, monitors=[monitor])
+        result = sim.run(x)
+        per_inf = monitor.per_inference()
+        assert per_inf[0] == pytest.approx(result.spike_counts["conv1"])
+        assert per_inf[1] == pytest.approx(result.spike_counts["conv2"])
+
+
+class TestResultSummary:
+    def test_summary_string(self, tiny_network, tiny_data):
+        result = Simulator(tiny_network, RateCoding(), steps=20).run(
+            tiny_data[2][:4], tiny_data[3][:4]
+        )
+        text = result.summary()
+        assert "accuracy=" in text and "latency=20" in text

@@ -1,0 +1,119 @@
+"""Monitor accumulation logic (exercised standalone, without the engine)."""
+
+import numpy as np
+import pytest
+
+from repro.snn.monitors import (
+    AccuracyCurveMonitor,
+    FirstSpikeMonitor,
+    SpikeCountMonitor,
+    SpikeTimeMonitor,
+)
+from repro.snn.neurons import ReadoutAccumulator
+
+
+def fake_readout(scores):
+    r = ReadoutAccumulator((scores.shape[1],), bias=0.0)
+    r.reset(scores.shape[0])
+    r.accumulate(scores, 0)
+    return r
+
+
+class TestSpikeCountMonitor:
+    def test_counts_events(self):
+        m = SpikeCountMonitor()
+        m.on_run_start(None, np.zeros((2, 1)), None)
+        m.on_step(0, [np.array([[1.0, 0.0]]), None], None)
+        m.on_step(1, [np.array([[1.0, 1.0]]), np.array([[0.5]])], None)
+        assert m.counts == {0: 3, 1: 1}
+
+    def test_per_inference_normalizes(self):
+        m = SpikeCountMonitor()
+        m.on_run_start(None, np.zeros((4, 1)), None)
+        m.on_step(0, [np.ones((4, 2))], None)
+        assert m.per_inference() == {0: 2.0}
+
+    def test_reset(self):
+        m = SpikeCountMonitor()
+        m.on_run_start(None, np.zeros((1, 1)), None)
+        m.on_step(0, [np.ones((1, 1))], None)
+        m.reset()
+        assert m.per_inference() == {}
+
+
+class TestSpikeTimeMonitor:
+    def test_histogram_accumulates(self):
+        m = SpikeTimeMonitor(total_steps=4, num_stages=2)
+        m.on_step(1, [np.array([[1.0, 1.0]]), None], None)
+        m.on_step(2, [None, np.array([[1.0]])], None)
+        assert m.histograms[0, 1] == 2
+        assert m.histograms[1, 2] == 1
+
+    def test_first_spike_time(self):
+        m = SpikeTimeMonitor(total_steps=5, num_stages=1)
+        m.on_step(3, [np.array([[1.0]])], None)
+        assert m.first_spike_time(0) == 3
+
+    def test_first_spike_none_when_silent(self):
+        m = SpikeTimeMonitor(total_steps=5, num_stages=1)
+        assert m.first_spike_time(0) is None
+
+    def test_ignores_out_of_range_steps(self):
+        m = SpikeTimeMonitor(total_steps=2, num_stages=1)
+        m.on_step(5, [np.array([[1.0]])], None)
+        assert m.histograms.sum() == 0
+
+
+class TestAccuracyCurveMonitor:
+    def test_curve_values(self):
+        m = AccuracyCurveMonitor(total_steps=2)
+        y = np.array([0, 1])
+        m.on_run_start(None, np.zeros((2, 1)), y)
+        m.on_step(0, [], fake_readout(np.array([[1.0, 0.0], [1.0, 0.0]])))
+        m.on_step(1, [], fake_readout(np.array([[1.0, 0.0], [0.0, 1.0]])))
+        np.testing.assert_allclose(m.curve(), [0.5, 1.0])
+
+    def test_requires_labels(self):
+        m = AccuracyCurveMonitor(2)
+        with pytest.raises(ValueError):
+            m.on_run_start(None, np.zeros((2, 1)), None)
+
+    def test_accumulates_across_runs(self):
+        m = AccuracyCurveMonitor(1)
+        m.on_run_start(None, np.zeros((1, 1)), np.array([0]))
+        m.on_step(0, [], fake_readout(np.array([[1.0, 0.0]])))
+        m.on_run_start(None, np.zeros((1, 1)), np.array([1]))
+        m.on_step(0, [], fake_readout(np.array([[1.0, 0.0]])))
+        np.testing.assert_allclose(m.curve(), [0.5])
+
+    def test_latency_to_plateau(self):
+        m = AccuracyCurveMonitor(4)
+        m.samples = 1
+        m.correct = np.array([0.0, 0.5, 0.9, 0.9])
+        assert m.latency_to_plateau(tolerance=0.005) == 3
+
+    def test_latency_full_when_still_rising(self):
+        m = AccuracyCurveMonitor(3)
+        m.samples = 1
+        m.correct = np.array([0.0, 0.0, 1.0])
+        assert m.latency_to_plateau() == 3
+
+
+class TestFirstSpikeMonitor:
+    def test_records_first_time_only(self):
+        m = FirstSpikeMonitor(stage_index=0)
+        m.on_run_start(None, None, None)
+        m.on_step(2, [np.array([[1.0, 0.0]])], None)
+        m.on_step(3, [np.array([[1.0, 1.0]])], None)
+        np.testing.assert_array_equal(m.times, [[2, 3]])
+
+    def test_spike_fraction(self):
+        m = FirstSpikeMonitor(stage_index=0)
+        m.on_run_start(None, None, None)
+        m.on_step(0, [np.array([[1.0, 0.0]])], None)
+        assert m.spike_fraction() == 0.5
+
+    def test_fraction_zero_when_silent(self):
+        m = FirstSpikeMonitor(stage_index=0)
+        m.on_run_start(None, None, None)
+        assert m.spike_fraction() == 0.0

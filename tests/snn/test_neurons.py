@@ -1,0 +1,100 @@
+"""Neuron dynamics base classes."""
+
+import numpy as np
+import pytest
+
+from repro.snn.neurons import IFNeurons, ReadoutAccumulator
+
+
+class TestIFNeurons:
+    def test_fires_at_threshold(self):
+        n = IFNeurons((2,), bias=0.0, threshold=1.0)
+        n.reset(1)
+        spikes = n.step(np.array([[1.0, 0.5]]), 0)
+        np.testing.assert_array_equal(spikes, [[1.0, 0.0]])
+
+    def test_reset_by_subtraction_keeps_remainder(self):
+        n = IFNeurons((1,), bias=0.0, threshold=1.0)
+        n.reset(1)
+        n.step(np.array([[1.7]]), 0)
+        assert n.u[0, 0] == pytest.approx(0.7)
+
+    def test_rate_approximates_value(self):
+        """Over T steps with constant drive a, the neuron fires ~a*T times."""
+        n = IFNeurons((1,), bias=0.0)
+        n.reset(1)
+        a = 0.37
+        count = 0
+        for t in range(200):
+            s = n.step(np.array([[a]]), t)
+            if s is not None:
+                count += int(s.sum())
+        # Off by at most the sub-threshold remainder (one spike's worth).
+        assert count / 200 == pytest.approx(a, abs=2.0 / 200)
+
+    def test_silent_returns_none(self):
+        n = IFNeurons((3,), bias=0.0)
+        n.reset(2)
+        assert n.step(np.full((2, 3), 0.1), 0) is None
+
+    def test_none_drive_only_bias(self):
+        n = IFNeurons((1,), bias=np.array([[1.0]]))
+        n.reset(1)
+        spikes = n.step(None, 0)
+        np.testing.assert_array_equal(spikes, [[1.0]])
+
+    def test_step_before_reset_raises(self):
+        with pytest.raises(RuntimeError):
+            IFNeurons((1,), bias=0.0).step(np.zeros((1, 1)), 0)
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            IFNeurons((1,), bias=0.0, threshold=0.0)
+
+    def test_negative_drive_never_fires(self):
+        n = IFNeurons((1,), bias=0.0)
+        n.reset(1)
+        for t in range(50):
+            assert n.step(np.array([[-0.3]]), t) is None
+
+
+class TestReadoutAccumulator:
+    def test_accumulates_current(self):
+        r = ReadoutAccumulator((2,), bias=0.0)
+        r.reset(1)
+        r.accumulate(np.array([[1.0, 2.0]]), 0)
+        r.accumulate(np.array([[0.5, -1.0]]), 1)
+        np.testing.assert_allclose(r.scores(), [[1.5, 1.0]])
+
+    def test_per_step_bias(self):
+        r = ReadoutAccumulator((1,), bias=np.array([[0.5]]), bias_policy="per_step")
+        r.reset(1)
+        for t in range(4):
+            r.accumulate(None, t)
+        assert r.scores()[0, 0] == pytest.approx(2.0)
+
+    def test_per_period_bias(self):
+        r = ReadoutAccumulator(
+            (1,), bias=np.array([[1.0]]), bias_policy="per_period", period=4
+        )
+        r.reset(1)
+        for t in range(8):
+            r.accumulate(None, t)
+        assert r.scores()[0, 0] == pytest.approx(2.0)
+
+    def test_once_at_bias(self):
+        r = ReadoutAccumulator(
+            (1,), bias=np.array([[3.0]]), bias_policy="once_at", bias_time=5
+        )
+        r.reset(1)
+        for t in range(10):
+            r.accumulate(None, t)
+        assert r.scores()[0, 0] == pytest.approx(3.0)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ReadoutAccumulator((1,), bias=0.0, bias_policy="sometimes")
+
+    def test_scores_before_reset_raises(self):
+        with pytest.raises(RuntimeError):
+            ReadoutAccumulator((1,), bias=0.0).scores()

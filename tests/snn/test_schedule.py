@@ -1,0 +1,130 @@
+"""Pipeline schedule: Table I latencies and structural invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.snn.schedule import (
+    baseline_decision_time,
+    build_phased_schedule,
+    early_firing_decision_time,
+    latency_reduction,
+)
+
+
+class TestPaperLatencies:
+    """The latency numbers of Table I are substrate-independent math."""
+
+    def test_vgg16_baseline_is_1280(self):
+        assert baseline_decision_time(16, 80) == 1280
+
+    def test_vgg16_early_firing_is_680(self):
+        assert early_firing_decision_time(16, 80) == 680
+
+    def test_reduction_is_46_9_percent(self):
+        assert latency_reduction(16, 80) == pytest.approx(0.469, abs=0.001)
+
+    def test_mnist_lenet_ef_latency_is_40(self):
+        # L=7 at T=10 (DESIGN.md §5).
+        assert early_firing_decision_time(7, 10) == 40
+
+    def test_schedule_matches_closed_forms(self):
+        # 16 weight layers = 15 spiking stages + readout.
+        base = build_phased_schedule(15, 80)
+        ef = build_phased_schedule(15, 80, early_firing=True)
+        assert base.decision_time == 1280
+        assert ef.decision_time == 680
+
+
+class TestScheduleStructure:
+    def test_baseline_windows_abut(self):
+        sched = build_phased_schedule(4, 10)
+        for i, win in enumerate(sched.windows):
+            assert win.integration_start == i * 10
+            assert win.fire_start == (i + 1) * 10
+            assert win.fire_end == (i + 2) * 10
+
+    def test_integration_follows_previous_fire(self):
+        for ef in (False, True):
+            sched = build_phased_schedule(5, 12, early_firing=ef)
+            for prev, cur in zip(sched.windows, sched.windows[1:]):
+                assert cur.integration_start == prev.fire_start
+
+    def test_early_firing_overlaps(self):
+        sched = build_phased_schedule(3, 10, early_firing=True)
+        win = sched.windows[0]
+        # Fire starts before integration of the full window completes.
+        assert win.fire_start == win.integration_start + 5
+
+    def test_fire_window_length_is_T(self):
+        sched = build_phased_schedule(3, 14, early_firing=True)
+        for win in sched.windows:
+            assert win.fire_window == 14
+
+    def test_in_fire_phase(self):
+        sched = build_phased_schedule(2, 8)
+        win = sched.windows[0]
+        assert not win.in_fire_phase(win.fire_start - 1)
+        assert win.in_fire_phase(win.fire_start)
+        assert not win.in_fire_phase(win.fire_end)
+
+    def test_custom_fire_offset(self):
+        sched = build_phased_schedule(4, 12, early_firing=True, fire_offset=3)
+        assert sched.decision_time == 3 * 3 + 3 + 12  # fire_start(3)=4*3, +T
+
+    def test_total_steps_equals_decision(self):
+        sched = build_phased_schedule(3, 9)
+        assert sched.total_steps == sched.decision_time
+
+
+class TestValidation:
+    def test_zero_stages_rejected(self):
+        with pytest.raises(ValueError):
+            build_phased_schedule(0, 10)
+
+    def test_tiny_window_rejected(self):
+        with pytest.raises(ValueError):
+            build_phased_schedule(2, 1)
+
+    def test_offset_beyond_window_rejected(self):
+        with pytest.raises(ValueError, match="fire_offset"):
+            build_phased_schedule(2, 10, early_firing=True, fire_offset=11)
+
+    def test_baseline_with_custom_offset_rejected(self):
+        with pytest.raises(ValueError, match="baseline"):
+            build_phased_schedule(2, 10, early_firing=False, fire_offset=5)
+
+    def test_latency_model_needs_two_layers(self):
+        with pytest.raises(ValueError):
+            baseline_decision_time(1, 10)
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(stages=st.integers(1, 30), window=st.integers(2, 100))
+    def test_ef_never_slower(self, stages, window):
+        base = build_phased_schedule(stages, window)
+        ef = build_phased_schedule(stages, window, early_firing=True)
+        assert ef.decision_time <= base.decision_time
+
+    @settings(max_examples=50, deadline=None)
+    @given(stages=st.integers(1, 30), window=st.integers(2, 100))
+    def test_closed_forms_match_schedule(self, stages, window):
+        layers = stages + 1  # weight layers = spiking stages + readout
+        assert build_phased_schedule(stages, window).decision_time == (
+            baseline_decision_time(layers, window)
+        )
+        assert build_phased_schedule(
+            stages, window, early_firing=True
+        ).decision_time == early_firing_decision_time(layers, window)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        stages=st.integers(2, 20),
+        window=st.integers(2, 60),
+        data=st.data(),
+    )
+    def test_reduction_grows_with_depth(self, stages, window, data):
+        shallow = latency_reduction(stages, window)
+        deeper = latency_reduction(stages + 5, window)
+        assert deeper >= shallow - 1e-12

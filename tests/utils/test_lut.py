@@ -1,0 +1,43 @@
+"""LookupTable behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.lut import LookupTable
+
+
+class TestLookupTable:
+    def test_exact_on_integer_domain(self):
+        fn = lambda t: np.exp(-t / 3.0)
+        lut = LookupTable(fn, size=16)
+        idx = np.arange(16)
+        np.testing.assert_array_equal(lut(idx), fn(idx.astype(float)))
+
+    def test_clamps_out_of_range(self):
+        lut = LookupTable(lambda t: t, size=4)
+        assert lut(np.array([10])).item() == 3.0
+        assert lut(np.array([-5])).item() == 0.0
+
+    def test_max_abs_error_zero_for_same_fn(self):
+        fn = lambda t: np.sqrt(t + 1)
+        assert LookupTable(fn, size=8).max_abs_error(fn) == 0.0
+
+    def test_len(self):
+        assert len(LookupTable(lambda t: t, size=5)) == 5
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            LookupTable(lambda t: t, size=0)
+
+    def test_rejects_shape_changing_fn(self):
+        with pytest.raises(ValueError, match="shape"):
+            LookupTable(lambda t: np.stack([t, t]), size=4)
+
+    @settings(max_examples=20, deadline=None)
+    @given(size=st.integers(1, 64), scale=st.floats(0.5, 10.0))
+    def test_matches_exp_everywhere(self, size, scale):
+        fn = lambda t: np.exp(-t / scale)
+        lut = LookupTable(fn, size=size)
+        assert lut.max_abs_error(fn) == 0.0

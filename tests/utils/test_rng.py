@@ -1,0 +1,39 @@
+"""RNG plumbing."""
+
+import numpy as np
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_int_seed_deterministic(self):
+        a = as_generator(7).random(5)
+        b = as_generator(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_children_independent(self):
+        children = spawn_generators(3, 2)
+        a = children[0].random(8)
+        b = children[1].random(8)
+        assert not np.allclose(a, b)
+
+    def test_deterministic(self):
+        a = [g.random(3) for g in spawn_generators(5, 3)]
+        b = [g.random(3) for g in spawn_generators(5, 3)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_count(self):
+        assert len(spawn_generators(0, 7)) == 7
+
+    def test_zero(self):
+        assert spawn_generators(0, 0) == []

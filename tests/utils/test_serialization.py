@@ -1,0 +1,27 @@
+"""Parameter archive save/load."""
+
+import numpy as np
+
+from repro.utils.serialization import load_params, save_params
+
+
+class TestRoundtrip:
+    def test_params_roundtrip(self, tmp_path):
+        params = {"0.weight": np.arange(6.0).reshape(2, 3), "0.bias": np.zeros(3)}
+        path = tmp_path / "model.npz"
+        save_params(path, params)
+        loaded, meta = load_params(path)
+        assert meta == {}
+        np.testing.assert_array_equal(loaded["0.weight"], params["0.weight"])
+        np.testing.assert_array_equal(loaded["0.bias"], params["0.bias"])
+
+    def test_meta_roundtrip(self, tmp_path):
+        path = tmp_path / "m.npz"
+        save_params(path, {"w": np.ones(2)}, meta={"arch": "vgg7", "width": 0.25})
+        _, meta = load_params(path)
+        assert meta == {"arch": "vgg7", "width": 0.25}
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nest" / "m.npz"
+        save_params(path, {"w": np.ones(1)})
+        assert path.exists()

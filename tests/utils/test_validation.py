@@ -1,0 +1,62 @@
+"""Argument validation helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_in,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.inf, math.nan])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", bad)
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int("n", 3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="n"):
+            check_positive_int("n", bad)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts(self, ok):
+        assert check_probability("p", ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="p"):
+            check_probability("p", bad)
+
+
+class TestCheckFraction:
+    def test_accepts_one(self):
+        assert check_fraction("f", 1.0) == 1.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_fraction("f", 0.0)
+
+
+class TestCheckIn:
+    def test_accepts(self):
+        assert check_in("mode", "a", ("a", "b")) == "a"
+
+    def test_rejects(self):
+        with pytest.raises(ValueError, match="mode"):
+            check_in("mode", "c", ("a", "b"))
