@@ -1,0 +1,114 @@
+"""Engine throughput — dense vs event-driven inference on a VGG-style net.
+
+The event-driven engine's pitch is that simulation cost scales with the
+number of spikes instead of O(T x full-conv).  This benchmark times both
+engines on the same converted VGG network under TTFS coding (baseline and
+early-firing schedules), checks the hard parity requirement (identical
+predictions and spike counts), and writes ``BENCH_engine.json`` at the repo
+root so the perf trajectory is tracked across PRs.
+
+Scale: ``REPRO_SCALE=ci`` (default) runs an untrained width-0.25 VGG-7 in
+seconds; ``REPRO_SCALE=paper`` widens the net and window toward the paper's
+T=80 regime (minutes).  The network is deliberately untrained — conversion
+normalization gives realistic [0, 1] activations and ~0.5 spikes/neuron,
+and throughput does not depend on what the weights encode.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.coding.ttfs import TTFSCoding
+from repro.convert.converter import convert_to_snn
+from repro.nn.architectures import vgg7
+from repro.snn.engine import Simulator
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+#: The acceptance floor: event-driven TTFS must beat dense by at least this.
+#: Overridable for noisy shared runners (CI uses a lower smoke floor — the
+#: tracked number lives in BENCH_engine.json, the assertion only guards
+#: against the fast path rotting).
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "5.0"))
+
+SCALES = {
+    "ci": dict(width=0.25, window=32, batch=8, repeats=2),
+    "paper": dict(width=1.0, window=80, batch=16, repeats=3),
+}
+
+
+def _scale() -> dict:
+    return SCALES[os.environ.get("REPRO_SCALE", "ci")]
+
+
+@pytest.fixture(scope="module")
+def system():
+    cfg = _scale()
+    rng = np.random.default_rng(0)
+    model = vgg7(input_shape=(3, 32, 32), num_classes=10, width=cfg["width"], rng=7)
+    network = convert_to_snn(model, rng.random((64, 3, 32, 32)))
+    x = rng.random((cfg["batch"], 3, 32, 32))
+    return network, x, cfg
+
+
+def _time_run(sim: Simulator, x: np.ndarray, repeats: int):
+    sim.run(x[:2])  # warm caches (im2col indices, BLAS threads)
+    best, result = np.inf, None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = sim.run(x)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _measure(network, x, cfg, early_firing: bool) -> dict:
+    scheme = TTFSCoding(window=cfg["window"], early_firing=early_firing)
+    dense_t, dense_r = _time_run(
+        Simulator(network, scheme, event_driven=False), x, cfg["repeats"]
+    )
+    event_t, event_r = _time_run(
+        Simulator(network, scheme, event_driven=True), x, cfg["repeats"]
+    )
+    assert (dense_r.predictions == event_r.predictions).all(), "prediction parity"
+    assert dense_r.spike_counts == event_r.spike_counts, "spike-count parity"
+    return {
+        "schedule": "early_firing" if early_firing else "baseline",
+        "steps": dense_r.steps,
+        "wall_time_dense_s": round(dense_t, 4),
+        "wall_time_event_s": round(event_t, 4),
+        "speedup": round(dense_t / event_t, 2),
+        "spikes_per_neuron": round(event_r.total_spikes / network.total_neurons, 4),
+    }
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_throughput(system):
+    network, x, cfg = system
+    rows = [_measure(network, x, cfg, early_firing=ef) for ef in (False, True)]
+
+    payload = {
+        "network": f"vgg7(width={cfg['width']})",
+        "batch": cfg["batch"],
+        "window": cfg["window"],
+        "scale": os.environ.get("REPRO_SCALE", "ci"),
+        "total_neurons": network.total_neurons,
+        "results": rows,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    for row in rows:
+        print(
+            f"\n[{row['schedule']}] dense={row['wall_time_dense_s']*1000:.0f}ms "
+            f"event={row['wall_time_event_s']*1000:.0f}ms "
+            f"speedup={row['speedup']}x spikes/neuron={row['spikes_per_neuron']}"
+        )
+        assert row["speedup"] >= MIN_SPEEDUP, (
+            f"event-driven {row['schedule']} TTFS must be >= {MIN_SPEEDUP}x "
+            f"faster than dense, got {row['speedup']}x"
+        )

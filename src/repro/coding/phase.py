@@ -43,6 +43,7 @@ class PhaseInputEncoder(InputEncoder):
         if period < 1:
             raise ValueError(f"period must be >= 1, got {period}")
         self.period = period
+        self._weights = phase_weight(np.arange(period), period)
         self._bits: np.ndarray | None = None
 
     def reset(self, x: np.ndarray) -> None:
@@ -59,7 +60,7 @@ class PhaseInputEncoder(InputEncoder):
         if self._bits is None:
             raise RuntimeError("reset() must be called before step()")
         p = t % self.period
-        w = float(phase_weight(p, self.period))
+        w = float(self._weights[p])
         frame = self._bits[p]
         if not frame.any():
             return None
@@ -83,6 +84,9 @@ class PhaseIFNeurons(NeuronDynamics):
             raise ValueError(f"theta0 must be positive, got {theta0}")
         self.period = period
         self.theta0 = theta0
+        # Precomputed oscillator weights: the inner loop does a table lookup
+        # instead of a power evaluation per step.
+        self._weights = phase_weight(np.arange(period), period) * theta0
 
     def step(self, drive: np.ndarray | None, t: int) -> np.ndarray | None:
         u = self._require_state()
@@ -90,7 +94,7 @@ class PhaseIFNeurons(NeuronDynamics):
             u += drive
         if not np.isscalar(self.bias) or self.bias != 0.0:
             u += self.bias / self.period
-        w = float(phase_weight(t, self.period)) * self.theta0
+        w = float(self._weights[t % self.period])
         fired = u >= w
         if not fired.any():
             return None

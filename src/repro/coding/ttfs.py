@@ -21,8 +21,21 @@ import numpy as np
 from repro.coding.base import BoundCoding, CodingScheme, InputEncoder
 from repro.convert.converter import ConvertedNetwork
 from repro.core.kernels import ExpKernel, KernelParams, default_kernel_params
+from repro.snn.events import SpikePacket
 from repro.snn.neurons import NeuronDynamics, ReadoutAccumulator
 from repro.snn.schedule import PhasedSchedule, StageWindow, build_phased_schedule
+
+
+def _tabulate(kernel, steps: int, theta0: float) -> np.ndarray:
+    """Per-step kernel weights ``theta0 * kernel(dt)`` for ``dt = 0..steps-1``.
+
+    Vectorised once at construction time so the simulation inner loop indexes
+    a table instead of evaluating a transcendental per step — numerically
+    identical to the scalar evaluation (same ufunc, same LUT gather).
+    """
+    return np.asarray(
+        kernel(np.arange(steps, dtype=np.float64)), dtype=np.float64
+    ) * theta0
 
 __all__ = [
     "TTFSCoding",
@@ -43,12 +56,20 @@ class TTFSInputEncoder(InputEncoder):
     counts_spikes = True
     constant = False
 
-    def __init__(self, kernel: ExpKernel, window: int, theta0: float = 1.0):
+    def __init__(
+        self,
+        kernel: ExpKernel,
+        window: int,
+        theta0: float = 1.0,
+        emit_events: bool = False,
+    ):
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         self.kernel = kernel
         self.window = window
         self.theta0 = theta0
+        self.emit_events = emit_events
+        self._weights = _tabulate(kernel, window, theta0)
         self._x: np.ndarray | None = None
         self._fired: np.ndarray | None = None
 
@@ -58,17 +79,19 @@ class TTFSInputEncoder(InputEncoder):
         self._x = x
         self._fired = np.zeros(x.shape, dtype=bool)
 
-    def step(self, t: int) -> np.ndarray | None:
+    def step(self, t: int) -> np.ndarray | SpikePacket | None:
         if self._x is None or self._fired is None:
             raise RuntimeError("reset() must be called before step()")
         if not (0 <= t < self.window):
             return None
-        weight = float(self.kernel(float(t))) * self.theta0
+        weight = self._weights[t]
         threshold = weight  # theta(t) and the decoded weight coincide
         can_fire = (~self._fired) & (self._x >= threshold) & (self._x > 0.0)
         if not can_fire.any():
             return None
         self._fired |= can_fire
+        if self.emit_events:
+            return SpikePacket.from_mask(can_fire, float(weight))
         return can_fire.astype(np.float64) * weight
 
 
@@ -91,6 +114,7 @@ class TTFSNeurons(NeuronDynamics):
         window: StageWindow,
         kernel: ExpKernel,
         theta0: float = 1.0,
+        emit_events: bool = False,
     ):
         super().__init__(shape, bias)
         if theta0 <= 0:
@@ -98,13 +122,15 @@ class TTFSNeurons(NeuronDynamics):
         self.window = window
         self.kernel = kernel
         self.theta0 = theta0
+        self.emit_events = emit_events
+        self._weights = _tabulate(kernel, window.fire_window, theta0)
         self._fired: np.ndarray | None = None
 
     def reset(self, batch_size: int) -> None:
         super().reset(batch_size)
         self._fired = np.zeros((batch_size,) + self.shape, dtype=bool)
 
-    def step(self, drive: np.ndarray | None, t: int) -> np.ndarray | None:
+    def step(self, drive: np.ndarray | None, t: int) -> np.ndarray | SpikePacket | None:
         u = self._require_state()
         if self._fired is None:
             raise RuntimeError("reset() must be called before step()")
@@ -116,13 +142,19 @@ class TTFSNeurons(NeuronDynamics):
             u += self.bias
         if not self.window.in_fire_phase(t):
             return None
-        dt = t - self.window.fire_start
-        weight = float(self.kernel(float(dt))) * self.theta0
+        weight = self._weights[t - self.window.fire_start]
         can_fire = (~self._fired) & (u >= weight)
         if not can_fire.any():
             return None
         self._fired |= can_fire
+        if self.emit_events:
+            return SpikePacket.from_mask(can_fire, float(weight))
         return can_fire.astype(np.float64) * weight
+
+    def needs_drive(self, t: int) -> bool:
+        """The membrane potential is only compared during the fire phase, so
+        integration-phase drives can be delivered in one deferred batch."""
+        return self.window.in_fire_phase(t)
 
     def spike_fraction(self) -> float:
         """Fraction of neurons that have fired (sparsity diagnostic)."""
@@ -216,7 +248,11 @@ class TTFSCoding(CodingScheme):
             for p in params
         ]
 
-        encoder = TTFSInputEncoder(kernels[0], self.window, self.theta0)
+        # Bound encoders/dynamics emit SpikePackets natively: the engine gets
+        # spike counts for free and the dense fire tensor is never allocated.
+        encoder = TTFSInputEncoder(
+            kernels[0], self.window, self.theta0, emit_events=True
+        )
         spiking = [s for s in network.stages if s.spiking]
         dynamics = [
             TTFSNeurons(
@@ -225,6 +261,7 @@ class TTFSCoding(CodingScheme):
                 window,
                 kernel,
                 self.theta0,
+                emit_events=True,
             )
             for stage, window, kernel in zip(spiking, schedule.windows, kernels[1:])
         ]

@@ -57,10 +57,14 @@ class ConvertedStage:
     name: str
 
     def apply(self, spikes: np.ndarray) -> np.ndarray:
-        """Propagate a spike tensor through the linear ops (no bias)."""
+        """Propagate a dense spike tensor through the linear ops (no bias).
+
+        Uses each op's inference fast path; the sparse counterpart is
+        :func:`repro.snn.events.apply_stage_events`.
+        """
         out = spikes
         for op in self.ops:
-            out = op.forward(out, training=False)
+            out = op.infer(out)
         return out
 
     def bias_broadcast(self, batch_size: int) -> np.ndarray | float:
@@ -82,7 +86,7 @@ class ConvertedNetwork:
 
     ``stages[:-1]`` are spiking; ``stages[-1]`` is the readout accumulator.
     ``num_weight_layers`` is the ``L`` of the paper's latency model
-    (DESIGN.md §5).
+    (docs/DESIGN.md §5).
     """
 
     stages: list[ConvertedStage]
@@ -192,7 +196,8 @@ def convert_to_snn(
     percentile:
         Robust-max percentile of the normalization.
     replace_maxpool:
-        Swap max pools for average pools of the same geometry (DESIGN.md §6).
+        Swap max pools for average pools of the same geometry
+        (docs/DESIGN.md §6).
         The swap changes values, so the normalization statistics are computed
         *after* the swap, keeping the converted net self-consistent.
     input_scale:

@@ -56,10 +56,10 @@ def default_kernel_params(window: int) -> KernelParams:
     activation range after data-based normalization — and ``tau = T/4``
     makes the smallest representable value ``exp(-4) ≈ 0.018``.  On converted
     networks the accuracy loss from *dropping* small activations outweighs
-    quantization error well before ``tau = T/4`` (measured in
-    EXPERIMENTS.md), so the default uses ``tau = T/5`` — the small-value
-    side of the trade-off — and the gradient-based optimization fine-tunes
-    from there.
+    quantization error well before ``tau = T/4`` (measured by
+    ``benchmarks/bench_ablation_tau.py``; see docs/DESIGN.md §8), so the
+    default uses ``tau = T/5`` — the small-value side of the trade-off —
+    and the gradient-based optimization fine-tunes from there.
     """
     if window < 2:
         raise ValueError(f"window must be >= 2, got {window}")

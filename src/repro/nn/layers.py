@@ -11,7 +11,12 @@ Design notes relevant to the SNN conversion downstream:
   verbatim as the synaptic-current operator of a spiking layer.
 * ``AvgPool2D`` is linear as well and is applied directly to spike trains.
 * ``MaxPool2D`` exists for completeness/training, but converted architectures
-  use average pooling (see DESIGN.md §6).
+  use average pooling (see docs/DESIGN.md §6).
+* every layer exposes :meth:`Layer.infer`, an inference-only fast path that
+  never touches the backprop caches, performs in-place bias adds, and
+  preserves reduced-precision inputs (float32 in gives float32 out when the
+  layer's parameters are float32) — the path the SNN simulator's per-step
+  propagation runs on (docs/DESIGN.md §7).
 """
 
 from __future__ import annotations
@@ -81,6 +86,14 @@ class Layer:
     def backward(self, grad: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Inference-only forward pass: no backprop caches, no training state.
+
+        Subclasses override this with an allocation-lean implementation; the
+        default simply delegates to :meth:`forward` with ``training=False``.
+        """
+        return self.forward(x, training=False)
+
     def params(self) -> list[Parameter]:
         """Learnable parameters of this layer (empty by default)."""
         return []
@@ -145,9 +158,12 @@ class Dense(Layer):
             )
         if training:
             self._x = x
+        return self.infer(x)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
         out = x @ self.weight.data
         if self.bias is not None:
-            out = out + self.bias.data
+            out += self.bias.data  # matmul output is fresh: in-place is safe
         return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
@@ -231,18 +247,27 @@ class Conv2D(Layer):
             raise ValueError(
                 f"Conv2D expects (N, {self.in_channels}, H, W), got {x.shape}"
             )
-        n, _, h, w = x.shape
-        out_h = conv_output_size(h, self.kernel_h, self.stride, self.pad)
-        out_w = conv_output_size(w, self.kernel_w, self.stride, self.pad)
         cols = im2col(x, self.kernel_h, self.kernel_w, self.stride, self.pad)
         if training:
             self._cols = cols
             self._x_shape = x.shape
+        return self._apply(x.shape, cols)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        cols = im2col(x, self.kernel_h, self.kernel_w, self.stride, self.pad)
+        return self._apply(x.shape, cols)
+
+    def _apply(
+        self, x_shape: tuple[int, ...], cols: np.ndarray
+    ) -> np.ndarray:
+        n, _, h, w = x_shape
+        out_h = conv_output_size(h, self.kernel_h, self.stride, self.pad)
+        out_w = conv_output_size(w, self.kernel_w, self.stride, self.pad)
         w_mat = self.weight.data.reshape(self.out_channels, -1)
         out = np.einsum("fk,nkl->nfl", w_mat, cols, optimize=True)
         out = out.reshape(n, self.out_channels, out_h, out_w)
         if self.bias is not None:
-            out = out + self.bias.data.reshape(1, -1, 1, 1)
+            out += self.bias.data.reshape(1, -1, 1, 1)
         return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
@@ -397,6 +422,9 @@ class Flatten(Layer):
             self._x_shape = x.shape
         return x.reshape(x.shape[0], -1)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return x.reshape(x.shape[0], -1)
+
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._x_shape is None:
             raise RuntimeError("backward called before forward(training=True)")
@@ -426,6 +454,9 @@ class Dropout(Layer):
         keep = 1.0 - self.rate
         self._mask = (self._rng.random(x.shape) < keep) / keep
         return x * self._mask
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return x
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._mask is None:

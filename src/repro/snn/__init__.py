@@ -1,6 +1,13 @@
-"""Spiking-network simulation substrate: engine, schedules, neurons, monitors."""
+"""Spiking-network simulation substrate: engine, events, schedules, neurons, monitors."""
 
 from repro.snn.engine import Simulator
+from repro.snn.events import (
+    DEFAULT_DENSITY_THRESHOLD,
+    SpikePacket,
+    apply_stage_events,
+    spike_count,
+    spike_mask,
+)
 from repro.snn.monitors import (
     AccuracyCurveMonitor,
     FirstSpikeMonitor,
@@ -21,6 +28,11 @@ from repro.snn.schedule import (
 
 __all__ = [
     "Simulator",
+    "SpikePacket",
+    "DEFAULT_DENSITY_THRESHOLD",
+    "apply_stage_events",
+    "spike_count",
+    "spike_mask",
     "SimulationResult",
     "Monitor",
     "SpikeCountMonitor",

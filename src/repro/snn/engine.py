@@ -1,4 +1,4 @@
-"""Clock-driven SNN simulation engine.
+"""Clock-driven SNN simulation engine with an event-driven fast path.
 
 The engine is scheme-agnostic: a :class:`~repro.coding.base.CodingScheme`
 binds a :class:`~repro.convert.converter.ConvertedNetwork` into an encoder,
@@ -11,6 +11,17 @@ Synchronous zero-delay propagation: spikes emitted by stage ``l`` at step
 phase pipeline where layer ``l+1`` integrates exactly while layer ``l``
 fires (Fig. 3).
 
+Event-driven propagation (docs/DESIGN.md §7): a step's spikes travel as
+either a dense tensor or a :class:`~repro.snn.events.SpikePacket` (flat
+event list).  Encoders/dynamics may emit packets natively (TTFS does — its
+fire-once semantics make per-step density tiny); dense emissions are packed
+by the engine whenever the measured density falls at or below
+``density_threshold``.  Sparse propagation scatter-adds weight patches per
+event instead of running the full im2col convolution, so simulation cost
+scales with the number of spikes.  Spike counts come from packet sizes —
+no per-step ``np.count_nonzero`` on the sparse path — and predictions and
+counts are identical to the dense path on every coding scheme.
+
 Silent-layer shortcut: an all-zero spike tensor is propagated as ``None`` so
 stages skip their convolution work entirely; neuron state still advances
 (TTFS thresholds decay even without input).
@@ -20,10 +31,62 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.convert.converter import ConvertedNetwork
+from repro.convert.converter import ConvertedNetwork, ConvertedStage
+from repro.snn import events as ev
+from repro.snn.events import SpikePacket
 from repro.snn.results import SimulationResult
 
 __all__ = ["Simulator"]
+
+
+class _DriveBuffer:
+    """Accumulates a stage's incoming spike emissions between drive reads.
+
+    The event-driven engine defers a stage's linear-op work until its
+    dynamics actually consult the membrane potential (``needs_drive``):
+    emissions are buffered here and flushed as one batch.  A single buffered
+    emission passes through untouched (the per-step fast path — also the
+    dense engine's behavior, which flushes every step); multiple emissions
+    are merged into one dense tensor, since integration is additive and the
+    stage ops are linear.
+    """
+
+    __slots__ = ("_single", "_sum")
+
+    def __init__(self):
+        self._single: np.ndarray | SpikePacket | None = None
+        self._sum: np.ndarray | None = None
+
+    def add(self, spikes: np.ndarray | SpikePacket) -> None:
+        if self._sum is not None:
+            self._accumulate(spikes)
+        elif self._single is None:
+            self._single = spikes
+        else:
+            first = self._single
+            self._single = None
+            if isinstance(first, SpikePacket):
+                self._sum = first.to_dense()
+            else:
+                self._sum = first.copy()  # monitors may hold the original
+            self._accumulate(spikes)
+
+    def _accumulate(self, spikes: np.ndarray | SpikePacket) -> None:
+        if isinstance(spikes, SpikePacket):
+            flat = self._sum.reshape(self._sum.shape[0], -1)
+            np.add.at(flat, (spikes.rows, spikes.idx), spikes.weights)
+        else:
+            self._sum += spikes
+
+    def take(self) -> tuple[np.ndarray | SpikePacket | None, bool]:
+        """Pop the buffered drive input; second element marks a merged tensor
+        (whose density the caller should re-measure before propagating)."""
+        single, merged = self._single, self._sum
+        self._single = None
+        self._sum = None
+        if merged is not None:
+            return merged, True
+        return single, False
 
 
 class Simulator:
@@ -41,6 +104,14 @@ class Simulator:
     monitors:
         Objects implementing the monitor protocol
         (:mod:`repro.snn.monitors`); observed every step.
+    event_driven:
+        Enable the sparse propagation fast path.  ``False`` forces every
+        step through the dense linear ops (the reference baseline; results
+        match the event-driven path exactly in predictions and counts).
+    density_threshold:
+        Spike density (nonzero fraction) at or below which a step's spikes
+        are propagated sparsely.  The default is measured in
+        ``benchmarks/bench_engine_throughput.py``.
 
     Examples
     --------
@@ -50,14 +121,55 @@ class Simulator:
     >>> result.accuracy
     """
 
-    def __init__(self, network: ConvertedNetwork, scheme, steps: int | None = None, monitors=()):
+    def __init__(
+        self,
+        network: ConvertedNetwork,
+        scheme,
+        steps: int | None = None,
+        monitors=(),
+        event_driven: bool = True,
+        density_threshold: float = ev.DEFAULT_DENSITY_THRESHOLD,
+    ):
+        if density_threshold < 0.0 or density_threshold > 1.0:
+            raise ValueError(
+                f"density_threshold must lie in [0, 1], got {density_threshold}"
+            )
         self.network = network
         self.scheme = scheme
         self.monitors = list(monitors)
+        self.event_driven = bool(event_driven)
+        self.density_threshold = float(density_threshold)
         self.bound = scheme.bind(network, steps)
+
+    def _propagate(
+        self, stage: ConvertedStage, spikes: np.ndarray | SpikePacket | None
+    ) -> np.ndarray | None:
+        """Synaptic drive of ``stage`` for one step's spikes (sparse or dense)."""
+        if spikes is None:
+            return None
+        if isinstance(spikes, SpikePacket):
+            if self.event_driven and spikes.density <= self.density_threshold:
+                return ev.apply_stage_events(stage, spikes)
+            return stage.apply(spikes.to_dense())
+        return stage.apply(spikes)
+
+    def _flush(self, stage: ConvertedStage, buffer: _DriveBuffer) -> np.ndarray | None:
+        spikes, merged = buffer.take()
+        if merged:
+            # A deferred batch: re-measure density so a sparse accumulation
+            # (e.g. a near-silent integration window) still takes the fast path.
+            spikes, _ = ev.ingest(
+                spikes, self.density_threshold if self.event_driven else 0.0
+            )
+        return self._propagate(stage, spikes)
 
     def run(self, x: np.ndarray, y: np.ndarray | None = None) -> SimulationResult:
         """Simulate a batch ``x`` (optionally scoring against labels ``y``)."""
+        return self._run(x, y, notify_end=True)
+
+    def _run(
+        self, x: np.ndarray, y: np.ndarray | None, notify_end: bool
+    ) -> SimulationResult:
         if x.shape[1:] != tuple(self.network.input_shape):
             raise ValueError(
                 f"input shape {x.shape[1:]} does not match network "
@@ -67,6 +179,10 @@ class Simulator:
             raise ValueError(f"labels length {len(y)} != batch {len(x)}")
         bound = self.bound
         n = len(x)
+        # Dense emissions are packed when at or below the density threshold;
+        # a threshold of 0 disables packing (packets pass through regardless
+        # and are densified in _propagate when the fast path is off).
+        pack_threshold = self.density_threshold if self.event_driven else 0.0
 
         bound.encoder.reset(x)
         for dyn in bound.dynamics:
@@ -85,27 +201,55 @@ class Simulator:
         # every step, so the first stage's synaptic drive is computed once.
         input_drive_cache: np.ndarray | None = None
 
+        # Per-stage event buffers: drives are delivered only when the
+        # receiving dynamics read their membrane potential.  The dense
+        # engine, and any dynamics whose needs_drive is always true, flush
+        # every step — i.e. the classic per-step propagation.
+        buffers = [_DriveBuffer() for _ in spiking_stages]
+        readout_buffer = _DriveBuffer()
+        # The readout potential is only read at the end — unless a monitor
+        # observes it per step (e.g. accuracy-vs-time curves).  Monitors
+        # without the observes_readout attribute are treated conservatively.
+        flush_readout_each_step = not self.event_driven or any(
+            getattr(monitor, "observes_readout", True) for monitor in self.monitors
+        )
+        last_step = bound.total_steps - 1
+
         for t in range(bound.total_steps):
             spikes = bound.encoder.step(t)
-            if spikes is not None and not spikes.any():
-                spikes = None
-            if bound.counts_input_spikes and spikes is not None:
-                counts["input"] += float(np.count_nonzero(spikes))
+            if bound.encoder.constant:
+                # Analog current injection: never packed (it is not a spike
+                # tensor), only short-circuited when all-zero.
+                if spikes is not None and not spikes.any():
+                    spikes = None
+            else:
+                spikes, count = ev.ingest(spikes, pack_threshold)
+                if bound.counts_input_spikes:
+                    counts["input"] += float(count)
 
-            step_spikes: list[np.ndarray | None] = []
+            step_spikes: list[np.ndarray | SpikePacket | None] = []
             for i, (stage, dyn) in enumerate(zip(spiking_stages, bound.dynamics)):
                 if i == 0 and bound.encoder.constant and spikes is not None:
                     if input_drive_cache is None:
-                        input_drive_cache = stage.apply(spikes)
+                        input_drive_cache = self._propagate(stage, spikes)
                     drive = input_drive_cache
                 else:
-                    drive = stage.apply(spikes) if spikes is not None else None
-                spikes = dyn.step(drive, t)
+                    if spikes is not None:
+                        buffers[i].add(spikes)
+                    if not self.event_driven or dyn.needs_drive(t):
+                        drive = self._flush(stage, buffers[i])
+                    else:
+                        drive = None
+                spikes, count = ev.ingest(dyn.step(drive, t), pack_threshold)
                 step_spikes.append(spikes)
-                if spikes is not None:
-                    counts[stage.name] += float(np.count_nonzero(spikes))
+                counts[stage.name] += float(count)
 
-            current = readout_stage.apply(spikes) if spikes is not None else None
+            if spikes is not None:
+                readout_buffer.add(spikes)
+            if flush_readout_each_step or t == last_step:
+                current = self._flush(readout_stage, readout_buffer)
+            else:
+                current = None
             bound.readout.accumulate(current, t)
 
             for monitor in self.monitors:
@@ -124,8 +268,9 @@ class Simulator:
             steps=bound.total_steps,
             decision_time=bound.decision_time,
         )
-        for monitor in self.monitors:
-            monitor.on_run_end(result)
+        if notify_end:
+            for monitor in self.monitors:
+                monitor.on_run_end(result)
         return result
 
     def run_batched(
@@ -134,7 +279,8 @@ class Simulator:
         """Run :meth:`run` over mini-batches and merge the results.
 
         Keeps peak memory bounded for large test sets; monitors observe every
-        batch (their accumulators are cumulative).
+        batch (their accumulators are cumulative) and receive exactly one
+        ``on_run_end`` call carrying the *merged* result.
         """
         if len(x) <= batch_size:
             return self.run(x, y)
@@ -144,7 +290,7 @@ class Simulator:
         for start in range(0, len(x), batch_size):
             xb = x[start : start + batch_size]
             yb = y[start : start + batch_size] if y is not None else None
-            res = self.run(xb, yb)
+            res = self._run(xb, yb, notify_end=False)
             all_scores.append(res.scores)
             weight = len(xb)
             total += weight
@@ -154,7 +300,7 @@ class Simulator:
         predictions = scores.argmax(axis=1)
         accuracy = float((predictions == y).mean()) if y is not None else None
         per_inference = {name: c / total for name, c in merged_counts.items()}
-        return SimulationResult(
+        result = SimulationResult(
             scores=scores,
             predictions=predictions,
             accuracy=accuracy,
@@ -163,3 +309,6 @@ class Simulator:
             steps=self.bound.total_steps,
             decision_time=self.bound.decision_time,
         )
+        for monitor in self.monitors:
+            monitor.on_run_end(result)
+        return result

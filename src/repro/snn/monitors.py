@@ -4,9 +4,14 @@ Monitor protocol (duck-typed):
 
 * ``on_run_start(sim, x, y)`` — called once before the clock starts;
 * ``on_step(t, step_spikes, readout)`` — called every step with the list of
-  per-stage weighted spike tensors (``None`` = silent) and the readout;
+  per-stage spike emissions (``None`` = silent; otherwise a dense weighted
+  tensor or a :class:`~repro.snn.events.SpikePacket` from the event-driven
+  engine — use :func:`repro.snn.events.spike_count` /
+  :func:`repro.snn.events.spike_mask` to stay representation-agnostic) and
+  the readout;
 * ``on_run_end(result)`` — called with the final
-  :class:`~repro.snn.results.SimulationResult`.
+  :class:`~repro.snn.results.SimulationResult`.  ``Simulator.run_batched``
+  calls it exactly once, with the merged result.
 
 All monitors accumulate across consecutive runs (batched evaluation) until
 :meth:`reset` is called.
@@ -15,6 +20,8 @@ All monitors accumulate across consecutive runs (batched evaluation) until
 from __future__ import annotations
 
 import numpy as np
+
+from repro.snn.events import spike_count, spike_mask
 
 __all__ = [
     "Monitor",
@@ -27,6 +34,13 @@ __all__ = [
 
 class Monitor:
     """No-op base monitor."""
+
+    #: Whether ``on_step`` reads the readout's running scores.  The
+    #: event-driven engine defers the readout stage's linear ops to the final
+    #: step unless some attached monitor observes them per step.  ``True`` is
+    #: the safe default; monitors that only inspect ``step_spikes`` override
+    #: it to keep the fast path.
+    observes_readout = True
 
     def on_run_start(self, sim, x, y) -> None:  # noqa: D102 - protocol
         pass
@@ -44,6 +58,8 @@ class Monitor:
 class SpikeCountMonitor(Monitor):
     """Total spike events per stage index (cumulative across runs)."""
 
+    observes_readout = False
+
     def __init__(self):
         self.counts: dict[int, int] = {}
         self.samples = 0
@@ -54,7 +70,7 @@ class SpikeCountMonitor(Monitor):
     def on_step(self, t, step_spikes, readout) -> None:
         for i, spikes in enumerate(step_spikes):
             if spikes is not None:
-                self.counts[i] = self.counts.get(i, 0) + int(np.count_nonzero(spikes))
+                self.counts[i] = self.counts.get(i, 0) + spike_count(spikes)
 
     def per_inference(self) -> dict[int, float]:
         """Average events per sample, per stage index."""
@@ -74,6 +90,8 @@ class SpikeTimeMonitor(Monitor):
     global step ``t``.
     """
 
+    observes_readout = False
+
     def __init__(self, total_steps: int, num_stages: int):
         self.histograms = np.zeros((num_stages, total_steps), dtype=np.int64)
 
@@ -82,7 +100,7 @@ class SpikeTimeMonitor(Monitor):
             return
         for i, spikes in enumerate(step_spikes):
             if spikes is not None and i < self.histograms.shape[0]:
-                self.histograms[i, t] += int(np.count_nonzero(spikes))
+                self.histograms[i, t] += spike_count(spikes)
 
     def first_spike_time(self, stage_index: int) -> int | None:
         """Earliest step with any spike for a stage (the orange bar of Fig. 5)."""
@@ -147,6 +165,8 @@ class FirstSpikeMonitor(Monitor):
     neurons that never fired; only tracks the most recent run.
     """
 
+    observes_readout = False
+
     def __init__(self, stage_index: int):
         self.stage_index = stage_index
         self.times: np.ndarray | None = None
@@ -160,9 +180,10 @@ class FirstSpikeMonitor(Monitor):
         spikes = step_spikes[self.stage_index]
         if spikes is None:
             return
+        fired = spike_mask(spikes)
         if self.times is None:
-            self.times = -np.ones(spikes.shape, dtype=np.int64)
-        newly = (spikes != 0) & (self.times < 0)
+            self.times = -np.ones(fired.shape, dtype=np.int64)
+        newly = fired & (self.times < 0)
         self.times[newly] = t
 
     def spike_fraction(self) -> float:

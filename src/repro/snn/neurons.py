@@ -38,6 +38,19 @@ class NeuronDynamics:
         """Advance one step; return weighted spikes (or ``None`` for silence)."""
         raise NotImplementedError
 
+    def needs_drive(self, t: int) -> bool:
+        """Whether step ``t``'s firing rule reads the membrane potential.
+
+        The event-driven engine buffers incoming synaptic events and defers
+        the linear-op work until the potential is actually consulted
+        (docs/DESIGN.md §7).  Integration is additive, so delivery order
+        within a deferral window cannot change any firing decision.  The
+        default is every step — rate/phase/burst neurons may fire whenever
+        input arrives; phase-scheduled dynamics (TTFS) override this to
+        restrict reads to their fire phase.
+        """
+        return True
+
     def _require_state(self) -> np.ndarray:
         if self.u is None:
             raise RuntimeError("reset() must be called before step()")

@@ -71,6 +71,29 @@ class TestBatchedRun:
         result = sim.run_batched(x, y, batch_size=64)
         assert len(result.predictions) == 5
 
+    def test_monitors_see_one_merged_run_end(self, tiny_network, tiny_data):
+        """Monitors get exactly one on_run_end, carrying the merged result
+        (regression: they used to receive one per mini-batch)."""
+
+        class EndRecorder(SpikeCountMonitor):
+            def __init__(self):
+                super().__init__()
+                self.end_results = []
+
+            def on_run_end(self, result):
+                self.end_results.append(result)
+
+        x, y = tiny_data[2][:30], tiny_data[3][:30]
+        monitor = EndRecorder()
+        sim = Simulator(tiny_network, RateCoding(), steps=40, monitors=[monitor])
+        merged = sim.run_batched(x, y, batch_size=7)
+        assert len(monitor.end_results) == 1
+        final = monitor.end_results[0]
+        assert final is merged
+        assert len(final.predictions) == len(x)
+        # The monitor still observed every batch's steps.
+        assert monitor.samples == len(x)
+
 
 class TestMonitorsIntegration:
     def test_spike_count_monitor_agrees_with_result(self, tiny_network, tiny_data):

@@ -1,0 +1,182 @@
+"""Event-driven propagation parity: sparse and dense paths must agree.
+
+The event engine re-routes every step through SpikePacket remaps, gather
+rows, and scatter-added weight patches, and defers integration-phase drive
+delivery — none of which may change what the simulation computes.  These
+tests pin the hard parity requirement: identical predictions and spike
+counts on every coding scheme, with scores agreeing to floating-point
+reassociation error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coding.burst import BurstCoding
+from repro.coding.phase import PhaseCoding
+from repro.coding.rate import RateCoding
+from repro.coding.ttfs import TTFSCoding
+from repro.nn.layers import AvgPool2D, Conv2D, Dense, Flatten
+from repro.snn.engine import Simulator
+from repro.snn.events import SpikePacket, apply_op_events, ingest, spike_count, spike_mask
+
+SCHEMES = {
+    "ttfs": (lambda: TTFSCoding(window=16), None),
+    "ttfs_early": (lambda: TTFSCoding(window=16, early_firing=True), None),
+    "ttfs_lut": (lambda: TTFSCoding(window=16, use_lut=True), None),
+    "rate": (lambda: RateCoding(), 60),
+    "phase": (lambda: PhaseCoding(), 48),
+    "burst": (lambda: BurstCoding(), 48),
+}
+
+
+def _run_both(network, scheme_key, x, y=None, density_threshold=1.0):
+    factory, steps = SCHEMES[scheme_key]
+    dense = Simulator(network, factory(), steps=steps, event_driven=False).run(x, y)
+    sparse = Simulator(
+        network,
+        factory(),
+        steps=steps,
+        event_driven=True,
+        density_threshold=density_threshold,
+    ).run(x, y)
+    return dense, sparse
+
+
+class TestSchemeParity:
+    @pytest.mark.parametrize("scheme_key", sorted(SCHEMES))
+    def test_forced_sparse_matches_dense(self, tiny_network, tiny_data, scheme_key):
+        """density_threshold=1.0 forces every step down the sparse path."""
+        x, y = tiny_data[2][:24], tiny_data[3][:24]
+        dense, sparse = _run_both(tiny_network, scheme_key, x, y)
+        np.testing.assert_array_equal(dense.predictions, sparse.predictions)
+        assert dense.spike_counts == sparse.spike_counts
+        assert dense.total_spikes == sparse.total_spikes
+        np.testing.assert_allclose(sparse.scores, dense.scores, rtol=1e-9, atol=1e-12)
+        assert dense.accuracy == sparse.accuracy
+
+    @pytest.mark.parametrize("scheme_key", ["ttfs", "rate"])
+    def test_default_threshold_matches_dense(self, tiny_network, tiny_data, scheme_key):
+        """The production heuristic (mixed sparse/dense steps) agrees too."""
+        x, y = tiny_data[2][:16], tiny_data[3][:16]
+        factory, steps = SCHEMES[scheme_key]
+        dense = Simulator(
+            tiny_network, factory(), steps=steps, event_driven=False
+        ).run(x, y)
+        auto = Simulator(tiny_network, factory(), steps=steps).run(x, y)
+        np.testing.assert_array_equal(dense.predictions, auto.predictions)
+        assert dense.spike_counts == auto.spike_counts
+
+
+class TestEdgeCases:
+    def test_all_silent_input(self, tiny_network):
+        """An all-zero image spikes nowhere; both paths agree on the nothing."""
+        x = np.zeros((3,) + tuple(tiny_network.input_shape))
+        dense, sparse = _run_both(tiny_network, "ttfs", x)
+        np.testing.assert_array_equal(dense.predictions, sparse.predictions)
+        assert sparse.spike_counts["input"] == 0.0
+        assert dense.spike_counts == sparse.spike_counts
+        np.testing.assert_allclose(sparse.scores, dense.scores, rtol=1e-9, atol=1e-12)
+
+    def test_single_spike_input(self, tiny_network):
+        """One hot pixel exercises the single-event sparse kernels."""
+        x = np.zeros((1,) + tuple(tiny_network.input_shape))
+        x[0, 0, 3, 4] = 1.0
+        dense, sparse = _run_both(tiny_network, "ttfs", x)
+        np.testing.assert_array_equal(dense.predictions, sparse.predictions)
+        assert sparse.spike_counts["input"] == 1.0
+        assert dense.spike_counts == sparse.spike_counts
+        np.testing.assert_allclose(sparse.scores, dense.scores, rtol=1e-9, atol=1e-12)
+
+    def test_batched_run_parity(self, tiny_network, tiny_data):
+        x, y = tiny_data[2][:30], tiny_data[3][:30]
+        sim = Simulator(tiny_network, TTFSCoding(window=16), event_driven=True)
+        whole = sim.run(x, y)
+        batched = sim.run_batched(x, y, batch_size=7)
+        np.testing.assert_array_equal(whole.predictions, batched.predictions)
+        assert batched.total_spikes == pytest.approx(whole.total_spikes)
+
+
+class TestSpikePacket:
+    def test_dense_roundtrip(self, rng):
+        dense = rng.random((4, 3, 5, 5)) * (rng.random((4, 3, 5, 5)) < 0.2)
+        packet = SpikePacket.from_dense(dense)
+        assert packet.count == int(np.count_nonzero(dense))
+        np.testing.assert_array_equal(packet.to_dense(), dense)
+        np.testing.assert_array_equal(packet.mask(), dense != 0)
+
+    def test_from_mask_weights(self):
+        mask = np.zeros((2, 4), dtype=bool)
+        mask[0, 1] = mask[1, 3] = True
+        packet = SpikePacket.from_mask(mask, 0.25)
+        np.testing.assert_array_equal(packet.to_dense(), mask * 0.25)
+        assert packet.density == pytest.approx(2 / 8)
+
+    def test_ingest_packs_below_threshold(self, rng):
+        dense = np.zeros((2, 100))
+        dense[0, 3] = 1.0
+        packed, count = ingest(dense, threshold=0.1)
+        assert isinstance(packed, SpikePacket) and count == 1
+        kept, count = ingest(dense, threshold=0.001)
+        assert isinstance(kept, np.ndarray) and count == 1
+        silent, count = ingest(np.zeros((2, 4)), threshold=0.5)
+        assert silent is None and count == 0
+
+    def test_spike_helpers(self):
+        packet = SpikePacket.from_mask(np.ones((1, 3), dtype=bool), 2.0)
+        assert spike_count(packet) == 3
+        assert spike_count(None) == 0
+        np.testing.assert_array_equal(spike_mask(packet), np.ones((1, 3), dtype=bool))
+
+
+class TestSparseOps:
+    """Each sparse op against its dense layer on random sparse tensors."""
+
+    def test_conv2d(self, rng):
+        for stride, pad in [(1, 1), (1, 0), (2, 1), (2, 0)]:
+            op = Conv2D(3, 5, 3, stride=stride, pad=pad, rng=rng)
+            dense_in = rng.random((2, 3, 8, 8)) * (rng.random((2, 3, 8, 8)) < 0.15)
+            expected = op.infer(dense_in)
+            got = apply_op_events(op, SpikePacket.from_dense(dense_in))
+            np.testing.assert_allclose(got, expected, rtol=1e-10, atol=1e-12)
+
+    def test_dense(self, rng):
+        op = Dense(20, 7, rng=rng)
+        dense_in = rng.random((3, 20)) * (rng.random((3, 20)) < 0.2)
+        got = apply_op_events(op, SpikePacket.from_dense(dense_in))
+        np.testing.assert_allclose(got, op.infer(dense_in), rtol=1e-10, atol=1e-12)
+
+    def test_avgpool_stays_sparse(self, rng):
+        op = AvgPool2D(2)
+        dense_in = rng.random((2, 3, 8, 8)) * (rng.random((2, 3, 8, 8)) < 0.1)
+        got = apply_op_events(op, SpikePacket.from_dense(dense_in))
+        assert isinstance(got, SpikePacket)
+        np.testing.assert_allclose(got.to_dense(), op.infer(dense_in), rtol=1e-12)
+
+    def test_flatten_is_reshape(self, rng):
+        op = Flatten()
+        dense_in = np.zeros((2, 3, 4, 4))
+        dense_in[1, 2, 3, 1] = 5.0
+        got = apply_op_events(op, SpikePacket.from_dense(dense_in))
+        assert isinstance(got, SpikePacket) and got.shape == (48,)
+        np.testing.assert_array_equal(got.to_dense(), op.infer(dense_in))
+
+    def test_overlapping_pool_falls_back(self, rng):
+        op = AvgPool2D(3, stride=2)
+        dense_in = rng.random((1, 2, 7, 7)) * (rng.random((1, 2, 7, 7)) < 0.2)
+        got = apply_op_events(op, SpikePacket.from_dense(dense_in))
+        assert isinstance(got, np.ndarray)
+        np.testing.assert_allclose(got, op.infer(dense_in), rtol=1e-12)
+
+    def test_numpy_fallback_without_scipy(self, rng, monkeypatch):
+        """The pure-numpy segment-reduce kernels back up the scipy path."""
+        import repro.snn.events as events_mod
+
+        monkeypatch.setattr(events_mod, "_scipy_sparse", None)
+        conv = Conv2D(3, 5, 3, stride=1, pad=1, rng=rng)
+        dense_in = rng.random((2, 3, 8, 8)) * (rng.random((2, 3, 8, 8)) < 0.15)
+        got = apply_op_events(conv, SpikePacket.from_dense(dense_in))
+        np.testing.assert_allclose(got, conv.infer(dense_in), rtol=1e-10, atol=1e-12)
+        fc = Dense(20, 7, rng=rng)
+        dense_in = rng.random((3, 20)) * (rng.random((3, 20)) < 0.2)
+        got = apply_op_events(fc, SpikePacket.from_dense(dense_in))
+        np.testing.assert_allclose(got, fc.infer(dense_in), rtol=1e-10, atol=1e-12)
