@@ -41,6 +41,28 @@ class InputEncoder:
     def step(self, t: int) -> np.ndarray | None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------ #
+    # quiescence protocol (docs/DESIGN.md §9)
+    # ------------------------------------------------------------------ #
+
+    def row_quiescent(self, t: int) -> np.ndarray | None:
+        """Per-sample exhaustion after step ``t``, or ``None`` if unknown.
+
+        ``result[r]`` is True when sample ``r`` will emit nothing at any
+        step ``> t``.  ``None`` (the default, and the right answer for
+        stochastic or free-running encoders) disables quiescence early-exit
+        and sample retirement for the run.
+        """
+        return None
+
+    def quiescent(self, t: int) -> bool:
+        """Whole-batch exhaustion after step ``t`` (see row_quiescent)."""
+        rows = self.row_quiescent(t)
+        return rows is not None and bool(rows.all())
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop retired samples: keep only rows where ``keep`` is True."""
+
 
 class AnalogInputEncoder(InputEncoder):
     """Constant analog current: the image itself, every step.
@@ -61,6 +83,10 @@ class AnalogInputEncoder(InputEncoder):
 
     def step(self, t: int) -> np.ndarray | None:
         return self._x
+
+    def compact(self, keep: np.ndarray) -> None:
+        if self._x is not None:
+            self._x = self._x[keep]
 
 
 @dataclass
@@ -100,8 +126,22 @@ class CodingScheme:
 
     name = "abstract"
 
+    #: True when binding produces stochastic components (random encoders);
+    #: the parallel runner then gives every shard its own scheme instance
+    #: (:meth:`shard_instance`) so workers don't replay identical noise.
+    stochastic = False
+
     def bind(self, network: ConvertedNetwork, steps: int | None = None) -> BoundCoding:
         raise NotImplementedError
+
+    def shard_instance(self, shard_index: int) -> "CodingScheme":
+        """Scheme instance for one parallel shard.
+
+        Deterministic schemes share ``self``; stochastic schemes override
+        this to return a copy with an independent per-shard random stream
+        (successive calls must yield distinct streams).
+        """
+        return self
 
     @staticmethod
     def _check_network(network: ConvertedNetwork) -> None:

@@ -43,8 +43,9 @@ class BurstIFNeurons(NeuronDynamics):
         gamma: float = 2.0,
         max_burst: int = 5,
         theta0: float = 1.0,
+        dtype=np.float64,
     ):
-        super().__init__(shape, bias)
+        super().__init__(shape, bias, dtype)
         if gamma <= 1.0:
             raise ValueError(f"burst gamma must exceed 1, got {gamma}")
         if max_burst < 1:
@@ -54,6 +55,9 @@ class BurstIFNeurons(NeuronDynamics):
         self.gamma = gamma
         self.max_burst = max_burst
         self.theta0 = theta0
+        # Geometric weight table: the hot loop gathers g^k instead of
+        # evaluating a float power per neuron per step.
+        self._burst_weights = (gamma ** np.arange(max_burst + 1)).astype(self.dtype)
         self._k: np.ndarray | None = None
 
     def reset(self, batch_size: int) -> None:
@@ -66,21 +70,26 @@ class BurstIFNeurons(NeuronDynamics):
             raise RuntimeError("reset() must be called before step()")
         if drive is not None:
             u += drive
-        if not np.isscalar(self.bias) or self.bias != 0.0:
+        if self._has_bias:
             u += self.bias
         k = self._k
-        burst_weight = self.gamma**k
+        burst_weight = self._burst_weights[k]
         sustain = u >= burst_weight * self.theta0
         restart = (~sustain) & (u >= self.theta0)
         if not sustain.any() and not restart.any():
             k[...] = 0
             return None
-        weights = np.where(sustain, burst_weight, np.where(restart, 1.0, 0.0))
+        weights = np.where(sustain, burst_weight, np.where(restart, 1.0, 0.0).astype(self.dtype))
         u -= weights * self.theta0
         k[...] = np.where(
             sustain, np.minimum(k + 1, self.max_burst), np.where(restart, 1, 0)
         )
         return weights
+
+    def compact(self, keep: np.ndarray) -> None:
+        super().compact(keep)
+        if self._k is not None:
+            self._k = self._k[keep]
 
 
 class BurstCoding(CodingScheme):
@@ -105,6 +114,7 @@ class BurstCoding(CodingScheme):
         steps = steps if steps is not None else self.default_steps
         if steps < 1:
             raise ValueError(f"steps must be >= 1, got {steps}")
+        dtype = network.dtype
         dynamics = [
             BurstIFNeurons(
                 stage.out_shape,
@@ -112,6 +122,7 @@ class BurstCoding(CodingScheme):
                 self.gamma,
                 self.max_burst,
                 self.theta0,
+                dtype=dtype,
             )
             for stage in network.stages
             if stage.spiking
@@ -120,6 +131,7 @@ class BurstCoding(CodingScheme):
             network.stages[-1].out_shape,
             network.stages[-1].bias_broadcast(1),
             bias_policy="per_step",
+            dtype=dtype,
         )
         return BoundCoding(
             encoder=AnalogInputEncoder(),

@@ -39,12 +39,14 @@ class PhaseInputEncoder(InputEncoder):
     counts_spikes = True
     constant = False
 
-    def __init__(self, period: int = 8):
+    def __init__(self, period: int = 8, dtype=np.float64):
         if period < 1:
             raise ValueError(f"period must be >= 1, got {period}")
         self.period = period
+        self.dtype = np.dtype(dtype)
         self._weights = phase_weight(np.arange(period), period)
         self._bits: np.ndarray | None = None
+        self._row_live: np.ndarray | None = None
 
     def reset(self, x: np.ndarray) -> None:
         if x.min() < 0.0:
@@ -54,7 +56,11 @@ class PhaseInputEncoder(InputEncoder):
         bits = []
         for p in range(self.period):
             bits.append(np.floor(clipped * 2.0 ** (p + 1)) % 2)
-        self._bits = np.stack(bits, axis=0)  # (K, N, ...)
+        self._bits = np.stack(bits, axis=0).astype(self.dtype, copy=False)  # (K, N, ...)
+        # The pattern repeats every period, so per-sample liveness is fixed
+        # at reset: only an all-zero sample is ever exhausted.
+        n = x.shape[0]
+        self._row_live = self._bits.any(axis=0).reshape(n, -1).any(axis=1)
 
     def step(self, t: int) -> np.ndarray | None:
         if self._bits is None:
@@ -64,7 +70,19 @@ class PhaseInputEncoder(InputEncoder):
         frame = self._bits[p]
         if not frame.any():
             return None
-        return frame * w
+        return frame * self.dtype.type(w)
+
+    def row_quiescent(self, t: int) -> np.ndarray | None:
+        """The bit pattern repeats every period, so only an all-zero sample
+        (which never emits) is ever exhausted."""
+        if self._bits is None:
+            return None
+        return ~self._row_live
+
+    def compact(self, keep: np.ndarray) -> None:
+        if self._bits is not None:
+            self._bits = self._bits[:, keep]
+            self._row_live = self._row_live[keep]
 
 
 class PhaseIFNeurons(NeuronDynamics):
@@ -76,8 +94,8 @@ class PhaseIFNeurons(NeuronDynamics):
     so a full period delivers exactly one bias worth of value.
     """
 
-    def __init__(self, shape, bias, period: int = 8, theta0: float = 1.0):
-        super().__init__(shape, bias)
+    def __init__(self, shape, bias, period: int = 8, theta0: float = 1.0, dtype=np.float64):
+        super().__init__(shape, bias, dtype)
         if period < 1:
             raise ValueError(f"period must be >= 1, got {period}")
         if theta0 <= 0:
@@ -92,15 +110,26 @@ class PhaseIFNeurons(NeuronDynamics):
         u = self._require_state()
         if drive is not None:
             u += drive
-        if not np.isscalar(self.bias) or self.bias != 0.0:
+        if self._has_bias:
             u += self.bias / self.period
-        w = float(self._weights[t % self.period])
+        w = self.dtype.type(self._weights[t % self.period])
         fired = u >= w
         if not fired.any():
             return None
-        spikes = fired.astype(np.float64) * w
+        spikes = fired.astype(self.dtype) * w
         u -= spikes
         return spikes
+
+    def row_quiescent(self, t: int) -> np.ndarray | None:
+        """Without input or bias, a potential below the smallest oscillator
+        weight ``2^-K * theta0`` can never cover any future phase."""
+        if self.u is None:
+            return None
+        if self._has_bias:
+            return np.zeros(self.u.shape[0], dtype=bool)
+        n = self.u.shape[0]
+        floor = float(self._weights.min())
+        return ~(self.u >= floor).reshape(n, -1).any(axis=1)
 
 
 class PhaseCoding(CodingScheme):
@@ -120,10 +149,15 @@ class PhaseCoding(CodingScheme):
         steps = steps if steps is not None else self.default_steps
         if steps < 1:
             raise ValueError(f"steps must be >= 1, got {steps}")
-        encoder = PhaseInputEncoder(self.period)
+        dtype = network.dtype
+        encoder = PhaseInputEncoder(self.period, dtype=dtype)
         dynamics = [
             PhaseIFNeurons(
-                stage.out_shape, stage.bias_broadcast(1), self.period, self.theta0
+                stage.out_shape,
+                stage.bias_broadcast(1),
+                self.period,
+                self.theta0,
+                dtype=dtype,
             )
             for stage in network.stages
             if stage.spiking
@@ -133,6 +167,7 @@ class PhaseCoding(CodingScheme):
             network.stages[-1].bias_broadcast(1),
             bias_policy="per_period",
             period=self.period,
+            dtype=dtype,
         )
         return BoundCoding(
             encoder=encoder,

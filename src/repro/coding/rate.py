@@ -13,6 +13,8 @@ trades accuracy for genuinely binary input events.
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from repro.coding.base import AnalogInputEncoder, BoundCoding, CodingScheme, InputEncoder
@@ -29,8 +31,9 @@ class PoissonInputEncoder(InputEncoder):
     counts_spikes = True
     constant = False
 
-    def __init__(self, rng=None):
+    def __init__(self, rng=None, dtype=np.float64):
         self._rng = as_generator(rng)
+        self.dtype = np.dtype(dtype)
         self._x: np.ndarray | None = None
 
     def reset(self, x: np.ndarray) -> None:
@@ -41,7 +44,11 @@ class PoissonInputEncoder(InputEncoder):
     def step(self, t: int) -> np.ndarray | None:
         if self._x is None:
             raise RuntimeError("reset() must be called before step()")
-        return (self._rng.random(self._x.shape) < self._x).astype(np.float64)
+        return (self._rng.random(self._x.shape) < self._x).astype(self.dtype)
+
+    def compact(self, keep: np.ndarray) -> None:
+        if self._x is not None:
+            self._x = self._x[keep]
 
 
 class RateCoding(CodingScheme):
@@ -73,17 +80,40 @@ class RateCoding(CodingScheme):
         self.default_steps = default_steps
         self._rng = rng
 
+    @property
+    def stochastic(self) -> bool:
+        return self.input_mode == "poisson"
+
+    def shard_instance(self, shard_index: int) -> "RateCoding":
+        """Poisson mode gets a spawned child generator per shard, so
+        parallel workers draw independent (and, under a seeded parent,
+        deterministic) spike trains instead of replaying one stream.
+
+        Children are spawned from a *copy* of the parent generator: the
+        scheme's own stream is left untouched, so seeded serial runs after
+        a parallel one still reproduce a serial-only session."""
+        if self.input_mode != "poisson":
+            return self
+        parent = copy.deepcopy(as_generator(self._rng))
+        child = parent.spawn(shard_index + 1)[-1]
+        return RateCoding(
+            self.threshold, self.input_mode, self.default_steps, rng=child
+        )
+
     def bind(self, network: ConvertedNetwork, steps: int | None = None) -> BoundCoding:
         self._check_network(network)
         steps = steps if steps is not None else self.default_steps
         if steps < 1:
             raise ValueError(f"steps must be >= 1, got {steps}")
+        dtype = network.dtype
         if self.input_mode == "analog":
             encoder: InputEncoder = AnalogInputEncoder()
         else:
-            encoder = PoissonInputEncoder(self._rng)
+            encoder = PoissonInputEncoder(self._rng, dtype=dtype)
         dynamics = [
-            IFNeurons(stage.out_shape, stage.bias_broadcast(1), self.threshold)
+            IFNeurons(
+                stage.out_shape, stage.bias_broadcast(1), self.threshold, dtype=dtype
+            )
             for stage in network.stages
             if stage.spiking
         ]
@@ -91,6 +121,7 @@ class RateCoding(CodingScheme):
             network.stages[-1].out_shape,
             network.stages[-1].bias_broadcast(1),
             bias_policy="per_step",
+            dtype=dtype,
         )
         return BoundCoding(
             encoder=encoder,

@@ -52,10 +52,11 @@ class ReverseInputEncoder(InputEncoder):
     counts_spikes = True
     constant = False
 
-    def __init__(self, window: int):
+    def __init__(self, window: int, dtype=np.float64):
         if window < 2:
             raise ValueError(f"window must be >= 2, got {window}")
         self.window = window
+        self.dtype = np.dtype(dtype)
         self._offsets: np.ndarray | None = None
 
     def reset(self, x: np.ndarray) -> None:
@@ -71,7 +72,21 @@ class ReverseInputEncoder(InputEncoder):
         active = self._offsets > t
         if not active.any():
             return None
-        return active.astype(np.float64) / (self.window - 1)
+        return active.astype(self.dtype) / (self.window - 1)
+
+    def row_quiescent(self, t: int) -> np.ndarray | None:
+        """The ticking gate of a pixel stays open until its spike offset, so
+        a sample is exhausted once every offset lies at or before ``t + 1``."""
+        if self._offsets is None:
+            return None
+        n = self._offsets.shape[0]
+        if t + 1 >= self.window:
+            return np.ones(n, dtype=bool)
+        return ~(self._offsets > t + 1).reshape(n, -1).any(axis=1)
+
+    def compact(self, keep: np.ndarray) -> None:
+        if self._offsets is not None:
+            self._offsets = self._offsets[keep]
 
 
 class ReverseNeurons(NeuronDynamics):
@@ -86,8 +101,8 @@ class ReverseNeurons(NeuronDynamics):
     = one counted event), after it the gate is closed.
     """
 
-    def __init__(self, shape, bias, window: StageWindow, phase_len: int):
-        super().__init__(shape, bias)
+    def __init__(self, shape, bias, window: StageWindow, phase_len: int, dtype=np.float64):
+        super().__init__(shape, bias, dtype)
         if phase_len < 2:
             raise ValueError(f"phase_len must be >= 2, got {phase_len}")
         self.window = window
@@ -104,9 +119,7 @@ class ReverseNeurons(NeuronDynamics):
             raise RuntimeError("reset() must be called before step()")
         if drive is not None:
             u += drive
-        if t == self.window.integration_start and (
-            not np.isscalar(self.bias) or self.bias != 0.0
-        ):
+        if t == self.window.integration_start and self._has_bias:
             u += self.bias
         if not self.window.in_fire_phase(t):
             return None
@@ -116,7 +129,28 @@ class ReverseNeurons(NeuronDynamics):
         active = ~self._fired
         if not active.any():
             return None
-        return active.astype(np.float64) / (self.phase_len - 1)
+        return active.astype(self.dtype) / (self.phase_len - 1)
+
+    def row_quiescent(self, t: int) -> np.ndarray | None:
+        """A sample's gates all close once every neuron's reverse spike has
+        been emitted; after the fire window nothing can tick again."""
+        if self._fired is None:
+            return None
+        n = self._fired.shape[0]
+        if t + 1 >= self.window.fire_end:
+            return np.ones(n, dtype=bool)
+        if t < self.window.integration_start and self._has_bias:
+            return np.zeros(n, dtype=bool)
+        if not self.window.in_fire_phase(t):
+            # Gates have not opened yet: ticking is still ahead for any
+            # sample with at least one neuron (i.e. all of them).
+            return np.zeros(n, dtype=bool)
+        return self._fired.reshape(n, -1).all(axis=1)
+
+    def compact(self, keep: np.ndarray) -> None:
+        super().compact(keep)
+        if self._fired is not None:
+            self._fired = self._fired[keep]
 
     def spike_fraction(self) -> float:
         """Fraction of neurons whose reverse spike has been emitted."""
@@ -145,8 +179,11 @@ class ReverseCoding(CodingScheme):
         self._check_network(network)
         schedule = build_phased_schedule(network.num_spiking_stages, self.window)
         spiking = [s for s in network.stages if s.spiking]
+        dtype = network.dtype
         dynamics = [
-            ReverseNeurons(stage.out_shape, stage.bias_broadcast(1), win, self.window)
+            ReverseNeurons(
+                stage.out_shape, stage.bias_broadcast(1), win, self.window, dtype=dtype
+            )
             for stage, win in zip(spiking, schedule.windows)
         ]
         readout = ReadoutAccumulator(
@@ -154,9 +191,10 @@ class ReverseCoding(CodingScheme):
             network.stages[-1].bias_broadcast(1),
             bias_policy="once_at",
             bias_time=schedule.windows[-1].fire_start,
+            dtype=dtype,
         )
         return BoundCoding(
-            encoder=ReverseInputEncoder(self.window),
+            encoder=ReverseInputEncoder(self.window, dtype=dtype),
             dynamics=dynamics,
             readout=readout,
             total_steps=schedule.total_steps,

@@ -12,6 +12,18 @@ Fire-once semantics: once fired, a neuron ignores all further input.  Under
 early firing the fire phase overlaps the tail of integration, so information
 arriving after a neuron fired is lost — the paper's "non-guaranteed
 integration" — while not-yet-fired neurons still benefit from late arrivals.
+
+Throughput runtime (docs/DESIGN.md §9): once the engine guarantees a stage
+will receive no further drive (``note_input_exhausted``), its potentials
+are final and — because the exponential threshold decays monotonically —
+every unfired neuron's spike time has a closed form.  The stage switches
+from per-step threshold comparisons to a precomputed *firing schedule*:
+survivors of the threshold floor are counting-sorted into per-step buckets
+and each remaining step just slices its bucket, making fire-phase cost
+O(spikes emitted) instead of O(population x steps).  Firing decisions are
+identical to the per-step comparison; both stages and the encoder also
+report per-sample quiescence (``row_quiescent``), which powers early exit
+and batch retirement.
 """
 
 from __future__ import annotations
@@ -20,22 +32,15 @@ import numpy as np
 
 from repro.coding.base import BoundCoding, CodingScheme, InputEncoder
 from repro.convert.converter import ConvertedNetwork
-from repro.core.kernels import ExpKernel, KernelParams, default_kernel_params
+from repro.core.kernels import (
+    ExpKernel,
+    KernelParams,
+    default_kernel_params,
+    tabulate_kernel,
+)
 from repro.snn.events import SpikePacket
 from repro.snn.neurons import NeuronDynamics, ReadoutAccumulator
 from repro.snn.schedule import PhasedSchedule, StageWindow, build_phased_schedule
-
-
-def _tabulate(kernel, steps: int, theta0: float) -> np.ndarray:
-    """Per-step kernel weights ``theta0 * kernel(dt)`` for ``dt = 0..steps-1``.
-
-    Vectorised once at construction time so the simulation inner loop indexes
-    a table instead of evaluating a transcendental per step — numerically
-    identical to the scalar evaluation (same ufunc, same LUT gather).
-    """
-    return np.asarray(
-        kernel(np.arange(steps, dtype=np.float64)), dtype=np.float64
-    ) * theta0
 
 __all__ = [
     "TTFSCoding",
@@ -45,12 +50,88 @@ __all__ = [
 ]
 
 
+def _suffix_min(weights: np.ndarray) -> np.ndarray:
+    """``out[i] = min(weights[i:])`` — the threshold floor of the remaining
+    fire window.  A potential below ``out[i]`` can never fire from step ``i``
+    on (the kernel is evaluated exactly, so no monotonicity assumption is
+    needed)."""
+    return np.minimum.accumulate(weights[::-1])[::-1]
+
+
+class _FiringSchedule:
+    """Closed-form firing schedule over a monotone threshold table.
+
+    Once a population's potentials are final (an encoder's pixels at reset,
+    a stage once the engine exhausts its input), the first offset ``dt``
+    with ``value >= weights[dt]`` is each unit's spike time.  Units are
+    counting-sorted by that offset — stable and on narrow uint16 keys, so
+    numpy radix-sorts, and the row-major order survives within each bucket
+    (the nondecreasing row order SpikePacket kernels rely on).  Each step
+    then just slices its bucket: O(spikes emitted) per step instead of
+    O(population).  Firing decisions are identical to the per-step
+    threshold comparison.
+    """
+
+    __slots__ = ("rows", "idx", "bounds", "row_last")
+
+    def __init__(
+        self,
+        flat: np.ndarray,
+        alive: np.ndarray,
+        weights: np.ndarray,
+        dt_from: int,
+    ):
+        rows, idx = np.nonzero(alive)
+        fire_dt = np.searchsorted(-weights, -flat[rows, idx], side="left")
+        np.maximum(fire_dt, dt_from, out=fire_dt)
+        fire_dt = fire_dt.astype(np.uint16, copy=False)
+        order = np.argsort(fire_dt, kind="stable")
+        fire_dt = fire_dt[order]
+        self.rows = rows[order]
+        self.idx = idx[order]
+        self.bounds = np.searchsorted(fire_dt, np.arange(len(weights) + 1))
+        row_last = np.full(flat.shape[0], -1, dtype=np.int64)
+        # fire_dt is sorted ascending, so per row the last scatter wins with
+        # exactly its maximum offset — far cheaper than np.maximum.at.
+        row_last[self.rows] = fire_dt
+        self.row_last = row_last
+
+    def bucket(self, dt: int) -> tuple[np.ndarray, np.ndarray] | None:
+        """(rows, idx) firing at offset ``dt``, or ``None`` when silent."""
+        lo, hi = self.bounds[dt], self.bounds[dt + 1]
+        if hi == lo:
+            return None
+        return self.rows[lo:hi], self.idx[lo:hi]
+
+    def rows_done(self, next_dt: int) -> np.ndarray:
+        """Per-row True when no bucket at offset >= ``next_dt`` remains."""
+        return self.row_last < next_dt
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop retired batch rows; the offset sort survives the subset, so
+        only the bucket boundaries shift down by the events removed below
+        them."""
+        new_index = np.cumsum(keep) - 1
+        m = keep[self.rows]
+        self.rows = new_index[self.rows[m]]
+        self.idx = self.idx[m]
+        removed = np.cumsum(~m)
+        self.bounds = self.bounds - np.concatenate(([0], removed))[self.bounds]
+        self.row_last = self.row_last[keep]
+
+
 class TTFSInputEncoder(InputEncoder):
     """Encode pixels as first-spike times during ``[0, T)``.
 
     The image plays the role of pre-integrated membrane potential: pixel
     intensity ``x`` fires at the first step where ``x >= theta0 * eps(t)``,
     and the emitted spike is weighted by the kernel (the decoded intensity).
+
+    With ``emit_events=True`` (and a monotone kernel) the encoder receives
+    no drive, so every pixel's spike time is known at :meth:`reset`: spikes
+    are counting-sorted into per-step buckets once and each step just
+    slices its bucket — identical emissions to the per-step threshold
+    comparison at O(spikes) cost.
     """
 
     counts_spikes = True
@@ -62,6 +143,7 @@ class TTFSInputEncoder(InputEncoder):
         window: int,
         theta0: float = 1.0,
         emit_events: bool = False,
+        dtype=np.float64,
     ):
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
@@ -69,15 +151,25 @@ class TTFSInputEncoder(InputEncoder):
         self.window = window
         self.theta0 = theta0
         self.emit_events = emit_events
-        self._weights = _tabulate(kernel, window, theta0)
+        self.dtype = np.dtype(dtype)
+        self._weights = tabulate_kernel(kernel, window, theta0, dtype)
+        self._floor = _suffix_min(self._weights)
+        self._monotone = bool(np.all(np.diff(self._weights) <= 0))
         self._x: np.ndarray | None = None
         self._fired: np.ndarray | None = None
+        self._sched: _FiringSchedule | None = None
 
     def reset(self, x: np.ndarray) -> None:
         if x.min() < 0.0:
             raise ValueError("TTFS input encoding requires non-negative inputs")
         self._x = x
         self._fired = np.zeros(x.shape, dtype=bool)
+        self._sched = None
+        if self.emit_events and self._monotone:
+            flat = x.reshape(x.shape[0], -1)
+            # Pixels below the smallest threshold (or exactly zero) never fire.
+            alive = (flat >= self._weights[self.window - 1]) & (flat > 0.0)
+            self._sched = _FiringSchedule(flat, alive, self._weights, 0)
 
     def step(self, t: int) -> np.ndarray | SpikePacket | None:
         if self._x is None or self._fired is None:
@@ -85,14 +177,50 @@ class TTFSInputEncoder(InputEncoder):
         if not (0 <= t < self.window):
             return None
         weight = self._weights[t]
+        if self._sched is not None:
+            bucket = self._sched.bucket(t)
+            if bucket is None:
+                return None
+            rows, idx = bucket
+            flat_fired = self._fired.reshape(self._fired.shape[0], -1)
+            flat_fired[rows, idx] = True
+            return SpikePacket(
+                rows=rows,
+                idx=idx,
+                weights=np.full(rows.shape[0], weight, dtype=self.dtype),
+                batch=self._x.shape[0],
+                shape=self._x.shape[1:],
+            )
         threshold = weight  # theta(t) and the decoded weight coincide
         can_fire = (~self._fired) & (self._x >= threshold) & (self._x > 0.0)
         if not can_fire.any():
             return None
         self._fired |= can_fire
         if self.emit_events:
-            return SpikePacket.from_mask(can_fire, float(weight))
-        return can_fire.astype(np.float64) * weight
+            return SpikePacket.from_mask(can_fire, float(weight), dtype=self.dtype)
+        return can_fire.astype(self.dtype) * weight
+
+    def row_quiescent(self, t: int) -> np.ndarray | None:
+        """A sample is exhausted when every pixel either fired or sits below
+        the threshold floor of the remaining window (zero pixels never fire)."""
+        if self._x is None or self._fired is None:
+            return None
+        n = self._x.shape[0]
+        if t + 1 >= self.window:
+            return np.ones(n, dtype=bool)
+        if self._sched is not None:
+            return self._sched.rows_done(t + 1)
+        floor = self._floor[t + 1]
+        alive = (~self._fired) & (self._x >= floor) & (self._x > 0.0)
+        return ~alive.reshape(n, -1).any(axis=1)
+
+    def compact(self, keep: np.ndarray) -> None:
+        if self._x is None or self._fired is None:
+            return
+        self._x = self._x[keep]
+        self._fired = self._fired[keep]
+        if self._sched is not None:
+            self._sched.compact(keep)
 
 
 class TTFSNeurons(NeuronDynamics):
@@ -105,6 +233,13 @@ class TTFSNeurons(NeuronDynamics):
     Fire phase (``[fire_start, fire_end)``): at offset ``dt`` the threshold
     is ``theta0 * kernel(dt)``; neurons at or above it emit one spike of
     weight ``kernel(dt) * theta0`` and are latched fired.
+
+    With ``emit_events=True`` spikes leave as native
+    :class:`~repro.snn.events.SpikePacket` event lists, and once the engine
+    reports the stage's input exhausted the fire phase switches to the
+    precomputed firing schedule (see module docstring); otherwise the
+    classic full-tensor comparison runs and a dense weighted tensor is
+    returned.  All paths make identical firing decisions.
     """
 
     def __init__(
@@ -115,20 +250,74 @@ class TTFSNeurons(NeuronDynamics):
         kernel: ExpKernel,
         theta0: float = 1.0,
         emit_events: bool = False,
+        dtype=np.float64,
     ):
-        super().__init__(shape, bias)
+        super().__init__(shape, bias, dtype)
         if theta0 <= 0:
             raise ValueError(f"theta0 must be positive, got {theta0}")
         self.window = window
         self.kernel = kernel
         self.theta0 = theta0
         self.emit_events = emit_events
-        self._weights = _tabulate(kernel, window.fire_window, theta0)
+        self._weights = tabulate_kernel(kernel, window.fire_window, theta0, dtype)
+        self._floor = _suffix_min(self._weights)
+        # The exponential threshold decays monotonically, which is what lets
+        # final potentials be turned into a closed-form firing schedule once
+        # no further drive can arrive (checked, not assumed, so exotic
+        # kernels simply keep the per-step comparison).
+        self._monotone = bool(np.all(np.diff(self._weights) <= 0))
         self._fired: np.ndarray | None = None
+        self._no_more_input = False
+        self._sched: _FiringSchedule | None = None
 
     def reset(self, batch_size: int) -> None:
         super().reset(batch_size)
         self._fired = np.zeros((batch_size,) + self.shape, dtype=bool)
+        self._no_more_input = False
+        self._sched = None
+
+    # ------------------------------------------------------------------ #
+    # firing schedule
+    # ------------------------------------------------------------------ #
+
+    def _schedule_from_state(self, dt_from: int) -> None:
+        """Turn final potentials into a per-step firing schedule.
+
+        Valid once no further drive can arrive: unfired neurons below the
+        remaining threshold floor never fire and are dropped outright; the
+        rest get closed-form spike offsets (:class:`_FiringSchedule`).
+        """
+        if not self._monotone:
+            return
+        u = self._require_state()
+        n = u.shape[0]
+        flat = u.reshape(n, -1)
+        fired_flat = self._fired.reshape(n, -1)
+        dt_from = max(dt_from, 0)
+        if dt_from >= self.window.fire_window:
+            alive = np.zeros_like(fired_flat)
+            dt_from = 0  # no offsets left; the empty schedule is inert
+        else:
+            alive = (~fired_flat) & (flat >= self._floor[dt_from])
+        self._sched = _FiringSchedule(flat, alive, self._weights, dt_from)
+
+    def _bias_settled(self, t: int) -> bool:
+        """Whether the one-shot stage bias has been injected by step ``t``."""
+        return not self._has_bias or t >= self.window.integration_start
+
+    def note_input_exhausted(self, t: int) -> None:
+        self._no_more_input = True
+        if (
+            self.emit_events
+            and self._sched is None
+            and self._fired is not None
+            and self._bias_settled(t)
+        ):
+            self._schedule_from_state(t + 1 - self.window.fire_start)
+
+    # ------------------------------------------------------------------ #
+    # dynamics
+    # ------------------------------------------------------------------ #
 
     def step(self, drive: np.ndarray | None, t: int) -> np.ndarray | SpikePacket | None:
         u = self._require_state()
@@ -136,25 +325,73 @@ class TTFSNeurons(NeuronDynamics):
             raise RuntimeError("reset() must be called before step()")
         if drive is not None:
             u += drive
-        if t == self.window.integration_start and (
-            not np.isscalar(self.bias) or self.bias != 0.0
-        ):
+        if t == self.window.integration_start and self._has_bias:
             u += self.bias
+        if (
+            self.emit_events
+            and self._no_more_input
+            and self._sched is None
+            and self._bias_settled(t)
+        ):
+            # The engine exhausted our input before the bias landed; the
+            # potential is final from this step on — schedule now.
+            self._schedule_from_state(max(t - self.window.fire_start, 0))
         if not self.window.in_fire_phase(t):
             return None
-        weight = self._weights[t - self.window.fire_start]
+        dt = t - self.window.fire_start
+        weight = self._weights[dt]
+        if self.emit_events and self._sched is not None:
+            # Scheduled mode: this step's spikes are a precomputed bucket
+            # slice — no comparison over undecided neurons.
+            bucket = self._sched.bucket(dt)
+            if bucket is None:
+                return None
+            rows, idx = bucket
+            flat_fired = self._fired.reshape(self._fired.shape[0], -1)
+            flat_fired[rows, idx] = True
+            return SpikePacket(
+                rows=rows,
+                idx=idx,
+                weights=np.full(rows.shape[0], weight, dtype=self.dtype),
+                batch=u.shape[0],
+                shape=self.shape,
+            )
         can_fire = (~self._fired) & (u >= weight)
         if not can_fire.any():
             return None
         self._fired |= can_fire
         if self.emit_events:
-            return SpikePacket.from_mask(can_fire, float(weight))
-        return can_fire.astype(np.float64) * weight
+            return SpikePacket.from_mask(can_fire, float(weight), dtype=self.dtype)
+        return can_fire.astype(self.dtype) * weight
 
     def needs_drive(self, t: int) -> bool:
         """The membrane potential is only compared during the fire phase, so
         integration-phase drives can be delivered in one deferred batch."""
         return self.window.in_fire_phase(t)
+
+    def row_quiescent(self, t: int) -> np.ndarray | None:
+        if self._fired is None:
+            return None
+        n = self._fired.shape[0]
+        if t + 1 >= self.window.fire_end:
+            return np.ones(n, dtype=bool)
+        if t < self.window.integration_start and self._has_bias:
+            # The one-shot bias is still pending; potentials are not final.
+            return np.zeros(n, dtype=bool)
+        next_dt = max(t + 1 - self.window.fire_start, 0)
+        if self._sched is not None:
+            # Scheduled mode: a sample is done once its last bucket passed.
+            return self._sched.rows_done(next_dt)
+        u = self._require_state()
+        alive = (~self._fired) & (u >= self._floor[next_dt])
+        return ~alive.reshape(n, -1).any(axis=1)
+
+    def compact(self, keep: np.ndarray) -> None:
+        super().compact(keep)
+        if self._fired is not None:
+            self._fired = self._fired[keep]
+        if self._sched is not None:
+            self._sched.compact(keep)
 
     def spike_fraction(self) -> float:
         """Fraction of neurons that have fired (sparsity diagnostic)."""
@@ -192,6 +429,10 @@ class TTFSCoding(CodingScheme):
     The integration kernel of stage ``l`` is set equal to the fire kernel of
     its presynaptic source (Sec. III-A), so each source owns exactly one
     kernel used for both encoding (threshold) and decoding (spike weight).
+
+    The bound encoders/dynamics/readout inherit the converted network's
+    compute dtype (``ConvertedNetwork.dtype``): float64 by default, float32
+    when the network was converted or cast with ``dtype=np.float32``.
     """
 
     name = "ttfs"
@@ -247,11 +488,12 @@ class TTFSCoding(CodingScheme):
             ExpKernel(p).to_lut(self.window) if self.use_lut else ExpKernel(p)
             for p in params
         ]
+        dtype = network.dtype
 
         # Bound encoders/dynamics emit SpikePackets natively: the engine gets
         # spike counts for free and the dense fire tensor is never allocated.
         encoder = TTFSInputEncoder(
-            kernels[0], self.window, self.theta0, emit_events=True
+            kernels[0], self.window, self.theta0, emit_events=True, dtype=dtype
         )
         spiking = [s for s in network.stages if s.spiking]
         dynamics = [
@@ -262,6 +504,7 @@ class TTFSCoding(CodingScheme):
                 kernel,
                 self.theta0,
                 emit_events=True,
+                dtype=dtype,
             )
             for stage, window, kernel in zip(spiking, schedule.windows, kernels[1:])
         ]
@@ -270,6 +513,7 @@ class TTFSCoding(CodingScheme):
             network.stages[-1].bias_broadcast(1),
             bias_policy="once_at",
             bias_time=schedule.windows[-1].fire_start,
+            dtype=dtype,
         )
         total = steps if steps is not None else schedule.total_steps
         return BoundCoding(

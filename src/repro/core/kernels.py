@@ -28,7 +28,13 @@ import numpy as np
 
 from repro.utils.lut import LookupTable
 
-__all__ = ["KernelParams", "ExpKernel", "LUTKernel", "default_kernel_params"]
+__all__ = [
+    "KernelParams",
+    "ExpKernel",
+    "LUTKernel",
+    "default_kernel_params",
+    "tabulate_kernel",
+]
 
 #: Lower bound keeping tau in a numerically sane region during optimization.
 TAU_MIN = 1e-2
@@ -47,6 +53,22 @@ class KernelParams:
         if not np.isfinite(self.t_delay):
             raise ValueError(f"t_delay must be finite, got {self.t_delay}")
         return self
+
+
+def tabulate_kernel(kernel, steps: int, theta0: float = 1.0, dtype=np.float64) -> np.ndarray:
+    """Per-step kernel weights ``theta0 * kernel(dt)`` for ``dt = 0..steps-1``.
+
+    Vectorised once at construction time so simulation inner loops index a
+    table instead of evaluating a transcendental per step — numerically
+    identical to the scalar evaluation (same ufunc, same LUT gather).  The
+    table is always evaluated in float64 and cast to ``dtype`` at the end,
+    so a float32 compute path quantises the *final* weights rather than
+    compounding error through the exponential.
+    """
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    table = np.asarray(kernel(np.arange(steps, dtype=np.float64)), dtype=np.float64)
+    return (table * theta0).astype(dtype, copy=False)
 
 
 def default_kernel_params(window: int) -> KernelParams:

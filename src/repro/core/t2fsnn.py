@@ -169,9 +169,19 @@ class T2FSNN:
         y: np.ndarray | None = None,
         monitors=(),
         batch_size: int | None = None,
+        workers: int = 1,
     ) -> SimulationResult:
-        """Run TTFS inference on a batch (optionally scored and batched)."""
+        """Run TTFS inference on a batch (optionally scored and batched).
+
+        ``workers > 1`` shards the mini-batches across worker processes via
+        :func:`repro.snn.parallel.run_parallel` (monitors then must be
+        empty); ``workers=1`` stays serial.
+        """
         sim = self.simulator(monitors=monitors)
+        if workers > 1:
+            return sim.run_parallel(
+                x, y, workers=workers, batch_size=batch_size or 64
+            )
         if batch_size is None:
             return sim.run(x, y)
         return sim.run_batched(x, y, batch_size=batch_size)

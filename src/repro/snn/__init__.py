@@ -16,6 +16,7 @@ from repro.snn.monitors import (
     SpikeTimeMonitor,
 )
 from repro.snn.neurons import IFNeurons, NeuronDynamics, ReadoutAccumulator
+from repro.snn.parallel import run_parallel
 from repro.snn.results import SimulationResult
 from repro.snn.schedule import (
     PhasedSchedule,
@@ -28,6 +29,7 @@ from repro.snn.schedule import (
 
 __all__ = [
     "Simulator",
+    "run_parallel",
     "SpikePacket",
     "DEFAULT_DENSITY_THRESHOLD",
     "apply_stage_events",

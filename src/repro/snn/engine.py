@@ -25,6 +25,17 @@ counts are identical to the dense path on every coding scheme.
 Silent-layer shortcut: an all-zero spike tensor is propagated as ``None`` so
 stages skip their convolution work entirely; neuron state still advances
 (TTFS thresholds decay even without input).
+
+Throughput runtime (docs/DESIGN.md §9): encoders and dynamics report
+per-sample *quiescence* — no spike can ever be emitted again.  The engine
+chains the reports depth-wise each step; once every sample is quiescent and
+the readout score is final the time loop terminates early, and samples whose
+fate is sealed before the rest of the batch are *retired* — their score is
+recorded and every piece of per-sample state (drive buffers, neuron state,
+readout potential, encoder state) is compacted down to the surviving rows —
+so wall time tracks the slowest sample's decision time instead of
+``total_steps x full batch``.  Both mechanisms are loss-free: predictions,
+scores and spike counts are identical to the full-schedule run.
 """
 
 from __future__ import annotations
@@ -51,20 +62,33 @@ class _DriveBuffer:
     stage ops are linear.
     """
 
-    __slots__ = ("_single", "_sum")
+    __slots__ = ("_single", "_packets", "_sum")
 
     def __init__(self):
         self._single: np.ndarray | SpikePacket | None = None
+        self._packets: list[SpikePacket] | None = None
         self._sum: np.ndarray | None = None
 
     def add(self, spikes: np.ndarray | SpikePacket) -> None:
         if self._sum is not None:
             self._accumulate(spikes)
+        elif self._packets is not None:
+            if isinstance(spikes, SpikePacket):
+                self._packets.append(spikes)
+            else:
+                self._sum = self._merge_packets()
+                self._packets = None
+                self._accumulate(spikes)
         elif self._single is None:
             self._single = spikes
         else:
             first = self._single
             self._single = None
+            if isinstance(first, SpikePacket) and isinstance(spikes, SpikePacket):
+                # All-packet deferral windows stay as event lists and merge
+                # in one scatter at flush time.
+                self._packets = [first, spikes]
+                return
             if isinstance(first, SpikePacket):
                 self._sum = first.to_dense()
             else:
@@ -78,9 +102,57 @@ class _DriveBuffer:
         else:
             self._sum += spikes
 
+    def _merge_packets(self) -> np.ndarray:
+        packets = self._packets
+        first = packets[0]
+        features = int(np.prod(first.shape))
+        pos = np.concatenate([p.rows * features + p.idx for p in packets])
+        weights = np.concatenate([p.weights for p in packets])
+        # bincount is the fastest duplicate-accumulating scatter numpy has
+        # (several times np.add.at); it always sums in float64, which the
+        # float32 path rounds once at the end.
+        flat = np.bincount(pos, weights=weights, minlength=first.batch * features)
+        flat = flat.astype(first.weights.dtype, copy=False)
+        return flat.reshape((first.batch,) + tuple(first.shape))
+
+    @property
+    def empty(self) -> bool:
+        return self._single is None and self._packets is None and self._sum is None
+
+    def rows_with_events(self, batch: int) -> np.ndarray | None:
+        """Boolean mask of batch rows with pending events (``None`` = empty)."""
+        if self._sum is not None:
+            return self._sum.reshape(batch, -1).any(axis=1)
+        if self._packets is not None:
+            present = np.zeros(batch, dtype=bool)
+            for packet in self._packets:
+                present[packet.rows] = True
+            return present
+        if self._single is None:
+            return None
+        if isinstance(self._single, SpikePacket):
+            return self._single.rows_with_events()
+        return self._single.reshape(batch, -1).any(axis=1)
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop retired batch rows from any buffered content."""
+        if self._single is not None:
+            if isinstance(self._single, SpikePacket):
+                self._single = self._single.compact_rows(keep)
+            else:
+                self._single = self._single[keep]
+        if self._packets is not None:
+            self._packets = [p.compact_rows(keep) for p in self._packets]
+        if self._sum is not None:
+            self._sum = self._sum[keep]
+
     def take(self) -> tuple[np.ndarray | SpikePacket | None, bool]:
         """Pop the buffered drive input; second element marks a merged tensor
         (whose density the caller should re-measure before propagating)."""
+        if self._packets is not None:
+            merged = self._merge_packets()
+            self._packets = None
+            return merged, True
         single, merged = self._single, self._sum
         self._single = None
         self._sum = None
@@ -95,7 +167,9 @@ class Simulator:
     Parameters
     ----------
     network:
-        The converted (normalized, staged) network.
+        The converted (normalized, staged) network.  Its parameter dtype
+        (``network.dtype``) is the engine's compute dtype: float64 by
+        default, float32 after ``network.astype(np.float32)``.
     scheme:
         A :class:`~repro.coding.base.CodingScheme`.
     steps:
@@ -112,6 +186,15 @@ class Simulator:
         Spike density (nonzero fraction) at or below which a step's spikes
         are propagated sparsely.  The default is measured in
         ``benchmarks/bench_engine_throughput.py``.
+    early_exit:
+        Enable quiescence early-exit and per-sample retirement
+        (docs/DESIGN.md §9).  Loss-free (identical predictions, scores and
+        spike counts); only ``SimulationResult.steps`` — the steps actually
+        executed — shrinks.  Automatically disabled when the scheme cannot
+        report quiescence (e.g. analog/Poisson input encoders), when the
+        readout's bias policy keeps scores changing until the scheduled
+        end, or when an attached monitor requires the full schedule
+        (``Monitor.requires_full_run``).
 
     Examples
     --------
@@ -129,6 +212,7 @@ class Simulator:
         monitors=(),
         event_driven: bool = True,
         density_threshold: float = ev.DEFAULT_DENSITY_THRESHOLD,
+        early_exit: bool = True,
     ):
         if density_threshold < 0.0 or density_threshold > 1.0:
             raise ValueError(
@@ -139,7 +223,9 @@ class Simulator:
         self.monitors = list(monitors)
         self.event_driven = bool(event_driven)
         self.density_threshold = float(density_threshold)
+        self.early_exit = bool(early_exit)
         self.bound = scheme.bind(network, steps)
+        self._steps_arg = steps
 
     def _propagate(
         self, stage: ConvertedStage, spikes: np.ndarray | SpikePacket | None
@@ -163,13 +249,79 @@ class Simulator:
             )
         return self._propagate(stage, spikes)
 
+    def _notify_batch_start(self, x: np.ndarray, y: np.ndarray | None) -> None:
+        for monitor in self.monitors:
+            hook = getattr(monitor, "on_batch_start", None)
+            if hook is not None:
+                hook(self, x, y)
+
     def run(self, x: np.ndarray, y: np.ndarray | None = None) -> SimulationResult:
         """Simulate a batch ``x`` (optionally scoring against labels ``y``)."""
-        return self._run(x, y, notify_end=True)
+        for monitor in self.monitors:
+            monitor.on_run_start(self, x, y)
+        result = self._run(x, y)
+        for monitor in self.monitors:
+            monitor.on_run_end(result)
+        return result
 
-    def _run(
-        self, x: np.ndarray, y: np.ndarray | None, notify_end: bool
-    ) -> SimulationResult:
+    def _quiescence(
+        self,
+        bound,
+        buffers: list[_DriveBuffer],
+        t: int,
+        batch: int,
+        exhausted_flags: list[bool],
+        done_flags: list[bool],
+    ) -> np.ndarray | None:
+        """Per-sample quiescence after step ``t`` — the depth-wise chain.
+
+        A stage's self-report is only trusted for rows whose entire upstream
+        is silent forever: the encoder exhausted, every earlier stage
+        quiescent, and no undelivered events sitting in drive buffers.
+        Returns ``None`` when the scheme cannot report quiescence (disables
+        the machinery for the rest of the run).
+
+        ``exhausted_flags[i]`` latches "stage i will never receive drive
+        again" (fires the one-shot ``note_input_exhausted`` hook that lets
+        dynamics precompute their remaining schedule); ``done_flags`` caches
+        fully-quiescent sources (encoder at index 0, stage ``i`` at ``i+1``)
+        so settled stages cost nothing on later steps — with exhausted input
+        and fire-once/threshold dynamics, quiescence is monotone.
+        """
+        if done_flags[0]:
+            quiet = np.ones(batch, dtype=bool)
+        else:
+            quiet = bound.encoder.row_quiescent(t)
+            if quiet is None:
+                return None
+            if quiet.all():
+                done_flags[0] = True
+        upstream_silent = bool(quiet.all())
+        for i, dyn in enumerate(bound.dynamics):
+            if done_flags[i + 1]:
+                continue  # settled: all rows quiescent, buffer drained
+            buffer_empty = buffers[i].empty
+            if upstream_silent and buffer_empty and not exhausted_flags[i]:
+                dyn.note_input_exhausted(t)
+                exhausted_flags[i] = True
+            if not quiet.any():
+                return quiet  # nothing can retire; skip the deeper checks
+            if not buffer_empty:
+                pending = buffers[i].rows_with_events(batch)
+                if pending is not None:
+                    quiet &= ~pending
+            rows = dyn.row_quiescent(t)
+            if rows is None:
+                return None
+            all_rows_quiet = bool(rows.all())
+            if not all_rows_quiet:
+                quiet &= rows
+            elif exhausted_flags[i] and buffer_empty:
+                done_flags[i + 1] = True
+            upstream_silent = upstream_silent and buffer_empty and all_rows_quiet
+        return quiet
+
+    def _run(self, x: np.ndarray, y: np.ndarray | None) -> SimulationResult:
         if x.shape[1:] != tuple(self.network.input_shape):
             raise ValueError(
                 f"input shape {x.shape[1:]} does not match network "
@@ -177,6 +329,9 @@ class Simulator:
             )
         if y is not None and len(y) != len(x):
             raise ValueError(f"labels length {len(y)} != batch {len(x)}")
+        compute_dtype = self.network.dtype
+        if x.dtype != compute_dtype:
+            x = x.astype(compute_dtype)
         bound = self.bound
         n = len(x)
         # Dense emissions are packed when at or below the density threshold;
@@ -194,8 +349,7 @@ class Simulator:
         stage_names = [s.name for s in spiking_stages]
         counts = {name: 0.0 for name in ["input", *stage_names]}
 
-        for monitor in self.monitors:
-            monitor.on_run_start(self, x, y)
+        self._notify_batch_start(x, y)
 
         # Constant analog encoders (rate/burst) emit the identical tensor
         # every step, so the first stage's synaptic drive is computed once.
@@ -214,6 +368,23 @@ class Simulator:
             getattr(monitor, "observes_readout", True) for monitor in self.monitors
         )
         last_step = bound.total_steps - 1
+
+        # Quiescence early-exit + sample retirement: off when a monitor needs
+        # the full schedule or the readout keeps injecting bias until the
+        # scheduled end; self-disables when the scheme cannot report.
+        exit_enabled = (
+            self.early_exit
+            and bound.readout.rows_sealable()
+            and not any(
+                getattr(monitor, "requires_full_run", True)
+                for monitor in self.monitors
+            )
+        )
+        exhausted_flags = [False] * len(bound.dynamics)
+        done_flags = [False] * (len(bound.dynamics) + 1)
+        active: np.ndarray | None = None  # original row of each live sample
+        scores_out: np.ndarray | None = None
+        executed = 0
 
         for t in range(bound.total_steps):
             spikes = bound.encoder.step(t)
@@ -254,44 +425,93 @@ class Simulator:
 
             for monitor in self.monitors:
                 monitor.on_step(t, step_spikes, bound.readout)
+            executed = t + 1
 
-        scores = bound.readout.scores().copy()
+            if not exit_enabled or t == last_step:
+                continue
+            batch = len(active) if active is not None else n
+            quiet = self._quiescence(
+                bound, buffers, t, batch, exhausted_flags, done_flags
+            )
+            if quiet is None:
+                exit_enabled = False
+                continue
+            if not quiet.any():
+                continue
+            if quiet.all():
+                # Every sample is decided: deliver any deferred readout
+                # drive and stop the clock (seal_rows settles pending bias).
+                bound.readout.absorb(self._flush(readout_stage, readout_buffer))
+                break
+            # Retire the decided samples and compact everything per-sample.
+            bound.readout.absorb(self._flush(readout_stage, readout_buffer))
+            if scores_out is None:
+                scores_out = np.zeros(
+                    (n,) + tuple(bound.readout.shape),
+                    dtype=bound.readout.scores().dtype,
+                )
+                active = np.arange(n)
+            scores_out[active[quiet]] = bound.readout.seal_rows(
+                quiet, t, bound.total_steps
+            )
+            keep = ~quiet
+            active = active[keep]
+            bound.encoder.compact(keep)
+            for dyn in bound.dynamics:
+                dyn.compact(keep)
+            bound.readout.compact(keep)
+            for buffer in buffers:
+                buffer.compact(keep)
+            readout_buffer.compact(keep)
+            if input_drive_cache is not None:
+                input_drive_cache = input_drive_cache[keep]
+
+        last_t = executed - 1
+        if scores_out is None:
+            scores = bound.readout.seal_rows(
+                np.ones(n, dtype=bool), last_t, bound.total_steps
+            )
+        else:
+            scores_out[active] = bound.readout.seal_rows(
+                np.ones(len(active), dtype=bool), last_t, bound.total_steps
+            )
+            scores = scores_out
         predictions = scores.argmax(axis=1)
         accuracy = float((predictions == y).mean()) if y is not None else None
         per_inference = {name: c / n for name, c in counts.items()}
-        result = SimulationResult(
+        return SimulationResult(
             scores=scores,
             predictions=predictions,
             accuracy=accuracy,
             spike_counts=per_inference,
             total_spikes=float(sum(per_inference.values())),
-            steps=bound.total_steps,
+            steps=executed,
             decision_time=bound.decision_time,
         )
-        if notify_end:
-            for monitor in self.monitors:
-                monitor.on_run_end(result)
-        return result
 
     def run_batched(
         self, x: np.ndarray, y: np.ndarray | None = None, batch_size: int = 64
     ) -> SimulationResult:
         """Run :meth:`run` over mini-batches and merge the results.
 
-        Keeps peak memory bounded for large test sets; monitors observe every
-        batch (their accumulators are cumulative) and receive exactly one
-        ``on_run_end`` call carrying the *merged* result.
+        Keeps peak memory bounded for large test sets; monitors receive
+        exactly one ``on_run_start`` for the whole run, an ``on_batch_start``
+        per mini-batch, and one ``on_run_end`` carrying the *merged* result.
         """
         if len(x) <= batch_size:
             return self.run(x, y)
+        for monitor in self.monitors:
+            monitor.on_run_start(self, x, y)
         all_scores = []
         merged_counts: dict[str, float] = {}
         total = 0
+        executed = 0
         for start in range(0, len(x), batch_size):
             xb = x[start : start + batch_size]
             yb = y[start : start + batch_size] if y is not None else None
-            res = self._run(xb, yb, notify_end=False)
+            res = self._run(xb, yb)
             all_scores.append(res.scores)
+            executed = max(executed, res.steps)
             weight = len(xb)
             total += weight
             for name, value in res.spike_counts.items():
@@ -306,9 +526,33 @@ class Simulator:
             accuracy=accuracy,
             spike_counts=per_inference,
             total_spikes=float(sum(per_inference.values())),
-            steps=self.bound.total_steps,
+            steps=executed,
             decision_time=self.bound.decision_time,
         )
         for monitor in self.monitors:
             monitor.on_run_end(result)
         return result
+
+    def run_parallel(
+        self,
+        x: np.ndarray,
+        y: np.ndarray | None = None,
+        workers: int = 2,
+        batch_size: int = 64,
+        start_method: str | None = None,
+    ) -> SimulationResult:
+        """Shard mini-batches across worker processes and merge the results.
+
+        See :func:`repro.snn.parallel.run_parallel`; with ``workers=1`` this
+        degrades gracefully to the serial :meth:`run_batched`.
+        """
+        from repro.snn.parallel import run_parallel
+
+        return run_parallel(
+            self,
+            x,
+            y,
+            workers=workers,
+            batch_size=batch_size,
+            start_method=start_method,
+        )

@@ -144,6 +144,33 @@ class SpikePacket:
             raise ValueError(f"cannot reshape {self.shape} events to {shape}")
         return SpikePacket(self.rows, self.idx, self.weights, self.batch, tuple(shape))
 
+    def compact_rows(self, keep: np.ndarray) -> "SpikePacket":
+        """Drop events of retired batch rows and renumber the survivors.
+
+        ``keep`` is a boolean mask over the current batch dimension; kept
+        rows are renumbered to their compacted positions (the engine's
+        sample-retirement index map).  Event order is preserved, so ``rows``
+        stays nondecreasing.
+        """
+        keep = np.asarray(keep, dtype=bool)
+        if keep.shape != (self.batch,):
+            raise ValueError(f"keep mask shape {keep.shape} != batch {self.batch}")
+        new_index = np.cumsum(keep) - 1
+        m = keep[self.rows]
+        return SpikePacket(
+            rows=new_index[self.rows[m]],
+            idx=self.idx[m],
+            weights=self.weights[m],
+            batch=int(np.count_nonzero(keep)),
+            shape=self.shape,
+        )
+
+    def rows_with_events(self) -> np.ndarray:
+        """Boolean mask over the batch marking rows that carry any event."""
+        present = np.zeros(self.batch, dtype=bool)
+        present[self.rows] = True
+        return present
+
     def mask(self) -> np.ndarray:
         """Boolean fired-mask of shape ``(batch, *shape)``."""
         flat = np.zeros((self.batch, int(np.prod(self.shape))), dtype=bool)

@@ -2,7 +2,13 @@
 
 Monitor protocol (duck-typed):
 
-* ``on_run_start(sim, x, y)`` — called once before the clock starts;
+* ``on_run_start(sim, x, y)`` — called exactly once per run, before the
+  clock starts, with the *full* test set (also for batched and parallel
+  runs);
+* ``on_batch_start(sim, xb, yb)`` — optional; called once per mini-batch
+  with that batch's slice (``Simulator.run`` calls it once with the whole
+  batch).  Monitors that index per-sample state (labels, first-spike maps)
+  rebind it here;
 * ``on_step(t, step_spikes, readout)`` — called every step with the list of
   per-stage spike emissions (``None`` = silent; otherwise a dense weighted
   tensor or a :class:`~repro.snn.events.SpikePacket` from the event-driven
@@ -12,6 +18,13 @@ Monitor protocol (duck-typed):
 * ``on_run_end(result)`` — called with the final
   :class:`~repro.snn.results.SimulationResult`.  ``Simulator.run_batched``
   calls it exactly once, with the merged result.
+
+``requires_full_run`` declares whether the monitor needs every scheduled
+step over the full batch: when any attached monitor sets it (the safe
+default for duck-typed monitors), the engine disables quiescence early-exit
+and sample retirement (docs/DESIGN.md §9).  Pure spike-count observers mark
+themselves ``requires_full_run = False`` — truncated steps and retired
+samples are by construction spike-free, so their numbers cannot change.
 
 All monitors accumulate across consecutive runs (batched evaluation) until
 :meth:`reset` is called.
@@ -42,7 +55,15 @@ class Monitor:
     #: it to keep the fast path.
     observes_readout = True
 
+    #: Whether the monitor needs the engine to execute every scheduled step
+    #: over the full batch.  ``True`` (the safe default) turns off quiescence
+    #: early-exit and sample retirement for the run.
+    requires_full_run = True
+
     def on_run_start(self, sim, x, y) -> None:  # noqa: D102 - protocol
+        pass
+
+    def on_batch_start(self, sim, x, y) -> None:  # noqa: D102 - protocol
         pass
 
     def on_step(self, t, step_spikes, readout) -> None:  # noqa: D102 - protocol
@@ -59,6 +80,8 @@ class SpikeCountMonitor(Monitor):
     """Total spike events per stage index (cumulative across runs)."""
 
     observes_readout = False
+    # Early exit and retirement only skip spike-free work.
+    requires_full_run = False
 
     def __init__(self):
         self.counts: dict[int, int] = {}
@@ -91,6 +114,8 @@ class SpikeTimeMonitor(Monitor):
     """
 
     observes_readout = False
+    # Steps past quiescence and retired samples contribute zero events.
+    requires_full_run = False
 
     def __init__(self, total_steps: int, num_stages: int):
         self.histograms = np.zeros((num_stages, total_steps), dtype=np.int64)
@@ -115,7 +140,9 @@ class AccuracyCurveMonitor(Monitor):
     """Accuracy as a function of decision time — the data behind Fig. 6.
 
     At every step the readout's running potential is argmax-decoded against
-    the labels.  Accumulates correct counts across batched runs.
+    the labels.  Accumulates correct counts across batched runs; needs the
+    full schedule (the curve's late steps must be observed even after the
+    network goes quiescent), so it disables early exit.
     """
 
     def __init__(self, total_steps: int):
@@ -128,6 +155,11 @@ class AccuracyCurveMonitor(Monitor):
             raise ValueError("AccuracyCurveMonitor requires labels")
         self._y = np.asarray(y)
         self.samples += len(x)
+
+    def on_batch_start(self, sim, x, y) -> None:
+        # Rebind to the mini-batch's labels: on_step decodes batch-sized
+        # score tensors.
+        self._y = np.asarray(y)
 
     def on_step(self, t, step_spikes, readout) -> None:
         if t >= len(self.correct) or self._y is None:
@@ -162,7 +194,8 @@ class FirstSpikeMonitor(Monitor):
     """Record each neuron's first spike time for one stage (TTFS analysis).
 
     ``times`` holds the first spike step per (sample, neuron...) or -1 for
-    neurons that never fired; only tracks the most recent run.
+    neurons that never fired; only tracks the most recent mini-batch.  Keeps
+    a per-sample map, so it needs the full (uncompacted) batch.
     """
 
     observes_readout = False
@@ -172,6 +205,9 @@ class FirstSpikeMonitor(Monitor):
         self.times: np.ndarray | None = None
 
     def on_run_start(self, sim, x, y) -> None:
+        self.times = None
+
+    def on_batch_start(self, sim, x, y) -> None:
         self.times = None
 
     def on_step(self, t, step_spikes, readout) -> None:

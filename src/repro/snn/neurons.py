@@ -8,6 +8,17 @@ number of spike events at a step is the number of nonzero entries.
 The drive may be ``None`` as a cheap encoding of an all-zero input (lets the
 engine skip convolution work for silent layers while neurons still evolve —
 e.g. TTFS thresholds keep decaying with no input).
+
+Throughput-runtime protocol (docs/DESIGN.md §9): dynamics may additionally
+report *quiescence* — per-sample knowledge that no spike can ever be emitted
+again, assuming no further input — via :meth:`NeuronDynamics.row_quiescent`.
+The engine chains these reports depth-wise (a stage's report is only trusted
+once everything upstream is quiescent and its drive buffer is empty) to
+terminate the time loop early and to retire decided samples from the active
+batch (:meth:`NeuronDynamics.compact`).
+
+All state is kept in a configurable ``dtype`` (float64 by default for
+reference parity; float32 opt-in halves memory traffic on the hot path).
 """
 
 from __future__ import annotations
@@ -17,22 +28,32 @@ import numpy as np
 __all__ = ["NeuronDynamics", "IFNeurons", "ReadoutAccumulator"]
 
 
+def _bias_is_nonzero(bias) -> bool:
+    """Whether a broadcast-ready bias (array or scalar) injects anything."""
+    return not np.isscalar(bias) or bias != 0.0
+
+
 class NeuronDynamics:
     """Base class for per-stage neuron populations.
 
     Subclasses implement :meth:`step`.  ``shape`` is the population shape
     without batch; ``bias`` (or ``None``) is broadcast-ready for
-    ``(batch, *shape)``.
+    ``(batch, *shape)``; ``dtype`` is the membrane-state dtype.
     """
 
-    def __init__(self, shape: tuple[int, ...], bias):
+    def __init__(self, shape: tuple[int, ...], bias, dtype=np.float64):
         self.shape = tuple(shape)
         self.bias = bias  # broadcastable array or 0.0
+        self.dtype = np.dtype(dtype)
         self.u: np.ndarray | None = None
+        # Hoisted out of the hot loop: re-testing np.isscalar(bias) every
+        # step costs more than the bias add itself on small stages.
+        self._has_bias = _bias_is_nonzero(bias)
 
     def reset(self, batch_size: int) -> None:
         """Zero all state for a fresh inference over ``batch_size`` samples."""
-        self.u = np.zeros((batch_size,) + self.shape, dtype=np.float64)
+        self.u = np.zeros((batch_size,) + self.shape, dtype=self.dtype)
+        self._has_bias = _bias_is_nonzero(self.bias)
 
     def step(self, drive: np.ndarray | None, t: int) -> np.ndarray | None:
         """Advance one step; return weighted spikes (or ``None`` for silence)."""
@@ -51,6 +72,40 @@ class NeuronDynamics:
         """
         return True
 
+    # ------------------------------------------------------------------ #
+    # quiescence protocol (docs/DESIGN.md §9)
+    # ------------------------------------------------------------------ #
+
+    def row_quiescent(self, t: int) -> np.ndarray | None:
+        """Per-sample quiescence after step ``t``, or ``None`` if unknown.
+
+        ``result[r]`` is True when sample ``r`` can never emit another spike
+        at any step ``> t`` **assuming it receives no further synaptic
+        drive**.  The engine only trusts the answer for rows whose entire
+        upstream (encoder, earlier stages, pending drive buffers) is already
+        quiescent.  ``None`` (the default) means the dynamics cannot tell,
+        which disables early exit and sample retirement for the run.
+        """
+        return None
+
+    def quiescent(self, t: int) -> bool:
+        """Whole-population quiescence after step ``t`` (see row_quiescent)."""
+        rows = self.row_quiescent(t)
+        return rows is not None and bool(rows.all())
+
+    def note_input_exhausted(self, t: int) -> None:
+        """Hook: the engine guarantees no drive will ever arrive after ``t``.
+
+        Dynamics may use this to drop state for neurons that can no longer
+        fire (TTFS prunes fire candidates below the remaining threshold
+        floor).  Must not change any observable emission.
+        """
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop retired samples: keep only rows where ``keep`` is True."""
+        if self.u is not None:
+            self.u = self.u[keep]
+
     def _require_state(self) -> np.ndarray:
         if self.u is None:
             raise RuntimeError("reset() must be called before step()")
@@ -66,24 +121,37 @@ class IFNeurons(NeuronDynamics):
     bias current of the conversion literature.
     """
 
-    def __init__(self, shape: tuple[int, ...], bias, threshold: float = 1.0):
+    def __init__(
+        self, shape: tuple[int, ...], bias, threshold: float = 1.0, dtype=np.float64
+    ):
         if threshold <= 0:
             raise ValueError(f"threshold must be positive, got {threshold}")
-        super().__init__(shape, bias)
+        super().__init__(shape, bias, dtype)
         self.threshold = threshold
 
     def step(self, drive: np.ndarray | None, t: int) -> np.ndarray | None:
         u = self._require_state()
         if drive is not None:
             u += drive
-        if not np.isscalar(self.bias) or self.bias != 0.0:
+        if self._has_bias:
             u += self.bias
         fired = u >= self.threshold
         if not fired.any():
             return None
-        spikes = fired.astype(np.float64)
+        spikes = fired.astype(self.dtype)
         u -= spikes * self.threshold
         return spikes
+
+    def row_quiescent(self, t: int) -> np.ndarray | None:
+        """With no further input, an IF neuron below threshold stays silent
+        forever; the per-step bias is a standing input, so any bias blocks
+        quiescence."""
+        if self.u is None:
+            return None
+        if self._has_bias:
+            return np.zeros(self.u.shape[0], dtype=bool)
+        n = self.u.shape[0]
+        return ~(self.u >= self.threshold).reshape(n, -1).any(axis=1)
 
 
 class ReadoutAccumulator:
@@ -104,6 +172,7 @@ class ReadoutAccumulator:
         bias_policy: str = "per_step",
         period: int = 1,
         bias_time: int = 0,
+        dtype=np.float64,
     ):
         if bias_policy not in ("per_step", "per_period", "once_at"):
             raise ValueError(f"unknown bias policy {bias_policy!r}")
@@ -112,17 +181,20 @@ class ReadoutAccumulator:
         self.bias_policy = bias_policy
         self.period = max(1, period)
         self.bias_time = bias_time
+        self.dtype = np.dtype(dtype)
         self.potential: np.ndarray | None = None
+        self._has_bias = _bias_is_nonzero(bias)
 
     def reset(self, batch_size: int) -> None:
-        self.potential = np.zeros((batch_size,) + self.shape, dtype=np.float64)
+        self.potential = np.zeros((batch_size,) + self.shape, dtype=self.dtype)
+        self._has_bias = _bias_is_nonzero(self.bias)
 
     def accumulate(self, current: np.ndarray | None, t: int) -> None:
         if self.potential is None:
             raise RuntimeError("reset() must be called before accumulate()")
         if current is not None:
             self.potential += current
-        if np.isscalar(self.bias) and self.bias == 0.0:
+        if not self._has_bias:
             return
         if self.bias_policy == "per_step":
             self.potential += self.bias
@@ -130,6 +202,61 @@ class ReadoutAccumulator:
             self.potential += self.bias / self.period
         elif t == self.bias_time:
             self.potential += self.bias
+
+    def absorb(self, current: np.ndarray | None) -> None:
+        """Fold a flushed drive into the potential with no bias bookkeeping.
+
+        Used when the engine flushes the deferred readout buffer outside the
+        regular per-step accumulate (early exit / sample retirement); the
+        scheduled bias injections are handled by :meth:`accumulate` and
+        :meth:`seal_rows` exactly once.
+        """
+        if self.potential is None:
+            raise RuntimeError("reset() must be called before absorb()")
+        if current is not None:
+            self.potential += current
+
+    # ------------------------------------------------------------------ #
+    # quiescence protocol (docs/DESIGN.md §9)
+    # ------------------------------------------------------------------ #
+
+    def rows_sealable(self) -> bool:
+        """Whether a sample's score is final once its spike traffic ends.
+
+        Run-constant (the engine checks it once before the time loop).
+        Per-step and per-period bias policies keep injecting current until
+        the scheduled end of the run, so stopping early would change the
+        scores; a zero bias or the TTFS-style one-shot injection makes the
+        potential final (the pending one-shot is applied by
+        :meth:`seal_rows`)."""
+        return not self._has_bias or self.bias_policy == "once_at"
+
+    def seal_rows(
+        self, rows: np.ndarray, t: int, scheduled_steps: int | None = None
+    ) -> np.ndarray:
+        """Final scores for ``rows`` (bool mask) retired after step ``t``.
+
+        Applies the still-pending ``once_at`` bias when the run ends before
+        ``bias_time``, so retiring a sample early never loses its bias —
+        but only if the schedule would have reached ``bias_time`` at all
+        (``scheduled_steps``): a deliberately truncated budget keeps the
+        reference engine's no-bias scores."""
+        if self.potential is None:
+            raise RuntimeError("reset() must be called before seal_rows()")
+        scores = self.potential[rows]
+        if (
+            self._has_bias
+            and self.bias_policy == "once_at"
+            and t < self.bias_time
+            and (scheduled_steps is None or self.bias_time < scheduled_steps)
+        ):
+            scores = scores + self.bias
+        return scores
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop retired samples: keep only rows where ``keep`` is True."""
+        if self.potential is not None:
+            self.potential = self.potential[keep]
 
     def scores(self) -> np.ndarray:
         if self.potential is None:

@@ -1,0 +1,200 @@
+"""Multiprocess sharded inference: the throughput runtime's outer layer.
+
+Python's GIL caps a single simulator process at one core, so the road to
+"as fast as the hardware allows" on multi-core CPUs is process-level data
+parallelism: :func:`run_parallel` shards a test set into mini-batches,
+ships the pickled :class:`~repro.convert.converter.ConvertedNetwork` and
+coding scheme to a pool of worker processes once (pool initializer), runs
+each shard through a per-worker :class:`~repro.snn.engine.Simulator`, and
+merges the :class:`~repro.snn.results.SimulationResult` shards exactly like
+``Simulator.run_batched`` — identical scores, predictions and per-inference
+spike counts, in the original sample order.  Stochastic schemes (Poisson
+input) cannot reproduce the serial run's draws; they ship one scheme
+instance per shard (``CodingScheme.shard_instance``) so every shard draws
+an *independent* stream instead of workers replaying identical noise.
+
+Degradation is graceful by construction: ``workers=1`` (or a test set that
+fits one mini-batch) never touches multiprocessing, and a pool that cannot
+be created (restricted sandboxes without fork/spawn) falls back to the
+serial path with a warning rather than failing the run.
+
+Monitors are a per-process observer protocol and cannot be merged across
+address spaces, so parallel runs reject simulators with attached monitors —
+attach monitors to a serial run instead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+import numpy as np
+
+from repro.snn.results import SimulationResult
+
+__all__ = ["run_parallel", "merge_results"]
+
+#: Per-process simulator, built once by the pool initializer so each shard
+#: submission only pickles its input arrays, not the network.
+_WORKER_SIM = None
+_WORKER_ARGS = None
+
+
+def _init_worker(payload: bytes) -> None:
+    from repro.snn.engine import Simulator
+
+    global _WORKER_SIM, _WORKER_ARGS
+    network, scheme, steps, event_driven, density_threshold, early_exit = (
+        pickle.loads(payload)
+    )
+    _WORKER_ARGS = (network, steps, event_driven, density_threshold, early_exit)
+    _WORKER_SIM = Simulator(
+        network,
+        scheme,
+        steps=steps,
+        event_driven=event_driven,
+        density_threshold=density_threshold,
+        early_exit=early_exit,
+    )
+
+
+def _run_shard(shard) -> SimulationResult:
+    scheme, xb, yb = shard
+    if scheme is None:
+        return _WORKER_SIM._run(xb, yb)
+    # Stochastic schemes ship one instance per shard (independent random
+    # streams); rebind against the worker's cached network.
+    from repro.snn.engine import Simulator
+
+    network, steps, event_driven, density_threshold, early_exit = _WORKER_ARGS
+    sim = Simulator(
+        network,
+        scheme,
+        steps=steps,
+        event_driven=event_driven,
+        density_threshold=density_threshold,
+        early_exit=early_exit,
+    )
+    return sim._run(xb, yb)
+
+
+def merge_results(
+    shards: list[SimulationResult],
+    sizes: list[int],
+    y: np.ndarray | None,
+    decision_time: int,
+) -> SimulationResult:
+    """Merge per-shard results into one, weighting spike counts by shard size.
+
+    Scores are concatenated in shard order (the sharding is contiguous, so
+    this is the original sample order); ``steps`` is the slowest shard's
+    executed step count.
+    """
+    scores = np.concatenate([r.scores for r in shards], axis=0)
+    predictions = scores.argmax(axis=1)
+    accuracy = float((predictions == y).mean()) if y is not None else None
+    total = sum(sizes)
+    merged_counts: dict[str, float] = {}
+    for res, size in zip(shards, sizes):
+        for name, value in res.spike_counts.items():
+            merged_counts[name] = merged_counts.get(name, 0.0) + value * size
+    per_inference = {name: c / total for name, c in merged_counts.items()}
+    return SimulationResult(
+        scores=scores,
+        predictions=predictions,
+        accuracy=accuracy,
+        spike_counts=per_inference,
+        total_spikes=float(sum(per_inference.values())),
+        steps=max(r.steps for r in shards),
+        decision_time=decision_time,
+    )
+
+
+def run_parallel(
+    sim,
+    x: np.ndarray,
+    y: np.ndarray | None = None,
+    workers: int = 2,
+    batch_size: int = 64,
+    start_method: str | None = None,
+) -> SimulationResult:
+    """Run ``sim`` over ``x`` with mini-batches sharded across processes.
+
+    Parameters
+    ----------
+    sim:
+        A :class:`~repro.snn.engine.Simulator`.  Its network, scheme and
+        engine options are replicated into each worker; monitors are not
+        supported with ``workers > 1``.
+    x, y:
+        Test set (and optional labels), exactly as for ``run_batched``.
+    workers:
+        Worker process count.  ``1`` runs the serial ``run_batched`` path
+        in this process — no multiprocessing machinery at all.
+    batch_size:
+        Mini-batch (shard) size; also the serial fallback's batch size.
+    start_method:
+        Multiprocessing start method (``"fork"``/``"spawn"``/
+        ``"forkserver"``); default prefers fork where available (cheapest,
+        and the network is shipped via the pool initializer anyway).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if workers > 1 and sim.monitors:
+        raise ValueError(
+            "monitors observe per-step state inside one process and cannot be "
+            "merged across workers; run serially (workers=1) to attach monitors"
+        )
+    if workers == 1 or len(x) <= batch_size:
+        return sim.run_batched(x, y, batch_size=batch_size)
+
+    stochastic = getattr(sim.scheme, "stochastic", False)
+    shards = []
+    sizes = []
+    for index, start in enumerate(range(0, len(x), batch_size)):
+        xb = x[start : start + batch_size]
+        yb = y[start : start + batch_size] if y is not None else None
+        shard_scheme = sim.scheme.shard_instance(index) if stochastic else None
+        shards.append((shard_scheme, xb, yb))
+        sizes.append(len(xb))
+
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else methods[0]
+    payload = pickle.dumps(
+        (
+            sim.network,
+            sim.scheme,
+            sim._steps_arg,
+            sim.event_driven,
+            sim.density_threshold,
+            sim.early_exit,
+        )
+    )
+    context = multiprocessing.get_context(start_method)
+    try:
+        # Worker processes spawn lazily on the first submit, so the map must
+        # sit inside the guard too — a host without working fork/spawn
+        # surfaces as BrokenProcessPool/OSError there, not in the ctor.
+        # Workload exceptions (bad shapes, labels) re-raise verbatim from
+        # map and are deliberately NOT caught.
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(shards)),
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(payload,),
+        ) as pool:
+            results = list(pool.map(_run_shard, shards))
+    except (OSError, BrokenExecutor) as exc:
+        warnings.warn(
+            f"could not run a {start_method!r} worker pool ({exc}); "
+            "falling back to the serial runner",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return sim.run_batched(x, y, batch_size=batch_size)
+    return merge_results(results, sizes, y, sim.bound.decision_time)

@@ -27,7 +27,11 @@ class SimulationResult:
     total_spikes:
         Sum of ``spike_counts`` values — the paper's "number of spikes".
     steps:
-        Steps actually simulated.
+        Steps actually executed.  With quiescence early-exit
+        (docs/DESIGN.md §9) this can be smaller than the scheduled
+        ``decision_time`` — e.g. an over-provisioned free-running budget is
+        trimmed once the network can no longer spike; batched/parallel runs
+        report the slowest mini-batch.
     decision_time:
         The scheme's decision latency in time steps (the paper's "latency").
     """

@@ -94,6 +94,34 @@ class TestBatchedRun:
         # The monitor still observed every batch's steps.
         assert monitor.samples == len(x)
 
+    def test_monitors_see_one_run_start_and_per_batch_starts(
+        self, tiny_network, tiny_data
+    ):
+        """run_batched gives exactly one on_run_start carrying the *whole*
+        test set, plus one on_batch_start per mini-batch (regression:
+        on_run_start used to fire once per mini-batch)."""
+
+        class LifecycleRecorder(SpikeCountMonitor):
+            def __init__(self):
+                super().__init__()
+                self.run_starts = []
+                self.batch_starts = []
+
+            def on_run_start(self, sim, x, y):
+                super().on_run_start(sim, x, y)
+                self.run_starts.append(len(x))
+
+            def on_batch_start(self, sim, x, y):
+                self.batch_starts.append(len(x))
+
+        x, y = tiny_data[2][:30], tiny_data[3][:30]
+        monitor = LifecycleRecorder()
+        sim = Simulator(tiny_network, RateCoding(), steps=30, monitors=[monitor])
+        sim.run_batched(x, y, batch_size=7)
+        assert monitor.run_starts == [30]
+        assert monitor.batch_starts == [7, 7, 7, 7, 2]
+        assert monitor.samples == 30
+
 
 class TestMonitorsIntegration:
     def test_spike_count_monitor_agrees_with_result(self, tiny_network, tiny_data):

@@ -1,0 +1,101 @@
+"""Multiprocess sharded runner: exact merge parity with the serial engine."""
+
+import numpy as np
+import pytest
+
+from repro.coding.phase import PhaseCoding
+from repro.coding.rate import RateCoding
+from repro.coding.ttfs import TTFSCoding
+from repro.snn.engine import Simulator
+from repro.snn.monitors import SpikeCountMonitor
+from repro.snn.parallel import merge_results, run_parallel
+
+SCHEMES = {
+    "ttfs": (lambda: TTFSCoding(window=12), None),
+    "ttfs_early": (lambda: TTFSCoding(window=12, early_firing=True), None),
+    "rate": (lambda: RateCoding(), 30),
+    "phase": (lambda: PhaseCoding(), 24),
+}
+
+
+class TestRunParallel:
+    @pytest.mark.parametrize("scheme_key", sorted(SCHEMES))
+    def test_matches_serial_dense_engine(self, tiny_network, tiny_data, scheme_key):
+        """Sharded multiprocess runs reproduce the serial dense engine
+        exactly: predictions, spike counts, accuracy, sample order."""
+        factory, steps = SCHEMES[scheme_key]
+        x, y = tiny_data[2][:21], tiny_data[3][:21]
+        ref = Simulator(
+            tiny_network, factory(), steps=steps, event_driven=False, early_exit=False
+        ).run(x, y)
+        par = Simulator(tiny_network, factory(), steps=steps).run_parallel(
+            x, y, workers=2, batch_size=6
+        )
+        np.testing.assert_array_equal(par.predictions, ref.predictions)
+        assert par.spike_counts == pytest.approx(ref.spike_counts)
+        assert par.accuracy == ref.accuracy
+        np.testing.assert_allclose(par.scores, ref.scores, rtol=1e-9, atol=1e-12)
+
+    def test_workers_one_is_serial_passthrough(self, tiny_network, tiny_data, monkeypatch):
+        """workers=1 must not touch multiprocessing at all."""
+        import concurrent.futures
+
+        def boom(*a, **k):  # pragma: no cover - would fail the test if hit
+            raise AssertionError("ProcessPoolExecutor used with workers=1")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", boom)
+        monkeypatch.setattr(
+            "repro.snn.parallel.ProcessPoolExecutor", boom
+        )
+        x, y = tiny_data[2][:10], tiny_data[3][:10]
+        sim = Simulator(tiny_network, TTFSCoding(window=12))
+        serial = sim.run_batched(x, y, batch_size=4)
+        par = sim.run_parallel(x, y, workers=1, batch_size=4)
+        np.testing.assert_array_equal(par.predictions, serial.predictions)
+
+    def test_single_shard_skips_pool(self, tiny_network, tiny_data):
+        x = tiny_data[2][:5]
+        sim = Simulator(tiny_network, TTFSCoding(window=12))
+        par = sim.run_parallel(x, workers=4, batch_size=64)
+        assert len(par.predictions) == 5
+
+    def test_monitors_rejected_with_workers(self, tiny_network, tiny_data):
+        sim = Simulator(
+            tiny_network, TTFSCoding(window=12), monitors=[SpikeCountMonitor()]
+        )
+        with pytest.raises(ValueError, match="monitors"):
+            sim.run_parallel(tiny_data[2][:10], workers=2, batch_size=2)
+
+    def test_invalid_arguments_rejected(self, tiny_network, tiny_data):
+        sim = Simulator(tiny_network, TTFSCoding(window=12))
+        with pytest.raises(ValueError, match="workers"):
+            sim.run_parallel(tiny_data[2][:4], workers=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            sim.run_parallel(tiny_data[2][:4], batch_size=0)
+
+    def test_pool_failure_falls_back_to_serial(
+        self, tiny_network, tiny_data, monkeypatch
+    ):
+        def broken_pool(*a, **k):
+            raise OSError("no process support")
+
+        monkeypatch.setattr("repro.snn.parallel.ProcessPoolExecutor", broken_pool)
+        x, y = tiny_data[2][:10], tiny_data[3][:10]
+        sim = Simulator(tiny_network, TTFSCoding(window=12))
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            par = run_parallel(sim, x, y, workers=2, batch_size=3)
+        serial = sim.run_batched(x, y, batch_size=3)
+        np.testing.assert_array_equal(par.predictions, serial.predictions)
+
+
+class TestMergeResults:
+    def test_weighted_spike_count_merge(self, tiny_network, tiny_data):
+        x, y = tiny_data[2][:14], tiny_data[3][:14]
+        sim = Simulator(tiny_network, TTFSCoding(window=12))
+        a = sim._run(x[:8], y[:8])
+        b = sim._run(x[8:], y[8:])
+        merged = merge_results([a, b], [8, 6], y, sim.bound.decision_time)
+        whole = sim.run(x, y)
+        np.testing.assert_array_equal(merged.predictions, whole.predictions)
+        assert merged.total_spikes == pytest.approx(whole.total_spikes)
+        assert merged.steps == max(a.steps, b.steps)

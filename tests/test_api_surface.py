@@ -43,6 +43,7 @@ MODULES = [
     "repro.snn.schedule",
     "repro.snn.neurons",
     "repro.snn.engine",
+    "repro.snn.parallel",
     "repro.snn.monitors",
     "repro.snn.results",
     "repro.coding.base",
