@@ -41,6 +41,18 @@ class InputEncoder:
     def step(self, t: int) -> np.ndarray | None:
         raise NotImplementedError
 
+    def emission_window(self) -> int | None:
+        """Steps after which the encoder is structurally silent, or ``None``.
+
+        Window-scheduled encoders (TTFS, reverse) emit only during
+        ``[0, emission_window())`` regardless of the input; the compiled
+        phased executor (:mod:`repro.snn.plan`) uses this to skip encoder
+        steps outside the window and to derive when each stage's input is
+        exhausted.  ``None`` (the default, and the right answer for constant
+        or free-running encoders) keeps the generic per-step path.
+        """
+        return None
+
     # ------------------------------------------------------------------ #
     # quiescence protocol (docs/DESIGN.md §9)
     # ------------------------------------------------------------------ #

@@ -17,7 +17,12 @@ import numpy as np
 
 from repro.coding.base import AnalogInputEncoder, BoundCoding, CodingScheme
 from repro.convert.converter import ConvertedNetwork
-from repro.snn.neurons import NeuronDynamics, ReadoutAccumulator
+from repro.snn.neurons import (
+    NeuronDynamics,
+    ReadoutAccumulator,
+    arena_compact,
+    arena_zeros,
+)
 
 __all__ = ["BurstCoding", "BurstIFNeurons"]
 
@@ -59,10 +64,13 @@ class BurstIFNeurons(NeuronDynamics):
         # evaluating a float power per neuron per step.
         self._burst_weights = (gamma ** np.arange(max_burst + 1)).astype(self.dtype)
         self._k: np.ndarray | None = None
+        self._k_base: np.ndarray | None = None
 
     def reset(self, batch_size: int) -> None:
         super().reset(batch_size)
-        self._k = np.zeros((batch_size,) + self.shape, dtype=np.int64)
+        self._k_base, self._k = arena_zeros(
+            self._k_base, (batch_size,) + self.shape, np.int64
+        )
 
     def step(self, drive: np.ndarray | None, t: int) -> np.ndarray | None:
         u = self._require_state()
@@ -89,7 +97,7 @@ class BurstIFNeurons(NeuronDynamics):
     def compact(self, keep: np.ndarray) -> None:
         super().compact(keep)
         if self._k is not None:
-            self._k = self._k[keep]
+            self._k = arena_compact(self._k_base, self._k, keep)
 
 
 class BurstCoding(CodingScheme):

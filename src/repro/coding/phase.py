@@ -46,21 +46,36 @@ class PhaseInputEncoder(InputEncoder):
         self.dtype = np.dtype(dtype)
         self._weights = phase_weight(np.arange(period), period)
         self._bits: np.ndarray | None = None
+        self._bits_base: np.ndarray | None = None
         self._row_live: np.ndarray | None = None
 
     def reset(self, x: np.ndarray) -> None:
         if x.min() < 0.0:
             raise ValueError("phase encoding requires non-negative inputs")
         # Quantize to K bits: bit_p = floor(x * 2^(p+1)) mod 2, p = 0..K-1.
+        # The bit planes live in a capacity arena (batch on axis 1) and are
+        # computed in place, so consecutive batches reuse the storage.
         clipped = np.minimum(x, 1.0 - 2.0**-self.period)
-        bits = []
+        n = x.shape[0]
+        base = self._bits_base
+        if (
+            base is None
+            or base.dtype != self.dtype
+            or base.shape[2:] != x.shape[1:]
+            or base.shape[1] < n
+        ):
+            self._bits_base = base = np.empty(
+                (self.period, n) + x.shape[1:], dtype=self.dtype
+            )
+        self._bits = bits = base[:, :n]  # (K, N, ...)
         for p in range(self.period):
-            bits.append(np.floor(clipped * 2.0 ** (p + 1)) % 2)
-        self._bits = np.stack(bits, axis=0).astype(self.dtype, copy=False)  # (K, N, ...)
+            plane = bits[p]
+            np.multiply(clipped, 2.0 ** (p + 1), out=plane)
+            np.floor(plane, out=plane)
+            np.mod(plane, 2, out=plane)
         # The pattern repeats every period, so per-sample liveness is fixed
         # at reset: only an all-zero sample is ever exhausted.
-        n = x.shape[0]
-        self._row_live = self._bits.any(axis=0).reshape(n, -1).any(axis=1)
+        self._row_live = bits.any(axis=0).reshape(n, -1).any(axis=1)
 
     def step(self, t: int) -> np.ndarray | None:
         if self._bits is None:
@@ -81,7 +96,10 @@ class PhaseInputEncoder(InputEncoder):
 
     def compact(self, keep: np.ndarray) -> None:
         if self._bits is not None:
-            self._bits = self._bits[:, keep]
+            k = int(np.count_nonzero(keep))
+            # Forward-compact survivors within the arena (axis 1 is batch).
+            self._bits_base[:, :k] = self._bits[:, keep]
+            self._bits = self._bits_base[:, :k]
             self._row_live = self._row_live[keep]
 
 

@@ -28,7 +28,12 @@ import numpy as np
 
 from repro.coding.base import BoundCoding, CodingScheme, InputEncoder
 from repro.convert.converter import ConvertedNetwork
-from repro.snn.neurons import NeuronDynamics, ReadoutAccumulator
+from repro.snn.neurons import (
+    NeuronDynamics,
+    ReadoutAccumulator,
+    arena_compact,
+    arena_zeros,
+)
 from repro.snn.schedule import StageWindow, build_phased_schedule
 
 __all__ = ["ReverseCoding", "ReverseInputEncoder", "ReverseNeurons", "reverse_offset"]
@@ -58,6 +63,9 @@ class ReverseInputEncoder(InputEncoder):
         self.window = window
         self.dtype = np.dtype(dtype)
         self._offsets: np.ndarray | None = None
+
+    def emission_window(self) -> int:
+        return self.window
 
     def reset(self, x: np.ndarray) -> None:
         if x.min() < 0.0:
@@ -108,10 +116,16 @@ class ReverseNeurons(NeuronDynamics):
         self.window = window
         self.phase_len = phase_len
         self._fired: np.ndarray | None = None
+        self._fired_base: np.ndarray | None = None
+
+    def phase_window(self) -> StageWindow:
+        return self.window
 
     def reset(self, batch_size: int) -> None:
         super().reset(batch_size)
-        self._fired = np.zeros((batch_size,) + self.shape, dtype=bool)
+        self._fired_base, self._fired = arena_zeros(
+            self._fired_base, (batch_size,) + self.shape, bool
+        )
 
     def step(self, drive: np.ndarray | None, t: int) -> np.ndarray | None:
         u = self._require_state()
@@ -150,7 +164,7 @@ class ReverseNeurons(NeuronDynamics):
     def compact(self, keep: np.ndarray) -> None:
         super().compact(keep)
         if self._fired is not None:
-            self._fired = self._fired[keep]
+            self._fired = arena_compact(self._fired_base, self._fired, keep)
 
     def spike_fraction(self) -> float:
         """Fraction of neurons whose reverse spike has been emitted."""

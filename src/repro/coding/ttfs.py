@@ -39,7 +39,12 @@ from repro.core.kernels import (
     tabulate_kernel,
 )
 from repro.snn.events import SpikePacket
-from repro.snn.neurons import NeuronDynamics, ReadoutAccumulator
+from repro.snn.neurons import (
+    NeuronDynamics,
+    ReadoutAccumulator,
+    arena_compact,
+    arena_zeros,
+)
 from repro.snn.schedule import PhasedSchedule, StageWindow, build_phased_schedule
 
 __all__ = [
@@ -68,11 +73,13 @@ class _FiringSchedule:
     numpy radix-sorts, and the row-major order survives within each bucket
     (the nondecreasing row order SpikePacket kernels rely on).  Each step
     then just slices its bucket: O(spikes emitted) per step instead of
-    O(population).  Firing decisions are identical to the per-step
-    threshold comparison.
+    O(population).  The per-event kernel weights are materialised once at
+    build time, so a bucket emission is three array *views* — the steady
+    state allocates nothing per step.  Firing decisions are identical to
+    the per-step threshold comparison.
     """
 
-    __slots__ = ("rows", "idx", "bounds", "row_last")
+    __slots__ = ("rows", "idx", "weights", "bounds", "row_last")
 
     def __init__(
         self,
@@ -81,7 +88,7 @@ class _FiringSchedule:
         weights: np.ndarray,
         dt_from: int,
     ):
-        rows, idx = np.nonzero(alive)
+        rows, idx = np.divmod(np.flatnonzero(alive), alive.shape[1])
         fire_dt = np.searchsorted(-weights, -flat[rows, idx], side="left")
         np.maximum(fire_dt, dt_from, out=fire_dt)
         fire_dt = fire_dt.astype(np.uint16, copy=False)
@@ -89,6 +96,10 @@ class _FiringSchedule:
         fire_dt = fire_dt[order]
         self.rows = rows[order]
         self.idx = idx[order]
+        # Per-event spike weight (the kernel value at the firing offset),
+        # gathered once: bucket slices reuse views of this array instead of
+        # np.full-ing a fresh weight vector every step.
+        self.weights = weights[fire_dt]
         self.bounds = np.searchsorted(fire_dt, np.arange(len(weights) + 1))
         row_last = np.full(flat.shape[0], -1, dtype=np.int64)
         # fire_dt is sorted ascending, so per row the last scatter wins with
@@ -96,12 +107,12 @@ class _FiringSchedule:
         row_last[self.rows] = fire_dt
         self.row_last = row_last
 
-    def bucket(self, dt: int) -> tuple[np.ndarray, np.ndarray] | None:
-        """(rows, idx) firing at offset ``dt``, or ``None`` when silent."""
+    def bucket(self, dt: int) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """(rows, idx, weights) firing at offset ``dt`` (``None`` = silent)."""
         lo, hi = self.bounds[dt], self.bounds[dt + 1]
         if hi == lo:
             return None
-        return self.rows[lo:hi], self.idx[lo:hi]
+        return self.rows[lo:hi], self.idx[lo:hi], self.weights[lo:hi]
 
     def rows_done(self, next_dt: int) -> np.ndarray:
         """Per-row True when no bucket at offset >= ``next_dt`` remains."""
@@ -115,6 +126,7 @@ class _FiringSchedule:
         m = keep[self.rows]
         self.rows = new_index[self.rows[m]]
         self.idx = self.idx[m]
+        self.weights = self.weights[m]
         removed = np.cumsum(~m)
         self.bounds = self.bounds - np.concatenate(([0], removed))[self.bounds]
         self.row_last = self.row_last[keep]
@@ -157,39 +169,60 @@ class TTFSInputEncoder(InputEncoder):
         self._monotone = bool(np.all(np.diff(self._weights) <= 0))
         self._x: np.ndarray | None = None
         self._fired: np.ndarray | None = None
+        self._fired_base: np.ndarray | None = None
+        self._drained = False
         self._sched: _FiringSchedule | None = None
+
+    def emission_window(self) -> int:
+        return self.window
 
     def reset(self, x: np.ndarray) -> None:
         if x.min() < 0.0:
             raise ValueError("TTFS input encoding requires non-negative inputs")
         self._x = x
-        self._fired = np.zeros(x.shape, dtype=bool)
+        self._fired_base, self._fired = arena_zeros(self._fired_base, x.shape, bool)
         self._sched = None
-        if self.emit_events and self._monotone:
-            flat = x.reshape(x.shape[0], -1)
-            # Pixels below the smallest threshold (or exactly zero) never fire.
-            alive = (flat >= self._weights[self.window - 1]) & (flat > 0.0)
-            self._sched = _FiringSchedule(flat, alive, self._weights, 0)
+        self._drained = False
+
+    def _build_schedule(self) -> None:
+        """Counting-sort every pixel's closed-form spike time into buckets.
+
+        Built lazily at the first :meth:`step` (the encoder receives no
+        drive, so its potentials — the pixels — are final at reset); a
+        bulk-drained run never pays for it.
+        """
+        flat = self._x.reshape(self._x.shape[0], -1)
+        # Pixels below the smallest threshold (or exactly zero) never fire.
+        alive = (flat >= self._weights[self.window - 1]) & (flat > 0.0)
+        self._sched = _FiringSchedule(flat, alive, self._weights, 0)
 
     def step(self, t: int) -> np.ndarray | SpikePacket | None:
         if self._x is None or self._fired is None:
             raise RuntimeError("reset() must be called before step()")
         if not (0 <= t < self.window):
             return None
+        if (
+            self._sched is None
+            and not self._drained
+            and self.emit_events
+            and self._monotone
+        ):
+            self._build_schedule()
         weight = self._weights[t]
         if self._sched is not None:
             bucket = self._sched.bucket(t)
             if bucket is None:
                 return None
-            rows, idx = bucket
+            rows, idx, weights = bucket
             flat_fired = self._fired.reshape(self._fired.shape[0], -1)
             flat_fired[rows, idx] = True
             return SpikePacket(
                 rows=rows,
                 idx=idx,
-                weights=np.full(rows.shape[0], weight, dtype=self.dtype),
+                weights=weights,
                 batch=self._x.shape[0],
                 shape=self._x.shape[1:],
+                unique=True,
             )
         threshold = weight  # theta(t) and the decoded weight coincide
         can_fire = (~self._fired) & (self._x >= threshold) & (self._x > 0.0)
@@ -199,6 +232,48 @@ class TTFSInputEncoder(InputEncoder):
         if self.emit_events:
             return SpikePacket.from_mask(can_fire, float(weight), dtype=self.dtype)
         return can_fire.astype(self.dtype) * weight
+
+    def can_drain(self) -> bool:
+        """Whether the whole remaining emission schedule can leave as one
+        packet (monotone kernel: every pixel's spike time has a closed form)."""
+        return self._monotone
+
+    def drain_events(self) -> SpikePacket | None:
+        """Emit every remaining pixel spike as a single packet.
+
+        Valid whenever the receiving stage integrates the full encoder
+        window before reading its membrane (the compiled phased executor
+        checks the schedule): TTFS pixels fire at most once, so the event
+        positions are unique and the receiver's scatter-accumulation is
+        bit-identical no matter how the events are grouped over steps.
+        Events are emitted in row-major order with per-event kernel weights;
+        all emitting pixels are latched fired.
+        """
+        if self._x is None or self._fired is None:
+            raise RuntimeError("reset() must be called before drain_events()")
+        if not self._monotone:
+            raise RuntimeError("drain_events() requires a monotone kernel")
+        self._drained = True
+        flat = self._x.reshape(self._x.shape[0], -1)
+        fired_flat = self._fired.reshape(self._fired.shape[0], -1)
+        alive = (
+            ~fired_flat & (flat >= self._weights[self.window - 1]) & (flat > 0.0)
+        )
+        rows, idx = np.divmod(np.flatnonzero(alive), alive.shape[1])
+        if rows.shape[0] == 0:
+            return None
+        fire_dt = np.searchsorted(-self._weights, -flat[rows, idx], side="left")
+        fired_flat[rows, idx] = True
+        self._sched = None  # all buckets drained; step() now sees all-fired
+        self._drained = True
+        return SpikePacket(
+            rows=rows,
+            idx=idx,
+            weights=self._weights[fire_dt],
+            batch=self._x.shape[0],
+            shape=self._x.shape[1:],
+            unique=True,
+        )
 
     def row_quiescent(self, t: int) -> np.ndarray | None:
         """A sample is exhausted when every pixel either fired or sits below
@@ -218,7 +293,7 @@ class TTFSInputEncoder(InputEncoder):
         if self._x is None or self._fired is None:
             return
         self._x = self._x[keep]
-        self._fired = self._fired[keep]
+        self._fired = arena_compact(self._fired_base, self._fired, keep)
         if self._sched is not None:
             self._sched.compact(keep)
 
@@ -267,13 +342,21 @@ class TTFSNeurons(NeuronDynamics):
         # kernels simply keep the per-step comparison).
         self._monotone = bool(np.all(np.diff(self._weights) <= 0))
         self._fired: np.ndarray | None = None
+        self._fired_base: np.ndarray | None = None
         self._no_more_input = False
+        self._drained = False
         self._sched: _FiringSchedule | None = None
+
+    def phase_window(self) -> StageWindow:
+        return self.window
 
     def reset(self, batch_size: int) -> None:
         super().reset(batch_size)
-        self._fired = np.zeros((batch_size,) + self.shape, dtype=bool)
+        self._fired_base, self._fired = arena_zeros(
+            self._fired_base, (batch_size,) + self.shape, bool
+        )
         self._no_more_input = False
+        self._drained = False
         self._sched = None
 
     # ------------------------------------------------------------------ #
@@ -310,6 +393,7 @@ class TTFSNeurons(NeuronDynamics):
         if (
             self.emit_events
             and self._sched is None
+            and not self._drained
             and self._fired is not None
             and self._bias_settled(t)
         ):
@@ -331,6 +415,7 @@ class TTFSNeurons(NeuronDynamics):
             self.emit_events
             and self._no_more_input
             and self._sched is None
+            and not self._drained
             and self._bias_settled(t)
         ):
             # The engine exhausted our input before the bias landed; the
@@ -342,19 +427,21 @@ class TTFSNeurons(NeuronDynamics):
         weight = self._weights[dt]
         if self.emit_events and self._sched is not None:
             # Scheduled mode: this step's spikes are a precomputed bucket
-            # slice — no comparison over undecided neurons.
+            # slice — three views, no comparison over undecided neurons and
+            # no per-step allocation.
             bucket = self._sched.bucket(dt)
             if bucket is None:
                 return None
-            rows, idx = bucket
+            rows, idx, weights = bucket
             flat_fired = self._fired.reshape(self._fired.shape[0], -1)
             flat_fired[rows, idx] = True
             return SpikePacket(
                 rows=rows,
                 idx=idx,
-                weights=np.full(rows.shape[0], weight, dtype=self.dtype),
+                weights=weights,
                 batch=u.shape[0],
                 shape=self.shape,
+                unique=True,
             )
         can_fire = (~self._fired) & (u >= weight)
         if not can_fire.any():
@@ -368,6 +455,61 @@ class TTFSNeurons(NeuronDynamics):
         """The membrane potential is only compared during the fire phase, so
         integration-phase drives can be delivered in one deferred batch."""
         return self.window.in_fire_phase(t)
+
+    def can_drain(self) -> bool:
+        """Whether the remaining fire phase can leave as one packet (monotone
+        kernel — spike times are in closed form once input is exhausted)."""
+        return self._monotone
+
+    def drain_fire_events(
+        self, t: int, drive: np.ndarray | None = None
+    ) -> SpikePacket | None:
+        """Emit every remaining scheduled spike as a single packet.
+
+        Calling this carries the ``note_input_exhausted`` contract — the
+        caller guarantees no drive arrives after step ``t`` beyond the
+        final ``drive`` delivered here — and requires a settled bias (the
+        potentials are final once ``drive`` is integrated).  The compiled
+        phased executor uses it *instead of* the per-step firing schedule
+        when no downstream stage reads its membrane before this stage's
+        fire window ends.  Fire-once semantics make the event positions
+        unique, so the receiver's merged drive is bit-identical to per-step
+        bucket delivery; events leave in row-major order with per-event
+        kernel weights and are latched fired.
+        """
+        if self._fired is None:
+            raise RuntimeError("reset() must be called before drain_fire_events()")
+        if not self._monotone:
+            raise RuntimeError("drain_fire_events() requires a monotone kernel")
+        if not self._bias_settled(t):
+            raise RuntimeError("drain_fire_events() needs a settled bias")
+        self._no_more_input = True
+        self._drained = True
+        u = self._require_state()
+        if drive is not None:
+            u += drive
+        n = u.shape[0]
+        dt_from = max(t + 1 - self.window.fire_start, 0)
+        if dt_from >= self.window.fire_window:
+            return None
+        flat = u.reshape(n, -1)
+        fired_flat = self._fired.reshape(n, -1)
+        alive = (~fired_flat) & (flat >= self._floor[dt_from])
+        rows, idx = np.divmod(np.flatnonzero(alive), alive.shape[1])
+        if rows.shape[0] == 0:
+            return None
+        fire_dt = np.searchsorted(-self._weights, -flat[rows, idx], side="left")
+        np.maximum(fire_dt, dt_from, out=fire_dt)
+        fired_flat[rows, idx] = True
+        self._sched = None  # the schedule is spent; step() now sees all-fired
+        return SpikePacket(
+            rows=rows,
+            idx=idx,
+            weights=self._weights[fire_dt],
+            batch=n,
+            shape=self.shape,
+            unique=True,
+        )
 
     def row_quiescent(self, t: int) -> np.ndarray | None:
         if self._fired is None:
@@ -389,7 +531,7 @@ class TTFSNeurons(NeuronDynamics):
     def compact(self, keep: np.ndarray) -> None:
         super().compact(keep)
         if self._fired is not None:
-            self._fired = self._fired[keep]
+            self._fired = arena_compact(self._fired_base, self._fired, keep)
         if self._sched is not None:
             self._sched.compact(keep)
 

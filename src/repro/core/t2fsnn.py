@@ -74,6 +74,21 @@ class T2FSNN:
                 f"expected {self.num_sources} kernel parameter sets, got {len(kernel_params)}"
             )
         self.kernel_params = [p.validated() for p in kernel_params]
+        # Compiled-run cache: plans live on a Simulator, so repeated
+        # run(compiled=True) calls must reuse one simulator or they would
+        # pay calibration every call.  Invalidated whenever the coding
+        # configuration changes (optimize_kernels, early_firing toggles).
+        self._compiled_sim: Simulator | None = None
+        self._compiled_key = None
+
+    def _coding_key(self):
+        return (
+            tuple((p.tau, p.t_delay) for p in self.kernel_params),
+            self.early_firing,
+            self.fire_offset,
+            self.window,
+            self.theta0,
+        )
 
     # ------------------------------------------------------------------ #
     # scheme / schedule plumbing
@@ -169,18 +184,39 @@ class T2FSNN:
         y: np.ndarray | None = None,
         monitors=(),
         batch_size: int | None = None,
-        workers: int = 1,
+        workers: int | str = 1,
+        compiled: bool = False,
     ) -> SimulationResult:
         """Run TTFS inference on a batch (optionally scored and batched).
 
         ``workers > 1`` shards the mini-batches across worker processes via
         :func:`repro.snn.parallel.run_parallel` (monitors then must be
-        empty); ``workers=1`` stays serial.
+        empty); ``workers=1`` stays serial, and ``workers="auto"`` resolves
+        to ``min(os.cpu_count(), shards)`` — serial on single-core hosts,
+        where a pool is pure overhead.  ``compiled=True`` runs the serial
+        path through a cached compiled execution plan
+        (:meth:`repro.snn.engine.Simulator.compile` — calibrated per-stage
+        kernels and workspace arenas; loss-free).
         """
         sim = self.simulator(monitors=monitors)
-        if workers > 1:
-            return sim.run_parallel(
-                x, y, workers=workers, batch_size=batch_size or 64
+        if workers == "auto" or (isinstance(workers, int) and workers > 1):
+            from repro.snn.parallel import resolve_workers
+
+            shards = max(1, -(-len(x) // (batch_size or 64)))
+            if resolve_workers(workers, shards) > 1:
+                return sim.run_parallel(
+                    x, y, workers=workers, batch_size=batch_size or 64
+                )
+        if compiled:
+            if monitors:
+                # Monitors bind to one simulator; don't cache across calls.
+                return sim.run_compiled(x, y, batch_size=batch_size or 64)
+            key = self._coding_key()
+            if self._compiled_sim is None or self._compiled_key != key:
+                self._compiled_sim = sim
+                self._compiled_key = key
+            return self._compiled_sim.run_compiled(
+                x, y, batch_size=batch_size or 64
             )
         if batch_size is None:
             return sim.run(x, y)

@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn import initializers
-from repro.nn.im2col import col2im, conv_output_size, im2col
+from repro.nn.im2col import col2im, conv_output_size, im2col, im2col_flat_indices
 from repro.utils.rng import as_generator
 
 __all__ = [
@@ -93,6 +93,21 @@ class Layer:
         default simply delegates to :meth:`forward` with ``training=False``.
         """
         return self.forward(x, training=False)
+
+    def infer_ws(self, x: np.ndarray, ws, key) -> np.ndarray:
+        """:meth:`infer` through a workspace arena (zero steady-state allocs).
+
+        ``ws`` is duck-typed with ``buffer(key, shape, dtype) -> ndarray``
+        returning persistent preallocated storage and ``cache(key, factory)``
+        memoizing compile-time constants (the SNN plan's
+        :class:`~repro.snn.plan.Workspace`); ``key`` namespaces this layer's
+        buffers within it.  Results are bit-identical to :meth:`infer` — the
+        heavy layers override this to run im2col and GEMM into arena buffers
+        and may return views into them, valid until the layer's next
+        ``infer_ws`` call on the same workspace.  The default ignores the
+        workspace.
+        """
+        return self.infer(x)
 
     def params(self) -> list[Parameter]:
         """Learnable parameters of this layer (empty by default)."""
@@ -164,6 +179,15 @@ class Dense(Layer):
         out = x @ self.weight.data
         if self.bias is not None:
             out += self.bias.data  # matmul output is fresh: in-place is safe
+        return out
+
+    def infer_ws(self, x: np.ndarray, ws, key) -> np.ndarray:
+        out = ws.buffer(
+            (key, "dense"), (x.shape[0], self.out_features), self.weight.data.dtype
+        )
+        np.matmul(x, self.weight.data, out=out)
+        if self.bias is not None:
+            out += self.bias.data
         return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
@@ -269,6 +293,63 @@ class Conv2D(Layer):
             out = out + self.bias.data.reshape(1, -1, 1, 1)
         return out
 
+    def infer_ws(self, x: np.ndarray, ws, key) -> np.ndarray:
+        """Arena :meth:`infer`: one gather straight into the GEMM operand.
+
+        The im2col unroll lands directly in ``(C*KH*KW, N*L)`` layout via a
+        cached absolute-index table (the batched gather indices of every
+        receptive-field element), skipping the transpose copy the plain
+        :meth:`infer` pays; the GEMM writes into a persistent arena buffer.
+        The gather uses ``mode="clip"`` — indices are in-bounds by
+        construction, and skipping numpy's per-element bounds check makes
+        the gather ~2.5x faster.  Bit-identical to :meth:`infer` — same
+        gathered values, same BLAS call.
+        """
+        n, c, h, w = x.shape
+        kh, kw, stride, pad = self.kernel_h, self.kernel_w, self.stride, self.pad
+        out_h = conv_output_size(h, kh, stride, pad)
+        out_w = conv_output_size(w, kw, stride, pad)
+        f = self.out_channels
+        k = c * kh * kw
+        length = out_h * out_w
+        dtype = self.weight.data.dtype
+        if pad > 0:
+            # Created zeroed; only the interior is rewritten, so the border
+            # stays zero across reuses (per-sample layout is key-stable).
+            padded = ws.buffer(
+                (key, "pad"), (n, c, h + 2 * pad, w + 2 * pad), dtype, zeroed=True
+            )
+            padded[:, :, pad:-pad, pad:-pad] = x
+            src = padded
+        else:
+            src = x if x.flags.c_contiguous else np.ascontiguousarray(x)
+        flat_idx = im2col_flat_indices(c, h, w, kh, kw, stride, pad)
+        sample = c * (h + 2 * pad) * (w + 2 * pad)
+
+        def build_indices():
+            offs = np.arange(n, dtype=np.int64) * sample
+            return (
+                offs[None, :, None] + flat_idx.reshape(k, 1, length)
+            ).reshape(k, n * length)
+
+        # One capacity-sized table per stage: columns are sample-major, so a
+        # smaller batch is exactly the leading-column slice — retirement and
+        # ragged batches never cache additional tables.
+        idx = ws.cache((key, "gather"), build_indices)
+        if idx.shape[1] < n * length:
+            idx = ws.cache_put((key, "gather"), build_indices())
+        elif idx.shape[1] > n * length:
+            idx = idx[:, : n * length]
+        big = ws.buffer((key, "big"), (k, n * length), dtype)
+        np.take(src.reshape(-1), idx, out=big, mode="clip")
+        gout = ws.buffer((key, "gemm"), (f, n * length), dtype)
+        w_mat = self.weight.data.reshape(f, -1)
+        np.matmul(w_mat, big, out=gout)
+        out = gout.reshape(f, n, out_h, out_w).transpose(1, 0, 2, 3)
+        if self.bias is not None:
+            out = out + self.bias.data.reshape(1, -1, 1, 1)
+        return out
+
     def _apply(
         self, x_shape: tuple[int, ...], cols: np.ndarray
     ) -> np.ndarray:
@@ -346,6 +427,15 @@ class AvgPool2D(Layer):
             x.reshape(n * c, 1, h, w), self.size, self.size, self.stride, 0
         )
         return cols.mean(axis=1).reshape(n, c, out_h, out_w)
+
+    def infer_ws(self, x: np.ndarray, ws, key) -> np.ndarray:
+        n, c, h, w = x.shape
+        if not (self.stride == self.size and h % self.size == 0 and w % self.size == 0):
+            return self.infer(x)  # ragged/overlapping pools are rare; stay simple
+        out_h, out_w = h // self.size, w // self.size
+        out = ws.buffer((key, "pool"), (n, c, out_h, out_w), x.dtype)
+        x.reshape(n, c, out_h, self.size, out_w, self.size).mean(axis=(3, 5), out=out)
+        return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._x_shape is None:

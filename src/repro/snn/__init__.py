@@ -17,6 +17,7 @@ from repro.snn.monitors import (
 )
 from repro.snn.neurons import IFNeurons, NeuronDynamics, ReadoutAccumulator
 from repro.snn.parallel import run_parallel
+from repro.snn.plan import ExecutionPlan, Workspace
 from repro.snn.results import SimulationResult
 from repro.snn.schedule import (
     PhasedSchedule,
@@ -30,6 +31,8 @@ from repro.snn.schedule import (
 __all__ = [
     "Simulator",
     "run_parallel",
+    "ExecutionPlan",
+    "Workspace",
     "SpikePacket",
     "DEFAULT_DENSITY_THRESHOLD",
     "apply_stage_events",

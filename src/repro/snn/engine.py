@@ -76,7 +76,7 @@ class _DriveBuffer:
             if isinstance(spikes, SpikePacket):
                 self._packets.append(spikes)
             else:
-                self._sum = self._merge_packets()
+                self._sum = ev.merge_packets(self._packets)
                 self._packets = None
                 self._accumulate(spikes)
         elif self._single is None:
@@ -101,19 +101,6 @@ class _DriveBuffer:
             np.add.at(flat, (spikes.rows, spikes.idx), spikes.weights)
         else:
             self._sum += spikes
-
-    def _merge_packets(self) -> np.ndarray:
-        packets = self._packets
-        first = packets[0]
-        features = int(np.prod(first.shape))
-        pos = np.concatenate([p.rows * features + p.idx for p in packets])
-        weights = np.concatenate([p.weights for p in packets])
-        # bincount is the fastest duplicate-accumulating scatter numpy has
-        # (several times np.add.at); it always sums in float64, which the
-        # float32 path rounds once at the end.
-        flat = np.bincount(pos, weights=weights, minlength=first.batch * features)
-        flat = flat.astype(first.weights.dtype, copy=False)
-        return flat.reshape((first.batch,) + tuple(first.shape))
 
     @property
     def empty(self) -> bool:
@@ -146,11 +133,24 @@ class _DriveBuffer:
         if self._sum is not None:
             self._sum = self._sum[keep]
 
-    def take(self) -> tuple[np.ndarray | SpikePacket | None, bool]:
+    def take(self, merge_out=None) -> tuple[np.ndarray | SpikePacket | None, bool]:
         """Pop the buffered drive input; second element marks a merged tensor
-        (whose density the caller should re-measure before propagating)."""
+        (whose density the caller should re-measure before propagating).
+
+        ``merge_out`` is an optional ``(shape, dtype) -> ndarray`` provider
+        returning the workspace buffer an all-packet deferral window is
+        merged into (:func:`repro.snn.events.merge_packets`) — the compiled
+        plan's zero-allocation path.  A single buffered emission ignores it
+        and passes through untouched.
+        """
         if self._packets is not None:
-            merged = self._merge_packets()
+            out = None
+            if merge_out is not None:
+                first = self._packets[0]
+                out = merge_out(
+                    (first.batch,) + tuple(first.shape), first.weights.dtype
+                )
+            merged = ev.merge_packets(self._packets, out=out)
             self._packets = None
             return merged, True
         single, merged = self._single, self._sum
@@ -226,28 +226,47 @@ class Simulator:
         self.early_exit = bool(early_exit)
         self.bound = scheme.bind(network, steps)
         self._steps_arg = steps
+        #: Optional ``(stage, spikes) -> None`` hook observing every flushed
+        #: drive input — the plan compiler's calibration pass records the
+        #: spike densities each stage actually sees here.
+        self._flush_observer = None
+        self._plans: dict = {}
 
     def _propagate(
-        self, stage: ConvertedStage, spikes: np.ndarray | SpikePacket | None
+        self,
+        stage: ConvertedStage,
+        spikes: np.ndarray | SpikePacket | None,
+        pstage=None,
     ) -> np.ndarray | None:
-        """Synaptic drive of ``stage`` for one step's spikes (sparse or dense)."""
+        """Synaptic drive of ``stage`` for one step's spikes (sparse or dense).
+
+        ``pstage`` (a :class:`~repro.snn.plan.StagePlan`) overrides the
+        global ``density_threshold`` with the stage's calibrated one and
+        routes the dense path through the workspace-arena kernels.
+        """
         if spikes is None:
             return None
         if isinstance(spikes, SpikePacket):
-            if self.event_driven and spikes.density <= self.density_threshold:
+            threshold = self.density_threshold if pstage is None else pstage.threshold
+            if self.event_driven and spikes.density <= threshold:
                 return ev.apply_stage_events(stage, spikes)
-            return stage.apply(spikes.to_dense())
+            spikes = spikes.to_dense()
+        if pstage is not None:
+            return pstage.apply_dense(spikes)
         return stage.apply(spikes)
 
-    def _flush(self, stage: ConvertedStage, buffer: _DriveBuffer) -> np.ndarray | None:
-        spikes, merged = buffer.take()
+    def _flush(
+        self, stage: ConvertedStage, buffer: _DriveBuffer, pstage=None
+    ) -> np.ndarray | None:
+        spikes, merged = buffer.take(None if pstage is None else pstage.merge_out)
         if merged:
             # A deferred batch: re-measure density so a sparse accumulation
             # (e.g. a near-silent integration window) still takes the fast path.
-            spikes, _ = ev.ingest(
-                spikes, self.density_threshold if self.event_driven else 0.0
-            )
-        return self._propagate(stage, spikes)
+            threshold = self.density_threshold if pstage is None else pstage.threshold
+            spikes, _ = ev.ingest(spikes, threshold if self.event_driven else 0.0)
+        if self._flush_observer is not None and spikes is not None:
+            self._flush_observer(stage, spikes)
+        return self._propagate(stage, spikes, pstage)
 
     def _notify_batch_start(self, x: np.ndarray, y: np.ndarray | None) -> None:
         for monitor in self.monitors:
@@ -321,7 +340,9 @@ class Simulator:
             upstream_silent = upstream_silent and buffer_empty and all_rows_quiet
         return quiet
 
-    def _run(self, x: np.ndarray, y: np.ndarray | None) -> SimulationResult:
+    def _run(
+        self, x: np.ndarray, y: np.ndarray | None, plan=None
+    ) -> SimulationResult:
         if x.shape[1:] != tuple(self.network.input_shape):
             raise ValueError(
                 f"input shape {x.shape[1:]} does not match network "
@@ -348,6 +369,12 @@ class Simulator:
         readout_stage = self.network.stages[-1]
         stage_names = [s.name for s in spiking_stages]
         counts = {name: 0.0 for name in ["input", *stage_names]}
+        # Compiled-plan overlay: per-stage calibrated thresholds and
+        # workspace-arena kernels; None runs the reference path.
+        stage_plans = plan.stage_plans if plan is not None else [None] * len(
+            spiking_stages
+        )
+        readout_plan = plan.readout_plan if plan is not None else None
 
         self._notify_batch_start(x, y)
 
@@ -402,13 +429,19 @@ class Simulator:
             for i, (stage, dyn) in enumerate(zip(spiking_stages, bound.dynamics)):
                 if i == 0 and bound.encoder.constant and spikes is not None:
                     if input_drive_cache is None:
-                        input_drive_cache = self._propagate(stage, spikes)
+                        input_drive_cache = self._propagate(
+                            stage, spikes, stage_plans[0]
+                        )
+                        if stage_plans[0] is not None and input_drive_cache is not None:
+                            # The cache outlives the arena buffers it was
+                            # computed in; detach it.
+                            input_drive_cache = input_drive_cache.copy()
                     drive = input_drive_cache
                 else:
                     if spikes is not None:
                         buffers[i].add(spikes)
                     if not self.event_driven or dyn.needs_drive(t):
-                        drive = self._flush(stage, buffers[i])
+                        drive = self._flush(stage, buffers[i], stage_plans[i])
                     else:
                         drive = None
                 spikes, count = ev.ingest(dyn.step(drive, t), pack_threshold)
@@ -418,7 +451,7 @@ class Simulator:
             if spikes is not None:
                 readout_buffer.add(spikes)
             if flush_readout_each_step or t == last_step:
-                current = self._flush(readout_stage, readout_buffer)
+                current = self._flush(readout_stage, readout_buffer, readout_plan)
             else:
                 current = None
             bound.readout.accumulate(current, t)
@@ -441,10 +474,14 @@ class Simulator:
             if quiet.all():
                 # Every sample is decided: deliver any deferred readout
                 # drive and stop the clock (seal_rows settles pending bias).
-                bound.readout.absorb(self._flush(readout_stage, readout_buffer))
+                bound.readout.absorb(
+                self._flush(readout_stage, readout_buffer, readout_plan)
+            )
                 break
             # Retire the decided samples and compact everything per-sample.
-            bound.readout.absorb(self._flush(readout_stage, readout_buffer))
+            bound.readout.absorb(
+                self._flush(readout_stage, readout_buffer, readout_plan)
+            )
             if scores_out is None:
                 scores_out = np.zeros(
                     (n,) + tuple(bound.readout.shape),
@@ -537,14 +574,17 @@ class Simulator:
         self,
         x: np.ndarray,
         y: np.ndarray | None = None,
-        workers: int = 2,
+        workers: int | str = 2,
         batch_size: int = 64,
         start_method: str | None = None,
     ) -> SimulationResult:
         """Shard mini-batches across worker processes and merge the results.
 
         See :func:`repro.snn.parallel.run_parallel`; with ``workers=1`` this
-        degrades gracefully to the serial :meth:`run_batched`.
+        degrades gracefully to the serial :meth:`run_batched`, and
+        ``workers="auto"`` resolves to ``min(os.cpu_count(), shards)`` —
+        staying serial on single-core hosts, where a pool only adds
+        overhead.
         """
         from repro.snn.parallel import run_parallel
 
@@ -556,3 +596,66 @@ class Simulator:
             batch_size=batch_size,
             start_method=start_method,
         )
+
+    # ------------------------------------------------------------------ #
+    # compiled execution plans (docs/DESIGN.md §10)
+    # ------------------------------------------------------------------ #
+
+    def compile(
+        self,
+        batch_size: int = 64,
+        steps: int | None = None,
+        probe: np.ndarray | None = None,
+        calibrate: bool = True,
+    ):
+        """Compile this simulator into an :class:`~repro.snn.plan.ExecutionPlan`.
+
+        Walks the stages once and fixes, per stage, the propagation operator
+        (event-scatter vs single-GEMM dense, as a calibrated density
+        threshold measured at the spike densities the stage actually sees on
+        a probe batch) together with a :class:`~repro.snn.plan.Workspace`
+        arena of preallocated drive/merge/im2col/GEMM buffers, so
+        steady-state inference reuses storage across steps, batches and
+        runs.  With ``calibrate=False`` every stage keeps the simulator's
+        global ``density_threshold`` and the plan's results are bit-identical
+        to the uncompiled engine; calibration preserves predictions and
+        spike counts exactly and scores up to floating-point reassociation.
+
+        Parameters
+        ----------
+        batch_size:
+            Mini-batch size the plan's buffers are sized for (smaller
+            batches reuse the same arenas as leading views).
+        steps:
+            Optional time-budget override; ``None`` keeps the simulator's.
+        probe:
+            Inputs for the calibration density probe; a small synthetic
+            unit-range batch is generated when omitted.
+        calibrate:
+            Run the per-stage kernel calibration pass (see above).
+        """
+        from repro.snn.plan import compile_plan
+
+        key = (int(batch_size), steps, bool(calibrate))
+        plan = None if probe is not None else self._plans.get(key)
+        if plan is None:
+            # An explicit probe always recompiles: the caller is asking for
+            # calibration against *these* inputs, not whatever a cached plan
+            # was calibrated on.
+            plan = compile_plan(
+                self, batch_size=batch_size, steps=steps, probe=probe,
+                calibrate=calibrate,
+            )
+            self._plans[key] = plan
+        return plan
+
+    def run_compiled(
+        self,
+        x: np.ndarray,
+        y: np.ndarray | None = None,
+        batch_size: int = 64,
+        calibrate: bool = True,
+    ) -> SimulationResult:
+        """Run through a cached compiled plan (:meth:`compile` on first use)."""
+        plan = self.compile(batch_size=batch_size, calibrate=calibrate)
+        return plan.run_batched(x, y, batch_size=batch_size)

@@ -45,6 +45,7 @@ __all__ = [
     "SpikePacket",
     "DEFAULT_DENSITY_THRESHOLD",
     "ingest",
+    "merge_packets",
     "spike_count",
     "spike_mask",
     "apply_stage_events",
@@ -76,6 +77,13 @@ class SpikePacket:
         Batch size of the dense tensor this packet represents.
     shape:
         Feature shape (without batch) of the dense tensor.
+    unique:
+        True when event positions are provably distinct (fire-once
+        emissions, nonzero extractions).  Densification then uses a plain
+        fancy assignment — ~2.5x faster than the duplicate-accumulating
+        ``np.add.at`` and bit-identical for distinct positions.  Only
+        constructors that can prove distinctness set it (pooling remaps
+        may merge positions and leave it False).
     """
 
     rows: np.ndarray
@@ -83,6 +91,7 @@ class SpikePacket:
     weights: np.ndarray
     batch: int
     shape: tuple[int, ...]
+    unique: bool = False
 
     @property
     def count(self) -> int:
@@ -102,13 +111,14 @@ class SpikePacket:
     def from_dense(cls, dense: np.ndarray) -> "SpikePacket":
         """Extract the events of a dense ``(batch, *shape)`` spike tensor."""
         flat = dense.reshape(dense.shape[0], -1)
-        rows, idx = np.nonzero(flat)
+        rows, idx = np.divmod(np.flatnonzero(flat), flat.shape[1])
         return cls(
             rows=rows,
             idx=idx,
             weights=flat[rows, idx],
             batch=dense.shape[0],
             shape=dense.shape[1:],
+            unique=True,
         )
 
     @classmethod
@@ -122,27 +132,33 @@ class SpikePacket:
         ``mask.astype(float) * weight`` tensor is never materialised.
         """
         flat = mask.reshape(mask.shape[0], -1)
-        rows, idx = np.nonzero(flat)
+        rows, idx = np.divmod(np.flatnonzero(flat), flat.shape[1])
         return cls(
             rows=rows,
             idx=idx,
             weights=np.full(idx.shape[0], weight, dtype=dtype),
             batch=mask.shape[0],
             shape=mask.shape[1:],
+            unique=True,
         )
 
     def to_dense(self, dtype=None) -> np.ndarray:
         """Materialise the dense weighted spike tensor."""
         dtype = self.weights.dtype if dtype is None else dtype
         flat = np.zeros((self.batch, int(np.prod(self.shape))), dtype=dtype)
-        np.add.at(flat, (self.rows, self.idx), self.weights)
+        if self.unique:
+            flat[self.rows, self.idx] = self.weights
+        else:
+            np.add.at(flat, (self.rows, self.idx), self.weights)
         return flat.reshape((self.batch,) + tuple(self.shape))
 
     def with_shape(self, shape: tuple[int, ...]) -> "SpikePacket":
         """Reinterpret the feature shape (flat indices are unchanged)."""
         if int(np.prod(shape)) != int(np.prod(self.shape)):
             raise ValueError(f"cannot reshape {self.shape} events to {shape}")
-        return SpikePacket(self.rows, self.idx, self.weights, self.batch, tuple(shape))
+        return SpikePacket(
+            self.rows, self.idx, self.weights, self.batch, tuple(shape), self.unique
+        )
 
     def compact_rows(self, keep: np.ndarray) -> "SpikePacket":
         """Drop events of retired batch rows and renumber the survivors.
@@ -163,6 +179,7 @@ class SpikePacket:
             weights=self.weights[m],
             batch=int(np.count_nonzero(keep)),
             shape=self.shape,
+            unique=self.unique,
         )
 
     def rows_with_events(self) -> np.ndarray:
@@ -198,6 +215,35 @@ def spike_mask(spikes: np.ndarray | SpikePacket) -> np.ndarray:
     if isinstance(spikes, SpikePacket):
         return spikes.mask()
     return spikes != 0
+
+
+def merge_packets(packets: list[SpikePacket], out: np.ndarray | None = None) -> np.ndarray:
+    """Merge a deferral window's packets into one dense drive tensor.
+
+    Integration is additive, so events accumulate position-wise in packet
+    order via one flat scatter-add — directly in the packets' dtype (no
+    float64 ``bincount`` detour and round-trip; in float64 the result is
+    bit-identical to the old bincount path, measured ~3x faster at TTFS
+    merge sizes).  ``out``, when given, is the workspace arena buffer of
+    shape ``(batch, *shape)`` to merge into (it is zeroed first); without it
+    a fresh tensor is allocated.
+    """
+    first = packets[0]
+    features = int(np.prod(first.shape))
+    shape = (first.batch,) + tuple(first.shape)
+    if out is None:
+        out = np.zeros(shape, dtype=first.weights.dtype)
+    else:
+        if out.shape != shape:
+            raise ValueError(f"merge buffer shape {out.shape} != {shape}")
+        if not out.flags.c_contiguous:
+            # The flat scatter-add below must hit the buffer, not a copy.
+            raise ValueError("merge buffer must be C-contiguous")
+        out[...] = 0
+    pos = np.concatenate([p.rows * features + p.idx for p in packets])
+    weights = np.concatenate([p.weights for p in packets])
+    np.add.at(out.reshape(-1), pos, weights)
+    return out
 
 
 def ingest(

@@ -19,6 +19,15 @@ batch (:meth:`NeuronDynamics.compact`).
 
 All state is kept in a configurable ``dtype`` (float64 by default for
 reference parity; float32 opt-in halves memory traffic on the hot path).
+
+Arena-backed state (docs/DESIGN.md §10): per-sample state arrays (membrane
+potential, fired masks, readout potential) live in capacity-sized *base*
+arrays owned by the dynamics object.  ``reset`` reuses the base when its
+capacity suffices — consecutive batches of the same (or smaller) size
+perform zero state allocations — and sample retirement compacts survivors
+to the front of the base, so the working array is always a leading view.
+The values are bit-identical to freshly allocated state (every reuse is
+zero-filled).
 """
 
 from __future__ import annotations
@@ -31,6 +40,40 @@ __all__ = ["NeuronDynamics", "IFNeurons", "ReadoutAccumulator"]
 def _bias_is_nonzero(bias) -> bool:
     """Whether a broadcast-ready bias (array or scalar) injects anything."""
     return not np.isscalar(bias) or bias != 0.0
+
+
+def arena_zeros(base, shape, dtype):
+    """A zeroed array of ``shape``, reusing ``base``'s storage when it fits.
+
+    Returns ``(base, view)``: ``view`` is ``base[:shape[0]]`` when the base's
+    trailing dims and dtype match and its leading capacity suffices (the view
+    is zero-filled in place); otherwise a fresh array serves as both.  This is
+    the state-arena primitive of docs/DESIGN.md §10 — values are identical to
+    ``np.zeros`` in either case.
+    """
+    if (
+        base is not None
+        and base.dtype == np.dtype(dtype)
+        and base.shape[1:] == tuple(shape[1:])
+        and base.shape[0] >= shape[0]
+    ):
+        view = base[: shape[0]]
+        view[...] = 0
+        return base, view
+    base = np.zeros(shape, dtype=dtype)
+    return base, base
+
+
+def arena_compact(base, view, keep):
+    """Compact ``view``'s surviving rows to the front of ``base``.
+
+    ``view`` must be a leading view of ``base`` (the ``arena_zeros``
+    contract).  Survivors are copied forward so the compacted state is again
+    ``base[:k]`` — the arena keeps its full capacity for the next batch.
+    """
+    k = int(np.count_nonzero(keep))
+    base[:k] = view[keep]
+    return base[:k]
 
 
 class NeuronDynamics:
@@ -46,13 +89,20 @@ class NeuronDynamics:
         self.bias = bias  # broadcastable array or 0.0
         self.dtype = np.dtype(dtype)
         self.u: np.ndarray | None = None
+        self._u_base: np.ndarray | None = None
         # Hoisted out of the hot loop: re-testing np.isscalar(bias) every
         # step costs more than the bias add itself on small stages.
         self._has_bias = _bias_is_nonzero(bias)
 
     def reset(self, batch_size: int) -> None:
-        """Zero all state for a fresh inference over ``batch_size`` samples."""
-        self.u = np.zeros((batch_size,) + self.shape, dtype=self.dtype)
+        """Zero all state for a fresh inference over ``batch_size`` samples.
+
+        State lives in a capacity arena: consecutive resets at the same (or a
+        smaller) batch size reuse the previous allocation (docs/DESIGN.md §10).
+        """
+        self._u_base, self.u = arena_zeros(
+            self._u_base, (batch_size,) + self.shape, self.dtype
+        )
         self._has_bias = _bias_is_nonzero(self.bias)
 
     def step(self, drive: np.ndarray | None, t: int) -> np.ndarray | None:
@@ -104,7 +154,18 @@ class NeuronDynamics:
     def compact(self, keep: np.ndarray) -> None:
         """Drop retired samples: keep only rows where ``keep`` is True."""
         if self.u is not None:
-            self.u = self.u[keep]
+            self.u = arena_compact(self._u_base, self.u, keep)
+
+    def phase_window(self):
+        """The stage's firing window when its schedule confines firing.
+
+        Phase-scheduled dynamics (TTFS, reverse) return their
+        :class:`~repro.snn.schedule.StageWindow`, which lets the compiled
+        phased executor (:mod:`repro.snn.plan`) skip the stage outside its
+        active steps.  ``None`` (the default) marks free-running dynamics
+        that may fire at any step.
+        """
+        return None
 
     def _require_state(self) -> np.ndarray:
         if self.u is None:
@@ -183,10 +244,13 @@ class ReadoutAccumulator:
         self.bias_time = bias_time
         self.dtype = np.dtype(dtype)
         self.potential: np.ndarray | None = None
+        self._potential_base: np.ndarray | None = None
         self._has_bias = _bias_is_nonzero(bias)
 
     def reset(self, batch_size: int) -> None:
-        self.potential = np.zeros((batch_size,) + self.shape, dtype=self.dtype)
+        self._potential_base, self.potential = arena_zeros(
+            self._potential_base, (batch_size,) + self.shape, self.dtype
+        )
         self._has_bias = _bias_is_nonzero(self.bias)
 
     def accumulate(self, current: np.ndarray | None, t: int) -> None:
@@ -256,7 +320,7 @@ class ReadoutAccumulator:
     def compact(self, keep: np.ndarray) -> None:
         """Drop retired samples: keep only rows where ``keep`` is True."""
         if self.potential is not None:
-            self.potential = self.potential[keep]
+            self.potential = arena_compact(self._potential_base, self.potential, keep)
 
     def scores(self) -> np.ndarray:
         if self.potential is None:

@@ -14,9 +14,11 @@ instance per shard (``CodingScheme.shard_instance``) so every shard draws
 an *independent* stream instead of workers replaying identical noise.
 
 Degradation is graceful by construction: ``workers=1`` (or a test set that
-fits one mini-batch) never touches multiprocessing, and a pool that cannot
-be created (restricted sandboxes without fork/spawn) falls back to the
-serial path with a warning rather than failing the run.
+fits one mini-batch) never touches multiprocessing, ``workers="auto"``
+resolves to ``min(os.cpu_count(), shards)`` and stays serial on single-core
+hosts (where a pool is pure overhead), and a pool that cannot be created
+(restricted sandboxes without fork/spawn) falls back to the serial path
+with a warning rather than failing the run.
 
 Monitors are a per-process observer protocol and cannot be merged across
 address spaces, so parallel runs reject simulators with attached monitors —
@@ -26,6 +28,7 @@ attach monitors to a serial run instead.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
@@ -34,7 +37,26 @@ import numpy as np
 
 from repro.snn.results import SimulationResult
 
-__all__ = ["run_parallel", "merge_results"]
+__all__ = ["run_parallel", "merge_results", "resolve_workers"]
+
+
+def resolve_workers(workers: int | str, num_shards: int) -> int:
+    """Resolve a worker count, including the ``"auto"`` policy.
+
+    ``"auto"`` resolves to ``min(os.cpu_count(), num_shards)`` and to ``1``
+    (the serial path) when only one core is available — a pool on a
+    single-core box adds fork/pickle overhead without any parallelism, a
+    measured slowdown (``BENCH_engine.json``'s parallel-below-serial rows),
+    so it can no longer happen by default.
+    """
+    if workers == "auto":
+        cpus = os.cpu_count() or 1
+        return max(1, min(cpus, num_shards))
+    if not isinstance(workers, int):
+        raise ValueError(f'workers must be an int or "auto", got {workers!r}')
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
 
 #: Per-process simulator, built once by the pool initializer so each shard
 #: submission only pickles its input arrays, not the network.
@@ -116,7 +138,7 @@ def run_parallel(
     sim,
     x: np.ndarray,
     y: np.ndarray | None = None,
-    workers: int = 2,
+    workers: int | str = 2,
     batch_size: int = 64,
     start_method: str | None = None,
 ) -> SimulationResult:
@@ -132,7 +154,9 @@ def run_parallel(
         Test set (and optional labels), exactly as for ``run_batched``.
     workers:
         Worker process count.  ``1`` runs the serial ``run_batched`` path
-        in this process — no multiprocessing machinery at all.
+        in this process — no multiprocessing machinery at all.  ``"auto"``
+        resolves to ``min(os.cpu_count(), shards)`` (see
+        :func:`resolve_workers`), staying serial on single-core hosts.
     batch_size:
         Mini-batch (shard) size; also the serial fallback's batch size.
     start_method:
@@ -140,10 +164,10 @@ def run_parallel(
         ``"forkserver"``); default prefers fork where available (cheapest,
         and the network is shipped via the pool initializer anyway).
     """
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    num_shards = max(1, -(-len(x) // batch_size))
+    workers = resolve_workers(workers, num_shards)
     if workers > 1 and sim.monitors:
         raise ValueError(
             "monitors observe per-step state inside one process and cannot be "

@@ -1,0 +1,572 @@
+"""Compiled execution plans and workspace arenas (docs/DESIGN.md §10).
+
+``Simulator.compile(batch, steps)`` walks a bound network once and fixes
+everything the per-step loop otherwise re-decides:
+
+* **Per-stage operator choice.**  Each stage gets its own density threshold
+  for the event-scatter vs single-GEMM decision, *calibrated* by timing both
+  kernels at the spike densities the stage actually sees on a probe batch —
+  replacing the engine's single global ``density_threshold``, which picks
+  the wrong kernel for some stages (a prebuilt full synapse-CSR operator
+  was measured as well and lost to both kernels at every probed density, so
+  the calibrated operator set is {event-scatter, arena-GEMM}).
+* **Workspace arena.**  Drive/merge tensors, im2col and GEMM scratch, pool
+  outputs and (via :mod:`repro.snn.neurons`) membrane/readout state are
+  preallocated once per (batch, dtype) signature and reused across steps,
+  batches and runs; smaller batches (including retirement compaction) use
+  leading views of the same storage, so steady-state inference performs no
+  per-step heap allocations.
+* **Phased executor.**  Window-scheduled schemes (TTFS, reverse) declare
+  their firing windows (``NeuronDynamics.phase_window`` /
+  ``InputEncoder.emission_window``), which lets the compiled loop touch only
+  the stages that can possibly act at each step, call
+  ``note_input_exhausted`` at the schedule-derived step (enabling scheduled
+  TTFS firing without the per-step quiescence chain), and stop at the end of
+  the last fire window — trimming over-provisioned budgets without running
+  the quiescence machinery at all.
+
+Parity contract: an *uncalibrated* plan (``calibrate=False``) makes exactly
+the reference engine's kernel decisions and is **bit-identical** — same
+predictions, per-stage spike counts and scores — to the uncompiled engine
+run with ``early_exit=False`` (the reference configuration) on every coding
+scheme.  Calibration may re-associate floating-point sums (a different
+kernel computes the same drive), so a calibrated plan pins predictions and
+spike counts exactly and scores to reassociation error.  The uncompiled
+path remains the reference implementation; ``tests/snn/test_plan.py`` pins
+both contracts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.snn import events as ev
+from repro.snn.engine import Simulator, _DriveBuffer
+from repro.snn.results import SimulationResult
+
+__all__ = ["Workspace", "StagePlan", "ExecutionPlan", "compile_plan"]
+
+
+class Workspace:
+    """A keyed arena of persistent numpy buffers.
+
+    ``buffer(key, shape, dtype)`` returns a C-contiguous view of exactly
+    ``shape`` backed by a flat capacity array that survives across calls:
+    repeated requests (steps, batches, runs) reuse the same storage, and a
+    request needing at most the existing capacity allocates nothing.
+    ``allocations`` counts backing allocations — a steady-state workload
+    holds it constant, which the zero-allocation test asserts.
+
+    Ownership rules (docs/DESIGN.md §10): views returned here are valid
+    until the next request for the *same key*; callers that need a result
+    to outlive the arena (caches, returned scores) must copy.
+    """
+
+    def __init__(self):
+        self._buffers: dict = {}
+        self._trailing: dict = {}
+        self._cache: dict = {}
+        self.allocations = 0
+
+    def cache(self, key, factory):
+        """Memoized compile-time constant (e.g. gather index tables)."""
+        value = self._cache.get(key)
+        if value is None:
+            value = factory()
+            self._cache[key] = value
+        return value
+
+    def cache_put(self, key, value):
+        """Replace a cached constant (capacity growth) and return it."""
+        self._cache[key] = value
+        return value
+
+    def buffer(self, key, shape, dtype, zeroed: bool = False) -> np.ndarray:
+        """A persistent buffer of ``shape``/``dtype`` under ``key``.
+
+        ``zeroed`` guarantees untouched cells read zero on first use and
+        whenever the trailing (per-sample) layout changes; a pure
+        leading-dimension change keeps previously zeroed cells at the same
+        flat offsets, so no re-zeroing is needed (the padded-border case).
+        """
+        shape = tuple(int(s) for s in shape)
+        size = int(np.prod(shape))
+        dtype = np.dtype(dtype)
+        base = self._buffers.get(key)
+        if base is None or base.dtype != dtype or base.size < size:
+            base = np.zeros(size, dtype) if zeroed else np.empty(size, dtype)
+            self._buffers[key] = base
+            self._trailing[key] = shape[1:]
+            self.allocations += 1
+        elif zeroed and self._trailing.get(key) != shape[1:]:
+            base[...] = 0
+            self._trailing[key] = shape[1:]
+        return base[:size].reshape(shape)
+
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arena."""
+        return sum(b.nbytes for b in self._buffers.values())
+
+
+@dataclass
+class StagePlan:
+    """One stage's compiled kernel choice and arena bindings.
+
+    ``threshold`` is the stage's calibrated density threshold: an incoming
+    packet at or below it propagates through the event-scatter kernel,
+    above it through the workspace-arena dense GEMM (``1.0`` pins the event
+    path, ``0.0`` the GEMM).  ``calibration`` records the probe densities
+    and kernel timings the choice was derived from (``None`` when
+    uncalibrated — the threshold is then the engine's global default and
+    decisions match the reference engine exactly).
+    """
+
+    index: int
+    name: str
+    stage: object
+    in_shape: tuple[int, ...]
+    out_shape: tuple[int, ...]
+    threshold: float
+    workspace: Workspace
+    calibration: dict | None = None
+
+    def apply_dense(self, x: np.ndarray) -> np.ndarray:
+        """The stage's dense linear ops through the workspace arena.
+
+        Bit-identical to ``ConvertedStage.apply`` (same gathers, same BLAS
+        calls) with every intermediate landing in persistent buffers; the
+        returned drive may be a view into the arena, valid until this
+        stage's next flush.
+        """
+        out = x
+        for j, op in enumerate(self.stage.ops):
+            out = op.infer_ws(out, self.workspace, (self.index, j))
+        return out
+
+    def merge_out(self, shape, dtype) -> np.ndarray:
+        """Arena buffer a deferral window's packets are merged into."""
+        return self.workspace.buffer(("merge", self.index), shape, dtype)
+
+
+def _random_packet(rng, batch: int, shape: tuple[int, ...], density: float, dtype):
+    """A synthetic spike packet at a target density (calibration input)."""
+    features = int(np.prod(shape))
+    total = batch * features
+    count = max(1, min(total, int(round(density * total))))
+    pos = rng.choice(total, size=count, replace=False)
+    pos.sort()
+    rows, idx = np.divmod(pos, features)
+    return ev.SpikePacket(
+        rows=rows,
+        idx=idx,
+        weights=rng.random(count).astype(dtype, copy=False),
+        batch=batch,
+        shape=tuple(shape),
+    )
+
+
+def _best_time(fn, repeats: int = 2) -> float:
+    fn()  # warm caches (im2col indices, BLAS threads)
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _calibrate_stage(pstage: StagePlan, batch: int, dtype, densities, default: float):
+    """Pick a stage's density threshold by timing both kernels.
+
+    Probes the event-scatter and arena-GEMM kernels at each observed flush
+    density and places the threshold at the measured crossover: below it the
+    event kernel wins, above it the GEMM does.  A non-monotone timing
+    pattern (scheduler noise) falls back to the engine's global default.
+    """
+    rng = np.random.default_rng(0xC0FFEE + pstage.index)
+    points = sorted({min(max(float(d), 1e-4), 1.0) for d in densities})
+    if not points:
+        pstage.calibration = {"densities": [], "threshold": default}
+        return
+    timings = []
+    for d in points:
+        packet = _random_packet(rng, batch, pstage.in_shape, d, dtype)
+        t_event = _best_time(lambda: ev.apply_stage_events(pstage.stage, packet))
+        dense = packet.to_dense()
+        t_gemm = _best_time(lambda: pstage.apply_dense(dense))
+        timings.append((d, t_event, t_gemm))
+    wins = [d for d, te, tg in timings if te < tg]
+    losses = [d for d, te, tg in timings if te >= tg]
+    if not losses:
+        threshold = 1.0
+    elif not wins:
+        threshold = 0.0
+    elif max(wins) < min(losses):
+        threshold = 0.5 * (max(wins) + min(losses))
+    else:  # noisy / non-monotone: keep the engine's global default
+        threshold = default
+    pstage.threshold = float(threshold)
+    pstage.calibration = {
+        "densities": points,
+        "timings": [
+            {"density": d, "event_s": te, "gemm_s": tg} for d, te, tg in timings
+        ],
+        "threshold": float(threshold),
+    }
+
+
+def _observe_flush_densities(sim: Simulator, probe: np.ndarray) -> dict:
+    """Per-stage spike densities of every drive flush on a probe run."""
+    record: dict[str, list[float]] = {}
+
+    def observer(stage, spikes):
+        if isinstance(spikes, ev.SpikePacket):
+            density = spikes.density
+        else:
+            density = float(np.count_nonzero(spikes)) / max(spikes.size, 1)
+        record.setdefault(stage.name, []).append(density)
+
+    # A private simulator keeps monitor state and bound dynamics untouched.
+    probe_sim = Simulator(
+        sim.network,
+        sim.scheme,
+        steps=sim._steps_arg,
+        event_driven=sim.event_driven,
+        density_threshold=sim.density_threshold,
+        early_exit=sim.early_exit,
+    )
+    probe_sim._flush_observer = observer
+    probe_sim._run(probe, None)
+    return record
+
+
+@dataclass
+class ExecutionPlan:
+    """A compiled run: per-stage kernels + workspace arena + phased timeline.
+
+    Produced by :meth:`repro.snn.engine.Simulator.compile`; run with
+    :meth:`run` / :meth:`run_batched`.  Results are loss-free with respect
+    to the simulator's uncompiled path (see the module docstring for the
+    exact bit-parity contract).
+    """
+
+    simulator: Simulator
+    bound: object
+    stage_plans: list = field(default_factory=list)
+    readout_plan: StagePlan | None = None
+    workspace: Workspace | None = None
+    batch_size: int = 64
+    calibrated: bool = False
+    phased: bool = False
+
+    @property
+    def network(self):
+        return self.simulator.network
+
+    def describe(self) -> str:
+        """Human-readable per-stage operator table."""
+        lines = [
+            f"ExecutionPlan(batch={self.batch_size}, "
+            f"phased={self.phased}, calibrated={self.calibrated})"
+        ]
+        for p in [*self.stage_plans, self.readout_plan]:
+            seen = p.calibration["densities"] if p.calibration else []
+            op = "event" if p.threshold >= 1.0 else (
+                "gemm" if p.threshold <= 0.0 else f"auto<= {p.threshold:.4f}"
+            )
+            lines.append(
+                f"  {p.name}: operator={op} in={p.in_shape} "
+                f"probed_densities={[round(d, 4) for d in seen]}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, x: np.ndarray, y: np.ndarray | None = None) -> SimulationResult:
+        """Simulate one batch through the compiled plan."""
+        sim = self.simulator
+        for monitor in sim.monitors:
+            monitor.on_run_start(sim, x, y)
+        result = self._run(x, y)
+        for monitor in sim.monitors:
+            monitor.on_run_end(result)
+        return result
+
+    def run_batched(
+        self, x: np.ndarray, y: np.ndarray | None = None, batch_size: int | None = None
+    ) -> SimulationResult:
+        """Run mini-batches through the plan, reusing the arenas throughout."""
+        from repro.snn.parallel import merge_results
+
+        sim = self.simulator
+        batch_size = batch_size or self.batch_size
+        if len(x) <= batch_size:
+            return self.run(x, y)
+        for monitor in sim.monitors:
+            monitor.on_run_start(sim, x, y)
+        shards, sizes = [], []
+        for start in range(0, len(x), batch_size):
+            xb = x[start : start + batch_size]
+            yb = y[start : start + batch_size] if y is not None else None
+            shards.append(self._run(xb, yb))
+            sizes.append(len(xb))
+        result = merge_results(shards, sizes, y, self.bound.decision_time)
+        for monitor in sim.monitors:
+            monitor.on_run_end(result)
+        return result
+
+    def _run(self, x: np.ndarray, y: np.ndarray | None) -> SimulationResult:
+        if self.phased and not self.simulator.monitors:
+            return self._run_phased(x, y)
+        return self.simulator._run(x, y, plan=self)
+
+    def _run_phased(self, x: np.ndarray, y: np.ndarray | None) -> SimulationResult:
+        """The window-scheduled fast loop (TTFS / reverse coding).
+
+        Touches only the stages whose schedule lets them act at each step
+        and derives input exhaustion from the windows instead of the
+        per-step quiescence chain; emissions, flush cadence and merge order
+        are exactly the reference engine's, so results are bit-identical to
+        the uncompiled ``early_exit=False`` run (and loss-free versus the
+        early-exit runtime).
+        """
+        sim = self.simulator
+        bound = self.bound
+        network = sim.network
+        if x.shape[1:] != tuple(network.input_shape):
+            raise ValueError(
+                f"input shape {x.shape[1:]} does not match network "
+                f"{network.input_shape}"
+            )
+        if y is not None and len(y) != len(x):
+            raise ValueError(f"labels length {len(y)} != batch {len(x)}")
+        compute_dtype = network.dtype
+        if x.dtype != compute_dtype:
+            x = x.astype(compute_dtype)
+        n = len(x)
+        pack_threshold = sim.density_threshold if sim.event_driven else 0.0
+
+        bound.encoder.reset(x)
+        for dyn in bound.dynamics:
+            dyn.reset(n)
+        bound.readout.reset(n)
+
+        spiking_stages = [s for s in network.stages if s.spiking]
+        readout_stage = network.stages[-1]
+        counts = {name: 0.0 for name in ["input", *(s.name for s in spiking_stages)]}
+
+        windows = [dyn.phase_window() for dyn in bound.dynamics]
+        num_stages = len(windows)
+        enc_end = bound.encoder.emission_window()
+        # Step after which stage i's drive source is structurally silent.
+        upstream_end = [enc_end] + [w.fire_end for w in windows[:-1]]
+        noted = [False] * num_stages
+        done = [False] * num_stages
+        readout = bound.readout
+        bias_step = readout.bias_time if readout.bias_policy == "once_at" else None
+
+        horizon = min(bound.total_steps, max(enc_end, windows[-1].fire_end))
+        buffers = [_DriveBuffer() for _ in spiking_stages]
+        readout_buffer = _DriveBuffer()
+
+        # Bulk drains (fire-once schemes): a source whose receiver does not
+        # read its membrane before the source's window ends can emit its
+        # whole remaining schedule as ONE packet — event positions are
+        # unique (at most one spike per neuron), so the receiver's merged
+        # drive is bit-identical to per-step delivery.  Always true on the
+        # baseline schedule and for the last stage; under early firing the
+        # overlap windows keep per-step (bucketed) delivery.
+        drain_ok = [
+            windows[i + 1].fire_start >= windows[i].fire_end
+            if i + 1 < num_stages
+            else True
+            for i in range(num_stages)
+        ]
+        encoder = bound.encoder
+        enc_steps = enc_end
+        if (
+            windows[0].fire_start >= enc_end
+            and getattr(encoder, "can_drain", None) is not None
+            and encoder.can_drain()
+        ):
+            packet, count = ev.ingest(encoder.drain_events(), pack_threshold)
+            if bound.counts_input_spikes:
+                counts["input"] += float(count)
+            if packet is not None:
+                buffers[0].add(packet)
+            enc_steps = 0  # every pixel spike is already in flight
+
+        for t in range(horizon):
+            if t < enc_steps:
+                spikes, count = ev.ingest(encoder.step(t), pack_threshold)
+                if bound.counts_input_spikes:
+                    counts["input"] += float(count)
+            else:
+                spikes = None
+            for i, (stage, dyn, win) in enumerate(
+                zip(spiking_stages, bound.dynamics, windows)
+            ):
+                arrived = spikes is not None
+                if arrived:
+                    buffers[i].add(spikes)
+                if done[i] or not (
+                    arrived or win.in_fire_phase(t) or t == win.integration_start
+                ):
+                    spikes = None
+                    continue  # schedule-silent: the stage cannot act at t
+                if (
+                    t == win.fire_start
+                    and not noted[i]
+                    and t >= upstream_end[i] - 1
+                    and drain_ok[i]
+                    and getattr(dyn, "can_drain", None)
+                    and dyn.can_drain()
+                ):
+                    # Full drain: the last possible drive is flushed here,
+                    # so the potentials are final before the first fire
+                    # step — the whole fire window leaves as one packet.
+                    drive = sim._flush(stage, buffers[i], self.stage_plans[i])
+                    spikes, count = ev.ingest(
+                        dyn.drain_fire_events(t - 1, drive), pack_threshold
+                    )
+                    counts[stage.name] += float(count)
+                    noted[i] = True
+                    done[i] = True
+                    continue
+                if dyn.needs_drive(t):
+                    drive = sim._flush(stage, buffers[i], self.stage_plans[i])
+                else:
+                    drive = None
+                spikes, count = ev.ingest(dyn.step(drive, t), pack_threshold)
+                counts[stage.name] += float(count)
+            if spikes is not None:
+                readout_buffer.add(spikes)
+            if t == bias_step:
+                readout.accumulate(None, t)
+            for i, win in enumerate(windows):
+                if noted[i] or t < upstream_end[i] - 1 or not buffers[i].empty:
+                    continue
+                # No drive can arrive after this step: drain the remaining
+                # schedule in bulk where the receiver allows it, otherwise
+                # switch to the closed-form per-step firing schedule.
+                dyn = bound.dynamics[i]
+                noted[i] = True
+                if drain_ok[i] and getattr(dyn, "can_drain", None) and dyn.can_drain():
+                    packet, count = ev.ingest(dyn.drain_fire_events(t), pack_threshold)
+                    counts[spiking_stages[i].name] += float(count)
+                    if packet is not None:
+                        if i + 1 < num_stages:
+                            buffers[i + 1].add(packet)
+                        else:
+                            readout_buffer.add(packet)
+                    done[i] = True
+                else:
+                    dyn.note_input_exhausted(t)
+
+        readout.absorb(sim._flush(readout_stage, readout_buffer, self.readout_plan))
+        scores = readout.seal_rows(
+            np.ones(n, dtype=bool), horizon - 1, bound.total_steps
+        )
+        predictions = scores.argmax(axis=1)
+        accuracy = float((predictions == y).mean()) if y is not None else None
+        per_inference = {name: c / n for name, c in counts.items()}
+        return SimulationResult(
+            scores=scores,
+            predictions=predictions,
+            accuracy=accuracy,
+            spike_counts=per_inference,
+            total_spikes=float(sum(per_inference.values())),
+            steps=horizon,
+            decision_time=bound.decision_time,
+        )
+
+
+def compile_plan(
+    sim: Simulator,
+    batch_size: int = 64,
+    steps: int | None = None,
+    probe: np.ndarray | None = None,
+    calibrate: bool = True,
+) -> ExecutionPlan:
+    """Build an :class:`ExecutionPlan` for ``sim`` (see ``Simulator.compile``)."""
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if steps is not None and steps != sim._steps_arg:
+        runner = Simulator(
+            sim.network,
+            sim.scheme,
+            steps=steps,
+            monitors=sim.monitors,
+            event_driven=sim.event_driven,
+            density_threshold=sim.density_threshold,
+            early_exit=sim.early_exit,
+        )
+    else:
+        runner = sim
+    network = runner.network
+    bound = runner.bound
+    workspace = Workspace()
+    dtype = network.dtype
+
+    spiking = [s for s in network.stages if s.spiking]
+    in_shapes = [tuple(network.input_shape)] + [tuple(s.out_shape) for s in spiking]
+    stage_plans = [
+        StagePlan(
+            index=i,
+            name=stage.name,
+            stage=stage,
+            in_shape=in_shapes[i],
+            out_shape=tuple(stage.out_shape),
+            threshold=runner.density_threshold,
+            workspace=workspace,
+        )
+        for i, stage in enumerate(spiking)
+    ]
+    readout_plan = StagePlan(
+        index=len(spiking),
+        name=network.stages[-1].name,
+        stage=network.stages[-1],
+        in_shape=in_shapes[-1],
+        out_shape=tuple(network.stages[-1].out_shape),
+        threshold=runner.density_threshold,
+        workspace=workspace,
+    )
+
+    if calibrate:
+        if probe is None:
+            rng = np.random.default_rng(0)
+            probe = rng.random(
+                (min(batch_size, 4),) + tuple(network.input_shape)
+            ).astype(dtype)
+        observed = _observe_flush_densities(runner, probe)
+        cal_batch = min(batch_size, 4)
+        for pstage in [*stage_plans, readout_plan]:
+            _calibrate_stage(
+                pstage,
+                cal_batch,
+                dtype,
+                observed.get(pstage.name, []),
+                runner.density_threshold,
+            )
+
+    phased = (
+        runner.event_driven
+        and bound.encoder.emission_window() is not None
+        and all(dyn.phase_window() is not None for dyn in bound.dynamics)
+        and bound.readout.rows_sealable()
+    )
+    return ExecutionPlan(
+        simulator=runner,
+        bound=bound,
+        stage_plans=stage_plans,
+        readout_plan=readout_plan,
+        workspace=workspace,
+        batch_size=int(batch_size),
+        calibrated=bool(calibrate),
+        phased=phased,
+    )

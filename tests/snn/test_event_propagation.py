@@ -180,3 +180,50 @@ class TestSparseOps:
         dense_in = rng.random((3, 20)) * (rng.random((3, 20)) < 0.2)
         got = apply_op_events(fc, SpikePacket.from_dense(dense_in))
         np.testing.assert_allclose(got, fc.infer(dense_in), rtol=1e-10, atol=1e-12)
+
+
+class TestMergePackets:
+    """The deferral-window merge runs in the packets' dtype, in the arena."""
+
+    def _packets(self, dtype):
+        a = SpikePacket.from_dense(
+            np.array([[1.0, 0.0, 2.0], [0.0, 0.0, 0.0]], dtype=dtype)
+        )
+        b = SpikePacket.from_dense(
+            np.array([[0.5, 3.0, 0.0], [0.0, 4.0, 0.0]], dtype=dtype)
+        )
+        return [a, b]
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_merge_stays_in_run_dtype(self, dtype):
+        from repro.snn.events import merge_packets
+
+        merged = merge_packets(self._packets(dtype))
+        assert merged.dtype == np.dtype(dtype)
+        np.testing.assert_allclose(
+            merged, [[1.5, 3.0, 2.0], [0.0, 4.0, 0.0]], rtol=1e-6
+        )
+
+    def test_merge_into_arena_buffer(self):
+        from repro.snn.events import merge_packets
+
+        out = np.full((2, 3), 9.0)  # stale content must be cleared
+        merged = merge_packets(self._packets(np.float64), out=out)
+        assert merged is out
+        np.testing.assert_allclose(out, [[1.5, 3.0, 2.0], [0.0, 4.0, 0.0]])
+        with pytest.raises(ValueError, match="shape"):
+            merge_packets(self._packets(np.float64), out=np.zeros((3, 3)))
+
+    def test_merge_matches_bincount_reference_in_float64(self, rng):
+        """Bit parity with the old float64 bincount merge."""
+        from repro.snn.events import merge_packets
+
+        packets = []
+        for _ in range(5):
+            dense = rng.random((4, 50)) * (rng.random((4, 50)) < 0.3)
+            packets.append(SpikePacket.from_dense(dense))
+        features = 50
+        pos = np.concatenate([p.rows * features + p.idx for p in packets])
+        w = np.concatenate([p.weights for p in packets])
+        ref = np.bincount(pos, weights=w, minlength=4 * features).reshape(4, 50)
+        np.testing.assert_array_equal(merge_packets(packets), ref)

@@ -8,7 +8,7 @@ from repro.coding.rate import RateCoding
 from repro.coding.ttfs import TTFSCoding
 from repro.snn.engine import Simulator
 from repro.snn.monitors import SpikeCountMonitor
-from repro.snn.parallel import merge_results, run_parallel
+from repro.snn.parallel import merge_results, resolve_workers, run_parallel
 
 SCHEMES = {
     "ttfs": (lambda: TTFSCoding(window=12), None),
@@ -70,8 +70,57 @@ class TestRunParallel:
         sim = Simulator(tiny_network, TTFSCoding(window=12))
         with pytest.raises(ValueError, match="workers"):
             sim.run_parallel(tiny_data[2][:4], workers=0)
+        with pytest.raises(ValueError, match="workers"):
+            sim.run_parallel(tiny_data[2][:4], workers="many")
         with pytest.raises(ValueError, match="batch_size"):
             sim.run_parallel(tiny_data[2][:4], batch_size=0)
+
+
+class TestAutoWorkers:
+    def test_auto_resolution_policy(self, monkeypatch):
+        """auto = min(cpu_count, shards); single-core boxes stay serial."""
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        assert resolve_workers("auto", 3) == 3
+        assert resolve_workers("auto", 20) == 8
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        assert resolve_workers("auto", 20) == 1
+        monkeypatch.setattr("os.cpu_count", lambda: None)
+        assert resolve_workers("auto", 20) == 1
+        assert resolve_workers(3, 20) == 3  # explicit counts pass through
+
+    def test_auto_stays_serial_on_single_core(
+        self, tiny_network, tiny_data, monkeypatch
+    ):
+        """The BENCH-observed parallel-below-serial regression on 1-core
+        hosts cannot happen by default: auto never builds a pool there."""
+        def boom(*a, **k):  # pragma: no cover - would fail the test if hit
+            raise AssertionError("pool built with auto workers on 1 core")
+
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        monkeypatch.setattr("repro.snn.parallel.ProcessPoolExecutor", boom)
+        x, y = tiny_data[2][:10], tiny_data[3][:10]
+        sim = Simulator(tiny_network, TTFSCoding(window=12))
+        par = sim.run_parallel(x, y, workers="auto", batch_size=4)
+        serial = sim.run_batched(x, y, batch_size=4)
+        np.testing.assert_array_equal(par.predictions, serial.predictions)
+
+    def test_auto_matches_serial_when_parallel(self, tiny_network, tiny_data):
+        x, y = tiny_data[2][:12], tiny_data[3][:12]
+        sim = Simulator(tiny_network, TTFSCoding(window=12))
+        par = sim.run_parallel(x, y, workers="auto", batch_size=4)
+        serial = sim.run_batched(x, y, batch_size=4)
+        np.testing.assert_array_equal(par.predictions, serial.predictions)
+        assert par.spike_counts == pytest.approx(serial.spike_counts)
+
+    def test_t2fsnn_run_accepts_auto(self, tiny_network, tiny_data, monkeypatch):
+        from repro.core.t2fsnn import T2FSNN
+
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        model = T2FSNN(tiny_network, window=12)
+        x, y = tiny_data[2][:8], tiny_data[3][:8]
+        res = model.run(x, y, workers="auto", batch_size=4)
+        ref = model.run(x, y, batch_size=4)
+        np.testing.assert_array_equal(res.predictions, ref.predictions)
 
     def test_pool_failure_falls_back_to_serial(
         self, tiny_network, tiny_data, monkeypatch

@@ -44,6 +44,7 @@ MODULES = [
     "repro.snn.neurons",
     "repro.snn.engine",
     "repro.snn.parallel",
+    "repro.snn.plan",
     "repro.snn.monitors",
     "repro.snn.results",
     "repro.coding.base",
