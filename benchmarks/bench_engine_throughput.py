@@ -198,6 +198,12 @@ def run_benchmark(write_json: bool = True) -> dict:
         "results": rows,
     }
     if write_json:
+        if RESULT_PATH.exists():
+            # The serving benchmark owns the "service" section of the same
+            # JSON; preserve it (and any future sections) across rewrites.
+            previous = json.loads(RESULT_PATH.read_text())
+            for key, value in previous.items():
+                payload.setdefault(key, value)
         RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
 

@@ -10,7 +10,10 @@ Runs in under a minute on CPU.  Pipeline:
 5. serve the test set through the throughput runtime: quiescence
    early-exit plus multiprocess batch sharding (``run_parallel``);
 6. compile an execution plan — calibrated per-stage kernels and
-   zero-allocation workspace arenas (``Simulator.compile``, DESIGN.md §10).
+   zero-allocation workspace arenas (``Simulator.compile``, DESIGN.md §10);
+7. stand up an online inference service — single-sample requests
+   micro-batched onto the compiled plans, with per-request latency and a
+   result cache (``T2FSNN.serve()``, DESIGN.md §11).
 
 Usage::
 
@@ -85,6 +88,27 @@ def main() -> None:
     print(f"compiled plan:       {len(x_test) / t_comp:7.1f} samples/s "
           f"({t_serial / t_comp:.2f}x over serial)")
     print(plan.describe())
+
+    print("\n== 7. online inference service ==")
+    # Requests arrive one sample at a time; the service coalesces them
+    # into micro-batches (flush on max_batch or max_wait_ms) over the
+    # compiled-plan pool, and an LRU cache replays repeated inputs.
+    # Predictions are bit-identical to the batch engine's (DESIGN.md §11).
+    with snn.serve(max_batch=32, max_wait_ms=2.0, cache_size=128) as service:
+        t0 = time.perf_counter()
+        results = service.predict_many(x_test[:100])
+        t_serve = time.perf_counter() - t0
+        assert all(
+            r.prediction == p
+            for r, p in zip(results, serial.predictions[:100])
+        )
+        repeat = service.predict(x_test[0])  # served from the cache
+        lat = sorted(r.latency_s for r in results)
+        stats = service.stats()
+        print(f"served 100 requests: {100 / t_serve:7.1f} samples/s "
+              f"(mean micro-batch {stats.mean_flush_size:.1f})")
+        print(f"request latency p50={lat[50] * 1e3:.1f}ms "
+              f"p99={lat[99] * 1e3:.1f}ms; repeat request cached={repeat.cached}")
 
 
 if __name__ == "__main__":

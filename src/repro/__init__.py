@@ -12,6 +12,8 @@ Public API tour
 * :mod:`repro.core` — the paper's contribution: TTFS kernels, the
   gradient-based kernel optimization, early firing, and :class:`T2FSNN`;
 * :mod:`repro.energy` — neuromorphic energy and op-count models;
+* :mod:`repro.serve` — online inference service: micro-batching over
+  compiled plans, result caching, worker dispatch (``T2FSNN.serve()``);
 * :mod:`repro.analysis` — experiment harness regenerating every table and
   figure of the paper.
 
@@ -29,7 +31,7 @@ Quickstart::
     print(snn.run(x_te, y_te).summary())
 """
 
-from repro import coding, convert, core, datasets, energy, nn, snn, utils
+from repro import coding, convert, core, datasets, energy, nn, serve, snn, utils
 from repro.core import T2FSNN
 
 __version__ = "1.0.0"
@@ -42,6 +44,7 @@ __all__ = [
     "coding",
     "core",
     "energy",
+    "serve",
     "utils",
     "T2FSNN",
     "__version__",

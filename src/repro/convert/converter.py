@@ -94,6 +94,31 @@ class ConvertedNetwork:
     input_shape: tuple[int, ...]
     normalization_factors: list[float] = field(default_factory=list)
     activation_stats: list[ActivationStats] = field(default_factory=list)
+    #: Monotone mutation counter for cache keys (see :meth:`identity_token`).
+    #: Bump it (or call :meth:`bump_version`) after mutating parameters in
+    #: place so cached simulators/plans keyed on the token are rebuilt.
+    version: int = 0
+
+    def bump_version(self) -> int:
+        """Mark in-place parameter mutation; returns the new version."""
+        self.version += 1
+        return self.version
+
+    def identity_token(self) -> tuple:
+        """A hashable token identifying *this* network object and revision.
+
+        Used by plan/simulator caches (e.g. ``T2FSNN.run(compiled=True)``,
+        the serving layer's plan pool): a swapped network object, a dtype
+        cast (:meth:`astype` returns a new object) or a declared in-place
+        mutation (:meth:`bump_version`) all change the token, so a cached
+        simulator compiled for the old network can never be reused.  ``id``
+        is only unambiguous while the network it names stays referenced: a
+        cache that holds the simulator/plan the token was built for pins it
+        automatically, but a cache storing only *derived* keys (e.g. a
+        digest cache) must gate lookups on a token whose network is still
+        alive — see the serving layer's generation rule (DESIGN.md §11).
+        """
+        return (id(self), self.version, self.dtype.str)
 
     @property
     def dtype(self) -> np.dtype:

@@ -82,7 +82,17 @@ class T2FSNN:
         self._compiled_key = None
 
     def _coding_key(self):
+        # The network identity token guards against a swapped or mutated
+        # self.network (e.g. ConvertedNetwork.astype) silently reusing a
+        # simulator/plan compiled for the old parameters.
+        net = self.network
+        token = (
+            net.identity_token()
+            if hasattr(net, "identity_token")
+            else (id(net),)
+        )
         return (
+            token,
             tuple((p.tau, p.t_delay) for p in self.kernel_params),
             self.early_firing,
             self.fire_offset,
@@ -196,8 +206,15 @@ class T2FSNN:
         where a pool is pure overhead.  ``compiled=True`` runs the serial
         path through a cached compiled execution plan
         (:meth:`repro.snn.engine.Simulator.compile` — calibrated per-stage
-        kernels and workspace arenas; loss-free).
+        kernels and workspace arenas; loss-free).  The two flags compose:
+        ``compiled=True, workers=N`` has every worker compile its own plan
+        once and reuse it across its shards (arenas are process-local, so
+        this is the only correct meaning of "compiled parallel").
         """
+        if isinstance(workers, bool):
+            raise ValueError(
+                f'workers must be an int >= 1 or "auto", got the bool {workers!r}'
+            )
         sim = self.simulator(monitors=monitors)
         if workers == "auto" or (isinstance(workers, int) and workers > 1):
             from repro.snn.parallel import resolve_workers
@@ -205,7 +222,11 @@ class T2FSNN:
             shards = max(1, -(-len(x) // (batch_size or 64)))
             if resolve_workers(workers, shards) > 1:
                 return sim.run_parallel(
-                    x, y, workers=workers, batch_size=batch_size or 64
+                    x,
+                    y,
+                    workers=workers,
+                    batch_size=batch_size or 64,
+                    compiled=compiled,
                 )
         if compiled:
             if monitors:
@@ -221,6 +242,42 @@ class T2FSNN:
         if batch_size is None:
             return sim.run(x, y)
         return sim.run_batched(x, y, batch_size=batch_size)
+
+    def serve(
+        self,
+        max_batch: int = 16,
+        capacities: tuple[int, ...] | None = None,
+        max_wait_ms: float = 2.0,
+        cache_size: int = 256,
+        workers: int | str = 1,
+        calibrate: bool = True,
+    ):
+        """An online :class:`~repro.serve.service.InferenceService` for this model.
+
+        Single samples submitted from any thread are coalesced into
+        micro-batches (flush on ``max_batch`` or ``max_wait_ms``) and run
+        through pre-compiled execution plans; results are bit-identical in
+        predictions to :meth:`run`.  The service tracks this model's coding
+        configuration — toggling ``early_firing``, re-optimizing kernels or
+        swapping ``self.network`` transparently compiles fresh plans.  Use
+        as a context manager (or call ``close()``) to stop the dispatch
+        thread::
+
+            with model.serve(max_batch=32, max_wait_ms=2.0) as svc:
+                print(svc.predict(x_test[0]).prediction)
+        """
+        # Imported lazily: repro.serve depends on this module.
+        from repro.serve.service import InferenceService
+
+        return InferenceService(
+            self,
+            max_batch=max_batch,
+            capacities=capacities,
+            max_wait_ms=max_wait_ms,
+            cache_size=cache_size,
+            workers=workers,
+            calibrate=calibrate,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         mode = "EF" if self.early_firing else "baseline"

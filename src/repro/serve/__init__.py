@@ -1,0 +1,37 @@
+"""Online inference serving: micro-batching over compiled execution plans.
+
+The batch engine (``repro.snn``) answers "how fast can we sweep a test
+set"; this package answers "how fast can we answer *one request*" — the
+deployment scenario TTFS coding is built for (one spike per neuron, the
+decision available at a fixed schedule depth).  See docs/DESIGN.md §11.
+
+* :class:`~repro.serve.service.InferenceService` — the facade: submit
+  single samples from any thread, get futures; plans are pre-compiled per
+  ``(coding_key, batch_capacity, steps)`` and partial batches are padded
+  to the nearest capacity;
+* :class:`~repro.serve.batcher.MicroBatcher` — flush on ``max_batch`` or
+  ``max_wait_ms``, whichever first;
+* :class:`~repro.serve.cache.ResultCache` — digest-keyed LRU replay of
+  repeated inputs;
+* :mod:`~repro.serve.dispatch` — serial or persistent-pool sharded
+  execution of flushed micro-batches.
+
+Entry point: ``T2FSNN.serve()`` or ``InferenceService(simulator)``.
+"""
+
+from repro.serve.batcher import MicroBatcher, ServedFuture
+from repro.serve.cache import ResultCache, input_digest
+from repro.serve.dispatch import PoolUnavailable, ShardedDispatcher
+from repro.serve.service import InferenceService, ServedResult, ServiceStats
+
+__all__ = [
+    "InferenceService",
+    "ServedResult",
+    "ServiceStats",
+    "MicroBatcher",
+    "ServedFuture",
+    "ResultCache",
+    "input_digest",
+    "PoolUnavailable",
+    "ShardedDispatcher",
+]

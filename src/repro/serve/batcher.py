@@ -1,0 +1,157 @@
+"""Micro-batching for online inference (docs/DESIGN.md §11).
+
+Requests arrive one sample at a time; compiled execution plans want
+arena-sized batches.  The :class:`MicroBatcher` bridges the two: submitted
+samples queue up and a dedicated dispatch thread flushes them as one
+micro-batch when either ``max_batch`` samples are pending or the *oldest*
+pending sample has waited ``max_wait_ms`` — whichever comes first.  The
+flush callback (the service's plan executor) resolves each request's
+:class:`ServedFuture`; a callback exception rejects every request in the
+flush instead of wedging the callers.
+
+The batcher is transport-agnostic: it never touches numpy or plans, it only
+moves ``(payload, future)`` pairs.  All latency bookkeeping (submit
+timestamps) lives on the future so percentile stats come for free.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["ServedFuture", "MicroBatcher"]
+
+
+class ServedFuture:
+    """Handle to one in-flight request; resolved by the dispatch thread.
+
+    ``result(timeout)`` blocks until the micro-batch carrying the sample
+    has been executed, then returns the service's per-request result (or
+    re-raises the flush error).  ``submitted_at`` is the monotonic submit
+    time the batcher stamps; the service uses it to report per-request
+    latency.
+    """
+
+    __slots__ = ("_event", "_value", "_error", "submitted_at")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._value = None
+        self._error: BaseException | None = None
+        self.submitted_at: float = 0.0
+
+    def done(self) -> bool:
+        """True once a result or an error has been set."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None):
+        """Block for the outcome; raises ``TimeoutError`` after ``timeout``."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"request not served within {timeout} s")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _resolve(self, value) -> None:
+        self._value = value
+        self._event.set()
+
+    def _reject(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class MicroBatcher:
+    """Coalesce single-sample submissions into bounded micro-batches.
+
+    Parameters
+    ----------
+    flush_fn:
+        ``flush_fn(requests)`` executes one micro-batch; ``requests`` is a
+        list of ``(payload, future)`` pairs (at most ``max_batch`` of them,
+        oldest first).  It must resolve every future; if it raises, the
+        batcher rejects all of the flush's futures with the exception and
+        keeps serving.
+    max_batch:
+        Flush as soon as this many samples are pending.
+    max_wait_ms:
+        Flush when the oldest pending sample has waited this long, even if
+        the batch is not full — the service's latency/throughput knob.
+    """
+
+    def __init__(self, flush_fn, max_batch: int, max_wait_ms: float):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self._flush_fn = flush_fn
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_ms) / 1000.0
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._pending: list = []
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, payload, future: ServedFuture) -> ServedFuture:
+        """Enqueue one sample; returns ``future`` for symmetry."""
+        with self._wake:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            future.submitted_at = time.monotonic()
+            self._pending.append((payload, future))
+            self._wake.notify_all()
+        return future
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Stop accepting submissions, flush the backlog, join the thread."""
+        with self._wake:
+            if self._closed:
+                return
+            self._closed = True
+            self._wake.notify_all()
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # dispatch thread
+    # ------------------------------------------------------------------ #
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._wake:
+                while not self._pending and not self._closed:
+                    self._wake.wait()
+                if not self._pending and self._closed:
+                    return
+                # Wait for a full batch or the oldest request's deadline;
+                # close() flushes the backlog immediately.
+                while len(self._pending) < self.max_batch and not self._closed:
+                    oldest = self._pending[0][1].submitted_at
+                    remaining = oldest + self.max_wait_s - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._wake.wait(remaining)
+                batch = self._pending[: self.max_batch]
+                del self._pending[: self.max_batch]
+            if not batch:  # pragma: no cover - defensive
+                continue
+            try:
+                self._flush_fn(batch)
+            except BaseException as exc:  # noqa: BLE001 - forwarded to callers
+                for _, future in batch:
+                    if not future.done():
+                        future._reject(exc)

@@ -1,0 +1,87 @@
+"""LRU result cache for the inference service (docs/DESIGN.md §11).
+
+Serving workloads repeat inputs (retries, popular samples, idempotent
+clients), and TTFS inference is deterministic for a fixed coding
+configuration — so a finished request's scores can be replayed from a
+digest of its input without touching the engine.  Keys are SHA-1 digests
+of the sample's raw bytes *plus* the service's coding key, so mutating the
+model (kernels, early firing, a network swap) can never replay scores
+computed under the old configuration.
+
+The cache stores defensive copies (arena views must not escape the plan —
+DESIGN.md §10 ownership rules) and is thread-safe: submissions hit it from
+caller threads while the dispatch thread fills it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["ResultCache", "input_digest"]
+
+
+def input_digest(x: np.ndarray, context_key) -> bytes:
+    """Digest of one input sample under a coding configuration.
+
+    ``context_key`` is any hashable/reprable description of the serving
+    configuration (the service passes its plan-pool coding key); two
+    requests share a digest only when both the sample bytes *and* the
+    configuration agree.
+    """
+    h = hashlib.sha1()
+    h.update(repr(context_key).encode("utf-8"))
+    h.update(str(x.dtype).encode("ascii"))
+    h.update(str(x.shape).encode("ascii"))
+    h.update(np.ascontiguousarray(x).tobytes())
+    return h.digest()
+
+
+class ResultCache:
+    """A bounded, thread-safe LRU map from input digests to score vectors.
+
+    ``capacity <= 0`` disables the cache entirely (every ``get`` misses and
+    ``put`` is a no-op) so the service can expose one code path.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[bytes, np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: bytes) -> np.ndarray | None:
+        """The cached scores for ``key`` (refreshing recency), or ``None``."""
+        if self.capacity <= 0:
+            return None
+        with self._lock:
+            scores = self._entries.get(key)
+            if scores is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return scores
+
+    def put(self, key: bytes, scores: np.ndarray) -> None:
+        """Insert (a copy of) ``scores``, evicting the least recent entry."""
+        if self.capacity <= 0:
+            return
+        scores = np.array(scores, copy=True)
+        with self._lock:
+            self._entries[key] = scores
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,130 @@
+"""Micro-batch dispatchers: in-process plans or a persistent worker pool.
+
+The service's dispatch thread executes flushed micro-batches.  Two modes
+(docs/DESIGN.md §11):
+
+* **Serial** (the default): the micro-batch runs through a compiled
+  :class:`~repro.snn.plan.ExecutionPlan` in the dispatch thread itself —
+  zero IPC, arena reuse across flushes, the latency-optimal choice on
+  small boxes.
+* **Sharded** (``workers > 1``): flushes are split into shards and mapped
+  over a *persistent* ``ProcessPoolExecutor`` that reuses
+  :mod:`repro.snn.parallel`'s worker machinery (same pickled-payload
+  initializer, same per-shard runner, per-worker compiled plans).  Unlike
+  ``run_parallel`` — which builds and tears down a pool per call — the
+  pool here outlives individual flushes, so pool startup is paid once per
+  service, not once per request burst.
+
+A pool that cannot be created or breaks mid-service raises
+:class:`PoolUnavailable`; the service catches it and degrades to serial
+dispatch permanently (with a warning), mirroring ``run_parallel``'s
+graceful-degradation contract.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+import numpy as np
+
+from repro.snn.parallel import _init_worker, _run_shard, worker_payload
+
+__all__ = ["PoolUnavailable", "ShardedDispatcher"]
+
+
+class PoolUnavailable(RuntimeError):
+    """The worker pool could not be created or died; fall back to serial."""
+
+
+class ShardedDispatcher:
+    """Run micro-batches over a persistent pool of plan-compiling workers.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to replicate into each worker (network, scheme and
+        engine options ship once via the pool initializer).
+    workers:
+        Worker process count (resolved by the service; ``> 1`` here).
+    shard_size:
+        Per-shard sample count — also the batch capacity each worker
+        compiles its execution plan for (plans are cached per worker, so a
+        fixed shard size keeps exactly one plan per process).
+    compiled:
+        Route worker shards through per-worker compiled plans (the serving
+        default) instead of the uncompiled engine.
+    calibrate:
+        Calibration flag the workers pass to their plan compilation.
+    start_method:
+        Multiprocessing start method.  Unlike ``run_parallel`` (whose
+        callers are single-threaded, making fork cheap and safe), the
+        service is inherently multithreaded when the pool spawns — forking
+        a multithreaded process can deadlock children on inherited locks —
+        so the default prefers ``forkserver``, then ``spawn``.
+    """
+
+    def __init__(
+        self,
+        sim,
+        workers: int,
+        shard_size: int,
+        compiled: bool = True,
+        calibrate: bool = True,
+        start_method: str | None = None,
+    ):
+        if workers < 2:
+            raise ValueError(f"ShardedDispatcher needs workers >= 2, got {workers}")
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        self.workers = int(workers)
+        self.shard_size = int(shard_size)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            for preferred in ("forkserver", "spawn", "fork"):
+                if preferred in methods:
+                    start_method = preferred
+                    break
+            else:  # pragma: no cover - every platform offers one of the above
+                start_method = methods[0]
+        self._context = multiprocessing.get_context(start_method)
+        self._payload = worker_payload(
+            sim, compiled=compiled, plan_batch=shard_size, calibrate=calibrate
+        )
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=self._context,
+                    initializer=_init_worker,
+                    initargs=(self._payload,),
+                )
+            except (OSError, ValueError) as exc:
+                raise PoolUnavailable(str(exc)) from exc
+        return self._pool
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Execute one micro-batch; returns the stacked score matrix.
+
+        Shards are contiguous, so concatenating shard scores preserves the
+        submission order (the same invariant ``merge_results`` relies on).
+        """
+        shards = [
+            (None, x[start : start + self.shard_size], None)
+            for start in range(0, len(x), self.shard_size)
+        ]
+        pool = self._ensure_pool()
+        try:
+            results = list(pool.map(_run_shard, shards))
+        except (OSError, BrokenExecutor) as exc:
+            self.close()
+            raise PoolUnavailable(str(exc)) from exc
+        return np.concatenate([r.scores for r in results], axis=0)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None

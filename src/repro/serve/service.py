@@ -1,0 +1,432 @@
+"""Online inference service over compiled execution plans (DESIGN.md §11).
+
+:class:`InferenceService` turns the batch engine into a request-serving
+runtime: callers submit *single samples* from any thread and get a
+:class:`~repro.serve.batcher.ServedFuture`; a
+:class:`~repro.serve.batcher.MicroBatcher` coalesces submissions into
+micro-batches (flush on ``max_batch`` or ``max_wait_ms``, whichever first)
+that execute through a pool of pre-compiled
+:class:`~repro.snn.plan.ExecutionPlan` s keyed by
+``(coding_key, batch_capacity, steps)``.  Partial batches are zero-padded
+up to the nearest compiled capacity and un-padded before results are
+returned — row independence of the simulation makes the real rows'
+predictions bit-identical to ``Simulator.run`` (the padding rows are
+discarded).  A digest-keyed LRU :class:`~repro.serve.cache.ResultCache`
+replays repeated inputs without touching the engine, and ``workers > 1``
+dispatches flushes over a persistent sharded worker pool
+(:mod:`repro.serve.dispatch`).
+
+The service tracks its source's coding configuration: serving a
+:class:`~repro.core.t2fsnn.T2FSNN` whose kernels / early-firing mode /
+network change between requests transparently compiles fresh plans under
+the new coding key (stale plans and cache entries can never be replayed —
+the key embeds the network identity token).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import warnings
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.serve.batcher import MicroBatcher, ServedFuture
+from repro.serve.cache import ResultCache, input_digest
+from repro.serve.dispatch import PoolUnavailable, ShardedDispatcher
+from repro.snn.engine import Simulator
+from repro.snn.parallel import resolve_workers
+
+__all__ = ["ServedResult", "ServiceStats", "InferenceService"]
+
+
+@dataclass
+class ServedResult:
+    """Outcome of one served request.
+
+    ``scores`` is the request's class-score vector (a private copy),
+    ``prediction`` its argmax, ``latency_s`` the submit-to-resolve wall
+    time, ``cached`` whether the result was replayed from the LRU cache,
+    and ``batch_size`` the micro-batch the sample rode in (``0`` for cache
+    hits, which never enter a batch).
+    """
+
+    scores: np.ndarray
+    prediction: int
+    latency_s: float
+    cached: bool = False
+    batch_size: int = 0
+
+
+@dataclass
+class ServiceStats:
+    """Service-lifetime counters (see :meth:`InferenceService.stats`)."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    flushes: int = 0
+    flushed_samples: int = 0
+    padded_samples: int = 0
+    plans_compiled: int = 0
+    workers: int = 1
+    flush_sizes: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean_flush_size(self) -> float:
+        """Average samples per micro-batch flush (0.0 before any flush)."""
+        return self.flushed_samples / self.flushes if self.flushes else 0.0
+
+
+def _default_capacities(max_batch: int) -> tuple[int, ...]:
+    """Powers of two up to ``max_batch``, always including ``max_batch``."""
+    caps = {1, int(max_batch)}
+    c = 2
+    while c < max_batch:
+        caps.add(c)
+        c *= 2
+    return tuple(sorted(caps))
+
+
+class InferenceService:
+    """Serve single-sample requests through micro-batched compiled plans.
+
+    Parameters
+    ----------
+    source:
+        What to serve: a :class:`~repro.core.t2fsnn.T2FSNN` model (its
+        coding configuration is re-checked every flush, so mutating the
+        model between requests is safe) or a bare
+        :class:`~repro.snn.engine.Simulator` for any coding scheme.
+        Monitors are not supported — they observe per-step state and have
+        no meaning at request granularity.
+    max_batch:
+        Largest micro-batch (and the largest compiled plan capacity).
+    capacities:
+        Batch capacities to compile plans for; a flush of ``k`` samples is
+        zero-padded to the smallest capacity ``>= k``.  Default: powers of
+        two up to ``max_batch``.  When given, overrides ``max_batch`` with
+        ``max(capacities)``.
+    max_wait_ms:
+        Flush deadline for a partially filled micro-batch — the
+        latency/throughput trade-off knob.
+    cache_size:
+        LRU result-cache entries (``0`` disables caching).
+    workers:
+        ``1`` (default) executes flushes in the dispatch thread; ``N > 1``
+        or ``"auto"`` shards flushes over a persistent worker pool with
+        per-worker compiled plans (``"auto"`` stays serial on single-core
+        hosts).  Pool failure degrades to serial dispatch with a warning.
+    calibrate:
+        Calibrate compiled plans (timed per-stage kernel choice).  Leave
+        ``True`` for throughput; ``False`` pins the reference engine's
+        kernel decisions (bit-identical scores, used by the parity tests).
+    steps:
+        Optional time-budget override for free-running schemes; part of
+        the plan-pool key.
+    start_method:
+        Multiprocessing start method for the worker pool.
+    """
+
+    def __init__(
+        self,
+        source,
+        max_batch: int = 16,
+        capacities: tuple[int, ...] | None = None,
+        max_wait_ms: float = 2.0,
+        cache_size: int = 256,
+        workers: int | str = 1,
+        calibrate: bool = True,
+        steps: int | None = None,
+        start_method: str | None = None,
+    ):
+        if hasattr(source, "_coding_key") and hasattr(source, "simulator"):
+            self._model = source
+            self._base_sim = None
+            network = source.network
+        elif isinstance(source, Simulator):
+            if source.monitors:
+                raise ValueError(
+                    "monitors observe per-step state and cannot be attached "
+                    "to a request-serving simulator; use Simulator.run"
+                )
+            self._model = None
+            self._base_sim = source
+            network = source.network
+        else:
+            raise TypeError(
+                f"source must be a T2FSNN model or a Simulator, got {source!r}"
+            )
+        if capacities:
+            caps = tuple(sorted({int(c) for c in capacities}))
+            if caps[0] < 1:
+                raise ValueError(f"capacities must be >= 1, got {caps}")
+        else:
+            if max_batch < 1:
+                raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+            caps = _default_capacities(int(max_batch))
+        self.capacities = caps
+        self.max_batch = caps[-1]
+        self.input_shape = tuple(network.input_shape)
+        self._calibrate = bool(calibrate)
+        self._steps = steps
+        self._cache = ResultCache(cache_size)
+        self._stats = ServiceStats()
+        # submit() increments counters from arbitrary caller threads; every
+        # other counter is dispatch-thread-only (single writer).
+        self._stats_lock = threading.Lock()
+        self._plans: dict = {}
+        self._gen_key = None
+        self._gen_sim: Simulator | None = None
+        self._closed = False
+
+        scheme = source.scheme if self._model is None else None
+        self._workers = resolve_workers(workers, self.max_batch)
+        self._start_method = start_method
+        self._dispatcher: ShardedDispatcher | None = None
+        self._dispatcher_key = None
+        if self._workers > 1 and scheme is not None and getattr(
+            scheme, "stochastic", False
+        ):
+            warnings.warn(
+                "stochastic schemes draw per-run noise and cannot share a "
+                "persistent worker pool; serving serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self._workers = 1
+        self._stats.workers = self._workers
+        self._batcher = MicroBatcher(
+            self._flush, max_batch=self.max_batch, max_wait_ms=max_wait_ms
+        )
+
+    # ------------------------------------------------------------------ #
+    # request path (caller threads)
+    # ------------------------------------------------------------------ #
+
+    def submit(self, x: np.ndarray) -> ServedFuture:
+        """Enqueue one sample; returns a future resolving to a result.
+
+        Cache hits resolve immediately (never entering a micro-batch); the
+        digest embeds the current coding key, so hits can only replay
+        scores computed under the *current* configuration.
+        """
+        if self._closed:
+            raise RuntimeError("InferenceService is closed")
+        x = np.asarray(x)
+        if x.shape == (1, *self.input_shape):
+            x = x[0]
+        if x.shape != self.input_shape:
+            raise ValueError(
+                f"expected one sample of shape {self.input_shape}, "
+                f"got {x.shape}"
+            )
+        # Private copy: the sample sits in the queue until the flush (up to
+        # max_wait_ms); a caller reusing its buffer must not corrupt it.
+        x = np.array(x, copy=True)
+        with self._stats_lock:
+            self._stats.requests += 1
+        future = ServedFuture()
+        # Cache lookups are only trusted under the *current generation's*
+        # key: the generation simulator pins its network object (so its id
+        # cannot be recycled), whereas an arbitrary coding key could —
+        # after a swap away and back — collide with a freed network's
+        # recycled id and replay the old network's scores.
+        if self._cache.capacity > 0 and self._coding_key() == self._gen_key:
+            scores = self._cache.get(input_digest(x, self._gen_key))
+            if scores is not None:
+                future.submitted_at = time.monotonic()
+                future._resolve(
+                    ServedResult(
+                        scores=scores.copy(),
+                        prediction=int(scores.argmax()),
+                        latency_s=0.0,
+                        cached=True,
+                        batch_size=0,
+                    )
+                )
+                return future
+        return self._batcher.submit(x, future)
+
+    def predict(self, x: np.ndarray, timeout: float | None = 30.0) -> ServedResult:
+        """Submit one sample and block for its result."""
+        return self.submit(x).result(timeout)
+
+    def predict_many(
+        self, x: np.ndarray, timeout: float | None = 30.0
+    ) -> list[ServedResult]:
+        """Submit a batch of samples concurrently and gather the results."""
+        futures = [self.submit(sample) for sample in x]
+        return [f.result(timeout) for f in futures]
+
+    # ------------------------------------------------------------------ #
+    # flush path (dispatch thread)
+    # ------------------------------------------------------------------ #
+
+    def _coding_key(self):
+        if self._model is not None:
+            return self._model._coding_key()
+        sim = self._base_sim
+        network = sim.network
+        token = (
+            network.identity_token()
+            if hasattr(network, "identity_token")
+            else (id(network),)
+        )
+        return ("simulator", id(sim), id(sim.scheme), token)
+
+    def _sim_for(self, key) -> Simulator:
+        if key == self._gen_key and self._gen_sim is not None:
+            return self._gen_sim
+        sim = (
+            self._model.simulator() if self._model is not None else self._base_sim
+        )
+        # A new generation orphans the old coding key's plans and cache
+        # entries; drop both so a long-lived service cannot accumulate
+        # stale arenas, and so old-generation digests (whose network may be
+        # freed, its id recyclable) can never be replayed.
+        self._plans = {k: v for k, v in self._plans.items() if k[0] == key}
+        self._cache.clear()
+        self._gen_key, self._gen_sim = key, sim
+        return sim
+
+    def _plan_for(self, key, capacity: int):
+        plan_key = (key, capacity, self._steps)
+        plan = self._plans.get(plan_key)
+        if plan is None:
+            sim = self._sim_for(key)
+            plan = sim.compile(
+                batch_size=capacity, steps=self._steps, calibrate=self._calibrate
+            )
+            self._plans[plan_key] = plan
+            self._stats.plans_compiled += 1
+        return plan
+
+    def _capacity_for(self, n: int) -> int:
+        for cap in self.capacities:
+            if cap >= n:
+                return cap
+        return self.capacities[-1]  # pragma: no cover - n <= max_batch always
+
+    def _degrade_to_serial(self, exc: Exception) -> None:
+        """Permanent fallback when the worker pool cannot serve."""
+        warnings.warn(
+            f"worker pool unavailable ({exc}); serving serially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        self._dispatcher = None
+        self._workers = 1
+        self._stats.workers = 1
+
+    def _execute(self, key, xs: np.ndarray) -> np.ndarray:
+        """Run one stacked micro-batch; returns scores for the real rows."""
+        n = len(xs)
+        if self._dispatcher is not None and self._dispatcher_key != key:
+            # The model was reconfigured: workers hold plans for the old
+            # coding key, so the pool must be rebuilt.
+            self._dispatcher.close()
+            self._dispatcher = None
+        if self._workers > 1:
+            try:
+                if self._dispatcher is None:
+                    sim = self._sim_for(key)
+                    if self._steps is not None and sim._steps_arg != self._steps:
+                        # The payload ships sim._steps_arg, so the service's
+                        # steps override must be baked into the replica.
+                        sim = Simulator(
+                            sim.network,
+                            sim.scheme,
+                            steps=self._steps,
+                            event_driven=sim.event_driven,
+                            density_threshold=sim.density_threshold,
+                            early_exit=sim.early_exit,
+                        )
+                    self._dispatcher = ShardedDispatcher(
+                        sim,
+                        workers=self._workers,
+                        shard_size=max(1, -(-self.max_batch // self._workers)),
+                        compiled=True,
+                        calibrate=self._calibrate,
+                        start_method=self._start_method,
+                    )
+                    self._dispatcher_key = key
+                return self._dispatcher.run(xs)
+            except PoolUnavailable as exc:
+                self._degrade_to_serial(exc)
+        capacity = self._capacity_for(n)
+        plan = self._plan_for(key, capacity)
+        if n < capacity:
+            padded = np.zeros((capacity, *self.input_shape), dtype=xs.dtype)
+            padded[:n] = xs
+            self._stats.padded_samples += capacity - n
+            xs = padded
+        return plan.run(xs).scores[:n]
+
+    def _flush(self, requests) -> None:
+        key = self._coding_key()
+        xs = np.stack([x for x, _ in requests])
+        scores = self._execute(key, xs)
+        now = time.monotonic()
+        n = len(requests)
+        self._stats.flushes += 1
+        self._stats.flushed_samples += n
+        self._stats.flush_sizes[n] = self._stats.flush_sizes.get(n, 0) + 1
+        for i, (x, future) in enumerate(requests):
+            row = np.array(scores[i], copy=True)
+            if self._cache.capacity > 0:
+                # Digest under the key the flush actually executed with —
+                # a submit-time digest could cache scores computed after a
+                # concurrent reconfiguration under the old key.
+                self._cache.put(input_digest(x, key), row)
+            future._resolve(
+                ServedResult(
+                    scores=row,
+                    prediction=int(row.argmax()),
+                    latency_s=now - future.submitted_at,
+                    cached=False,
+                    batch_size=n,
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle / introspection
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> ServiceStats:
+        """A snapshot of the service counters (cache stats folded in).
+
+        The returned object is a copy — safe to read while the dispatch
+        thread keeps serving.  Hit/miss counts come from the cache itself
+        (the single source of truth).
+        """
+        return replace(
+            self._stats,
+            cache_hits=self._cache.hits,
+            cache_misses=self._cache.misses,
+            flush_sizes=dict(self._stats.flush_sizes),
+        )
+
+    def close(self) -> None:
+        """Flush the backlog, stop the dispatch thread, shut the pool."""
+        if self._closed:
+            return
+        self._closed = True
+        self._batcher.close()
+        if self._dispatcher is not None:
+            self._dispatcher.close()
+            self._dispatcher = None
+
+    def __enter__(self) -> "InferenceService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"InferenceService(capacities={self.capacities}, "
+            f"max_wait_ms={self._batcher.max_wait_s * 1000:.1f}, "
+            f"workers={self._workers}, cache={self._cache.capacity})"
+        )

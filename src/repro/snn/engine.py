@@ -577,6 +577,7 @@ class Simulator:
         workers: int | str = 2,
         batch_size: int = 64,
         start_method: str | None = None,
+        compiled: bool = False,
     ) -> SimulationResult:
         """Shard mini-batches across worker processes and merge the results.
 
@@ -584,7 +585,9 @@ class Simulator:
         degrades gracefully to the serial :meth:`run_batched`, and
         ``workers="auto"`` resolves to ``min(os.cpu_count(), shards)`` —
         staying serial on single-core hosts, where a pool only adds
-        overhead.
+        overhead.  ``compiled=True`` makes each worker compile (and cache)
+        its own execution plan — arenas are process-local, so compiled
+        parallel runs mean per-worker compilation.
         """
         from repro.snn.parallel import run_parallel
 
@@ -595,6 +598,7 @@ class Simulator:
             workers=workers,
             batch_size=batch_size,
             start_method=start_method,
+            compiled=compiled,
         )
 
     # ------------------------------------------------------------------ #

@@ -37,7 +37,7 @@ import numpy as np
 
 from repro.snn.results import SimulationResult
 
-__all__ = ["run_parallel", "merge_results", "resolve_workers"]
+__all__ = ["run_parallel", "merge_results", "resolve_workers", "worker_payload"]
 
 
 def resolve_workers(workers: int | str, num_shards: int) -> int:
@@ -52,6 +52,12 @@ def resolve_workers(workers: int | str, num_shards: int) -> int:
     if workers == "auto":
         cpus = os.cpu_count() or 1
         return max(1, min(cpus, num_shards))
+    if isinstance(workers, bool):
+        # bool is an int subclass, so workers=True would silently run as
+        # workers=1; almost certainly a call-site bug — reject it loudly.
+        raise ValueError(
+            f'workers must be an int >= 1 or "auto", got the bool {workers!r}'
+        )
     if not isinstance(workers, int):
         raise ValueError(f'workers must be an int or "auto", got {workers!r}')
     if workers < 1:
@@ -59,19 +65,59 @@ def resolve_workers(workers: int | str, num_shards: int) -> int:
     return workers
 
 #: Per-process simulator, built once by the pool initializer so each shard
-#: submission only pickles its input arrays, not the network.
+#: submission only pickles its input arrays, not the network.  The compiled
+#: entries make each worker compile (and cache) its own ExecutionPlan — a
+#: plan's workspace arenas are process-local and cannot cross a fork/spawn
+#: boundary, so "compiled parallel runs" means per-worker compilation.
 _WORKER_SIM = None
 _WORKER_ARGS = None
+_WORKER_COMPILED = (False, 64, True)
+
+
+def worker_payload(
+    sim, compiled: bool = False, plan_batch: int = 64, calibrate: bool = True
+) -> bytes:
+    """Pickle a simulator's replication recipe for :func:`_init_worker`.
+
+    One payload is shipped per pool (via the initializer), not per shard;
+    the serving layer reuses it to keep a *persistent* worker pool across
+    micro-batch flushes (:mod:`repro.serve.dispatch`).  ``sim._steps_arg``
+    travels with the recipe, so a steps override must be baked into ``sim``
+    before building the payload; ``calibrate`` controls the workers' plan
+    compilation when ``compiled`` is set.
+    """
+    return pickle.dumps(
+        (
+            sim.network,
+            sim.scheme,
+            sim._steps_arg,
+            sim.event_driven,
+            sim.density_threshold,
+            sim.early_exit,
+            bool(compiled),
+            int(plan_batch),
+            bool(calibrate),
+        )
+    )
 
 
 def _init_worker(payload: bytes) -> None:
     from repro.snn.engine import Simulator
 
-    global _WORKER_SIM, _WORKER_ARGS
-    network, scheme, steps, event_driven, density_threshold, early_exit = (
-        pickle.loads(payload)
-    )
+    global _WORKER_SIM, _WORKER_ARGS, _WORKER_COMPILED
+    (
+        network,
+        scheme,
+        steps,
+        event_driven,
+        density_threshold,
+        early_exit,
+        compiled,
+        plan_batch,
+        calibrate,
+    ) = pickle.loads(payload)
     _WORKER_ARGS = (network, steps, event_driven, density_threshold, early_exit)
+    _WORKER_COMPILED = (compiled, plan_batch, calibrate)
     _WORKER_SIM = Simulator(
         network,
         scheme,
@@ -84,7 +130,14 @@ def _init_worker(payload: bytes) -> None:
 
 def _run_shard(shard) -> SimulationResult:
     scheme, xb, yb = shard
+    compiled, plan_batch, calibrate = _WORKER_COMPILED
     if scheme is None:
+        if compiled:
+            # The worker's plan compiles once (cached on its simulator) and
+            # is reused by every shard this process executes.
+            return _WORKER_SIM.run_compiled(
+                xb, yb, batch_size=plan_batch, calibrate=calibrate
+            )
         return _WORKER_SIM._run(xb, yb)
     # Stochastic schemes ship one instance per shard (independent random
     # streams); rebind against the worker's cached network.
@@ -99,6 +152,11 @@ def _run_shard(shard) -> SimulationResult:
         density_threshold=density_threshold,
         early_exit=early_exit,
     )
+    if compiled:
+        # A fresh scheme instance per shard cannot reuse a cached plan;
+        # skip the calibration probe (the expensive part) and keep the
+        # uncalibrated plan's bit-exact reference decisions.
+        return sim.run_compiled(xb, yb, batch_size=plan_batch, calibrate=False)
     return sim._run(xb, yb)
 
 
@@ -141,6 +199,7 @@ def run_parallel(
     workers: int | str = 2,
     batch_size: int = 64,
     start_method: str | None = None,
+    compiled: bool = False,
 ) -> SimulationResult:
     """Run ``sim`` over ``x`` with mini-batches sharded across processes.
 
@@ -163,6 +222,15 @@ def run_parallel(
         Multiprocessing start method (``"fork"``/``"spawn"``/
         ``"forkserver"``); default prefers fork where available (cheapest,
         and the network is shipped via the pool initializer anyway).
+    compiled:
+        Run each worker's shards through a compiled
+        :class:`~repro.snn.plan.ExecutionPlan`.  Plans hold process-local
+        workspace arenas and cannot cross the process boundary, so each
+        worker compiles its own plan once (cached on the worker simulator)
+        and reuses it for every shard; stochastic schemes, which ship one
+        scheme instance per shard, get uncalibrated per-shard plans instead
+        (no probe-run cost, reference kernel decisions).  The serial
+        fallback path honours ``compiled`` via ``Simulator.run_compiled``.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -174,6 +242,8 @@ def run_parallel(
             "merged across workers; run serially (workers=1) to attach monitors"
         )
     if workers == 1 or len(x) <= batch_size:
+        if compiled:
+            return sim.run_compiled(x, y, batch_size=batch_size)
         return sim.run_batched(x, y, batch_size=batch_size)
 
     stochastic = getattr(sim.scheme, "stochastic", False)
@@ -189,16 +259,7 @@ def run_parallel(
     if start_method is None:
         methods = multiprocessing.get_all_start_methods()
         start_method = "fork" if "fork" in methods else methods[0]
-    payload = pickle.dumps(
-        (
-            sim.network,
-            sim.scheme,
-            sim._steps_arg,
-            sim.event_driven,
-            sim.density_threshold,
-            sim.early_exit,
-        )
-    )
+    payload = worker_payload(sim, compiled=compiled, plan_batch=batch_size)
     context = multiprocessing.get_context(start_method)
     try:
         # Worker processes spawn lazily on the first submit, so the map must
@@ -220,5 +281,7 @@ def run_parallel(
             RuntimeWarning,
             stacklevel=2,
         )
+        if compiled:
+            return sim.run_compiled(x, y, batch_size=batch_size)
         return sim.run_batched(x, y, batch_size=batch_size)
     return merge_results(results, sizes, y, sim.bound.decision_time)

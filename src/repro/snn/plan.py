@@ -288,7 +288,23 @@ class ExecutionPlan:
     # ------------------------------------------------------------------ #
 
     def run(self, x: np.ndarray, y: np.ndarray | None = None) -> SimulationResult:
-        """Simulate one batch through the compiled plan."""
+        """Simulate one batch through the compiled plan.
+
+        Batch-size contract (the serving layer leans on this): any batch
+        up to ``batch_size`` runs as leading views of the compiled arenas
+        — results at every size ``1..batch_size`` are identical to the
+        uncompiled engine's (``tests/snn/test_plan.py`` pins it).  A batch
+        *larger* than the compiled capacity is rejected: silently growing
+        the arenas would void the zero-allocation steady state and hide a
+        mis-sized plan; use :meth:`run_batched` (which splits) or compile
+        a larger plan instead.
+        """
+        if len(x) > self.batch_size:
+            raise ValueError(
+                f"batch of {len(x)} exceeds this plan's compiled capacity "
+                f"{self.batch_size}; use run_batched (which splits into "
+                f"capacity-sized chunks) or compile a larger plan"
+            )
         sim = self.simulator
         for monitor in sim.monitors:
             monitor.on_run_start(sim, x, y)
@@ -305,6 +321,11 @@ class ExecutionPlan:
 
         sim = self.simulator
         batch_size = batch_size or self.batch_size
+        if batch_size > self.batch_size:
+            raise ValueError(
+                f"mini-batch size {batch_size} exceeds this plan's compiled "
+                f"capacity {self.batch_size}; compile a larger plan"
+            )
         if len(x) <= batch_size:
             return self.run(x, y)
         for monitor in sim.monitors:

@@ -17,7 +17,20 @@ __all__ = ["save_params", "load_params"]
 
 
 def save_params(path: str | Path, params: dict[str, np.ndarray], meta: dict | None = None) -> None:
-    """Write ``params`` (+ optional JSON-serialisable ``meta``) to ``path``."""
+    """Write ``params`` (+ optional JSON-serialisable ``meta``) to ``path``.
+
+    ``"__meta__"`` is the archive's reserved key: :func:`load_params` strips
+    it from the parameter dict and parses it as JSON metadata, so a user
+    parameter under that name could never round-trip — it would either be
+    clobbered by ``meta`` here or swallowed on load.  Such a collision
+    raises ``ValueError`` instead of corrupting the archive silently.
+    """
+    if "__meta__" in params:
+        raise ValueError(
+            '"__meta__" is reserved for archive metadata and cannot be used '
+            "as a parameter name; rename the parameter or pass the data via "
+            "the meta argument"
+        )
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = dict(params)

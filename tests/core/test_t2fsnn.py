@@ -71,6 +71,71 @@ class TestInference:
         assert large.accuracy >= small.accuracy - 0.05
 
 
+class TestCompiledRunCache:
+    def test_network_swap_invalidates_compiled_cache(self, tiny_network, tiny_data):
+        """Regression: _coding_key ignored network identity, so swapping
+        self.network (e.g. an astype cast) after run(compiled=True) reused
+        the simulator/plan built for the OLD network."""
+        x = tiny_data[2][:12]
+        model = T2FSNN(tiny_network, window=12)
+        r64 = model.run(x, compiled=True)
+        assert model._compiled_sim is not None
+
+        model.network = tiny_network.astype(np.float32)
+        r32 = model.run(x, compiled=True)
+        # The cached simulator must now be bound to the new network ...
+        assert model._compiled_sim.network is model.network
+        # ... and the results must come from the float32 network, not the
+        # stale float64 plan (calibration may re-associate sums, so scores
+        # are compared to tolerance; predictions are exact by contract).
+        fresh = T2FSNN(tiny_network.astype(np.float32), window=12).run(
+            x, compiled=True
+        )
+        assert r32.scores.dtype == np.float32
+        np.testing.assert_allclose(r32.scores, fresh.scores, rtol=1e-5)
+        np.testing.assert_array_equal(r32.predictions, fresh.predictions)
+        # Sanity: the float64 run was produced by the old network.
+        assert r64.scores.dtype == np.float64
+
+    def test_bump_version_invalidates_compiled_cache(self, tiny_network, tiny_data):
+        """In-place parameter mutation is invisible to id(); bump_version is
+        the declared way to invalidate compiled caches after it."""
+        x = tiny_data[2][:8]
+        model = T2FSNN(tiny_network, window=12)
+        model.run(x, compiled=True)
+        first = model._compiled_sim
+        model.run(x, compiled=True)
+        assert model._compiled_sim is first  # stable while nothing changed
+        model.network.bump_version()
+        model.run(x, compiled=True)
+        assert model._compiled_sim is not first
+        tiny_network.version = 0  # session-scoped fixture: restore
+
+    def test_kernel_change_still_invalidates(self, tiny_network, tiny_data):
+        x = tiny_data[2][:8]
+        model = T2FSNN(tiny_network, window=12)
+        model.run(x, compiled=True)
+        first = model._compiled_sim
+        model.early_firing = True
+        model.run(x, compiled=True)
+        assert model._compiled_sim is not first
+
+    def test_compiled_composes_with_workers(self, tiny_network, tiny_data):
+        """Regression: run(compiled=True, workers=N) silently dropped the
+        compiled flag; now workers compile per-process plans."""
+        x, y = tiny_data[2][:16], tiny_data[3][:16]
+        model = T2FSNN(tiny_network, window=12)
+        ref = model.run(x, y, batch_size=4)
+        got = model.run(x, y, batch_size=4, workers=2, compiled=True)
+        np.testing.assert_array_equal(got.predictions, ref.predictions)
+        assert got.spike_counts == pytest.approx(ref.spike_counts)
+
+    def test_bool_workers_rejected(self, tiny_network, tiny_data):
+        model = T2FSNN(tiny_network, window=12)
+        with pytest.raises(ValueError, match="bool"):
+            model.run(tiny_data[2][:4], workers=True)
+
+
 class TestOptimizeKernels:
     def test_parameters_move(self, tiny_network, tiny_data):
         model = T2FSNN(tiny_network, window=16)

@@ -1,0 +1,131 @@
+"""MicroBatcher: coalescing, deadlines, close semantics, error paths."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.batcher import MicroBatcher, ServedFuture
+
+
+def collecting_flush(record):
+    def flush(requests):
+        record.append([payload for payload, _ in requests])
+        for payload, future in requests:
+            future._resolve(payload)
+
+    return flush
+
+
+class TestCoalescing:
+    def test_full_batch_flushes_immediately(self):
+        record = []
+        with MicroBatcher(collecting_flush(record), max_batch=3, max_wait_ms=5000) as mb:
+            futures = [mb.submit(i, ServedFuture()) for i in range(3)]
+            assert futures[-1].result(timeout=5) == 2
+        assert record[0] == [0, 1, 2]
+
+    def test_oversubmission_splits_into_batches(self):
+        record = []
+        with MicroBatcher(collecting_flush(record), max_batch=3, max_wait_ms=50) as mb:
+            futures = [mb.submit(i, ServedFuture()) for i in range(7)]
+            results = [f.result(timeout=5) for f in futures]
+        assert results == list(range(7))
+        assert [len(b) for b in record] == [3, 3, 1]
+        assert sum(record, []) == list(range(7))  # order preserved
+
+    def test_deadline_flushes_partial_batch(self):
+        record = []
+        mb = MicroBatcher(collecting_flush(record), max_batch=64, max_wait_ms=30)
+        try:
+            t0 = time.monotonic()
+            future = mb.submit("x", ServedFuture())
+            assert future.result(timeout=5) == "x"
+            waited = time.monotonic() - t0
+            assert waited >= 0.02  # held for the deadline, not flushed eagerly
+            assert record == [["x"]]
+        finally:
+            mb.close()
+
+    def test_concurrent_submitters_all_resolve(self):
+        record = []
+        mb = MicroBatcher(collecting_flush(record), max_batch=4, max_wait_ms=10)
+        results = []
+        lock = threading.Lock()
+
+        def client(base):
+            for i in range(5):
+                value = base * 100 + i
+                got = mb.submit(value, ServedFuture()).result(timeout=10)
+                with lock:
+                    results.append(got == value)
+
+        threads = [threading.Thread(target=client, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        mb.close()
+        assert len(results) == 20 and all(results)
+
+
+class TestLifecycle:
+    def test_close_flushes_backlog(self):
+        record = []
+        slow_gate = threading.Event()
+
+        def gated_flush(requests):
+            slow_gate.wait(5)
+            collecting_flush(record)(requests)
+
+        mb = MicroBatcher(gated_flush, max_batch=10, max_wait_ms=60000)
+        future = mb.submit("pending", ServedFuture())
+        slow_gate.set()
+        mb.close()
+        assert future.result(timeout=1) == "pending"
+
+    def test_submit_after_close_raises(self):
+        mb = MicroBatcher(lambda reqs: None, max_batch=2, max_wait_ms=1)
+        mb.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            mb.submit(1, ServedFuture())
+
+    def test_flush_error_rejects_batch_not_batcher(self):
+        calls = []
+
+        def flaky(requests):
+            calls.append(len(requests))
+            if len(calls) == 1:
+                raise RuntimeError("transient failure")
+            for payload, future in requests:
+                future._resolve(payload)
+
+        mb = MicroBatcher(flaky, max_batch=2, max_wait_ms=10)
+        try:
+            bad = [mb.submit(i, ServedFuture()) for i in range(2)]
+            for f in bad:
+                with pytest.raises(RuntimeError, match="transient"):
+                    f.result(timeout=5)
+            ok = mb.submit(7, ServedFuture())
+            assert ok.result(timeout=5) == 7  # the batcher survived
+        finally:
+            mb.close()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(lambda r: None, max_batch=0, max_wait_ms=1)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            MicroBatcher(lambda r: None, max_batch=1, max_wait_ms=-1)
+
+
+class TestServedFuture:
+    def test_timeout(self):
+        future = ServedFuture()
+        with pytest.raises(TimeoutError):
+            future.result(timeout=0.01)
+
+    def test_done_transitions(self):
+        future = ServedFuture()
+        assert not future.done()
+        future._resolve(42)
+        assert future.done() and future.result() == 42

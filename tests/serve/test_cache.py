@@ -1,0 +1,64 @@
+"""ResultCache: LRU semantics, digest keying, defensive copies."""
+
+import numpy as np
+
+from repro.serve.cache import ResultCache, input_digest
+
+
+class TestDigest:
+    def test_same_input_same_key(self):
+        x = np.random.default_rng(0).random((1, 8, 8))
+        assert input_digest(x, ("k", 1)) == input_digest(x.copy(), ("k", 1))
+
+    def test_different_context_different_key(self):
+        x = np.random.default_rng(0).random((1, 8, 8))
+        assert input_digest(x, ("k", 1)) != input_digest(x, ("k", 2))
+
+    def test_different_data_different_key(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.random((1, 8, 8)), rng.random((1, 8, 8))
+        assert input_digest(a, "k") != input_digest(b, "k")
+
+    def test_noncontiguous_input_matches_contiguous(self):
+        x = np.random.default_rng(0).random((2, 16, 16))[:, ::2, ::2]
+        assert not x.flags["C_CONTIGUOUS"]
+        assert input_digest(x, "k") == input_digest(np.ascontiguousarray(x), "k")
+
+
+class TestLRU:
+    def test_hit_and_miss_counters(self):
+        cache = ResultCache(4)
+        assert cache.get(b"a") is None
+        cache.put(b"a", np.arange(3.0))
+        np.testing.assert_array_equal(cache.get(b"a"), np.arange(3.0))
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = ResultCache(2)
+        cache.put(b"a", np.zeros(1))
+        cache.put(b"b", np.ones(1))
+        cache.get(b"a")  # refresh a -> b is now the eviction candidate
+        cache.put(b"c", np.full(1, 2.0))
+        assert cache.get(b"b") is None
+        assert cache.get(b"a") is not None
+        assert cache.get(b"c") is not None
+        assert len(cache) == 2
+
+    def test_put_stores_a_copy(self):
+        cache = ResultCache(2)
+        scores = np.arange(4.0)
+        cache.put(b"k", scores)
+        scores[:] = -1  # caller mutates its array afterwards
+        np.testing.assert_array_equal(cache.get(b"k"), np.arange(4.0))
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(0)
+        cache.put(b"k", np.ones(2))
+        assert cache.get(b"k") is None
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = ResultCache(4)
+        cache.put(b"k", np.ones(2))
+        cache.clear()
+        assert len(cache) == 0

@@ -1,0 +1,302 @@
+"""InferenceService: request/batch parity, padding, caching, reconfiguration.
+
+The load-bearing contract (ISSUE acceptance): predictions served through
+the micro-batching service are **bit-identical** to ``Simulator.run`` on
+every coding scheme, at every batch size from 1 up to the largest compiled
+capacity — partial batches ride zero-padded through larger plans and are
+un-padded before results return, and row independence of the simulation
+keeps the real rows' argmax untouched.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coding.burst import BurstCoding
+from repro.coding.phase import PhaseCoding
+from repro.coding.rate import RateCoding
+from repro.coding.reverse import ReverseCoding
+from repro.coding.ttfs import TTFSCoding
+from repro.core.t2fsnn import T2FSNN
+from repro.serve import InferenceService
+from repro.snn.engine import Simulator
+
+SCHEMES = {
+    "ttfs": (lambda: TTFSCoding(window=12), None),
+    "ttfs_early": (lambda: TTFSCoding(window=12, early_firing=True), None),
+    "reverse": (lambda: ReverseCoding(window=10), None),
+    "rate": (lambda: RateCoding(), 30),
+    "phase": (lambda: PhaseCoding(), 24),
+    "burst": (lambda: BurstCoding(), 24),
+}
+
+
+class TestServiceParity:
+    @pytest.mark.parametrize("scheme_key", sorted(SCHEMES))
+    def test_predictions_bit_identical_at_every_batch_size(
+        self, tiny_network, tiny_data, scheme_key
+    ):
+        """Service predictions == Simulator.run predictions for every
+        submission size 1..capacity (partial sizes exercise padding)."""
+        factory, steps = SCHEMES[scheme_key]
+        capacity = 4
+        service = InferenceService(
+            Simulator(tiny_network, factory(), steps=steps),
+            capacities=(1, 2, capacity),
+            max_wait_ms=5.0,
+            cache_size=0,
+            calibrate=False,
+        )
+        with service:
+            for k in range(1, capacity + 1):
+                x = tiny_data[2][:k]
+                ref = Simulator(tiny_network, factory(), steps=steps).run(x)
+                results = service.predict_many(x)
+                got = np.array([r.prediction for r in results])
+                np.testing.assert_array_equal(got, ref.predictions)
+                scores = np.stack([r.scores for r in results])
+                np.testing.assert_allclose(
+                    scores, ref.scores, rtol=1e-9, atol=1e-12
+                )
+
+    def test_full_capacity_scores_bit_identical(self, tiny_network, tiny_data):
+        """At exactly the compiled capacity (no padding, same GEMM shapes),
+        an uncalibrated service is bit-identical in scores too."""
+        x = tiny_data[2][:6]
+        ref = Simulator(
+            tiny_network, TTFSCoding(window=12), early_exit=False
+        ).run(x)
+        service = InferenceService(
+            Simulator(tiny_network, TTFSCoding(window=12)),
+            capacities=(6,),
+            max_wait_ms=50.0,
+            cache_size=0,
+            calibrate=False,
+        )
+        with service:
+            results = service.predict_many(x)
+        scores = np.stack([r.scores for r in results])
+        np.testing.assert_array_equal(scores, ref.scores)
+
+    def test_padding_reports_and_unpads(self, tiny_network, tiny_data):
+        """A partial flush pads to the nearest capacity and strips the
+        padding before returning results."""
+        x = tiny_data[2][:3]
+        service = InferenceService(
+            Simulator(tiny_network, TTFSCoding(window=12)),
+            capacities=(8,),
+            max_wait_ms=5.0,
+            cache_size=0,
+            calibrate=False,
+        )
+        with service:
+            results = service.predict_many(x)
+            stats = service.stats()
+        assert len(results) == 3
+        assert all(r.scores.shape == (3,) for r in results)  # 3 classes
+        assert stats.padded_samples == 5  # 8 - 3
+        assert stats.flush_sizes == {3: 1}
+        ref = Simulator(tiny_network, TTFSCoding(window=12)).run(x)
+        np.testing.assert_array_equal(
+            np.array([r.prediction for r in results]), ref.predictions
+        )
+
+
+class TestModelService:
+    def test_t2fsnn_serve_matches_run(self, tiny_network, tiny_data):
+        x = tiny_data[2][:10]
+        model = T2FSNN(tiny_network, window=12)
+        ref = model.run(x)
+        with model.serve(max_batch=4, max_wait_ms=5.0, cache_size=0) as service:
+            results = service.predict_many(x)
+        np.testing.assert_array_equal(
+            np.array([r.prediction for r in results]), ref.predictions
+        )
+
+    def test_model_reconfiguration_compiles_new_plans(
+        self, tiny_network, tiny_data
+    ):
+        """Toggling early_firing mid-service must serve the new schedule
+        (fresh plans under the new coding key), not stale plans."""
+        x = tiny_data[2][:6]
+        model = T2FSNN(tiny_network, window=12)
+        with model.serve(max_batch=6, max_wait_ms=5.0, cache_size=0) as service:
+            base = service.predict_many(x)
+            plans_before = service.stats().plans_compiled
+            model.early_firing = True
+            ef_ref = model.run(x)
+            ef = service.predict_many(x)
+            assert service.stats().plans_compiled > plans_before
+        np.testing.assert_array_equal(
+            np.array([r.prediction for r in ef]), ef_ref.predictions
+        )
+        base_ref = T2FSNN(tiny_network, window=12).run(x)
+        np.testing.assert_array_equal(
+            np.array([r.prediction for r in base]), base_ref.predictions
+        )
+
+    def test_network_swap_serves_new_network(self, tiny_network, tiny_data):
+        """The plan-pool key embeds the network identity token (same bug
+        class as T2FSNN's compiled-run cache)."""
+        x = tiny_data[2][:4]
+        model = T2FSNN(tiny_network, window=12)
+        with model.serve(max_batch=4, max_wait_ms=5.0, cache_size=8) as service:
+            r64 = service.predict_many(x)
+            model.network = tiny_network.astype(np.float32)
+            r32 = service.predict_many(x)
+        assert r64[0].scores.dtype == np.float64
+        assert r32[0].scores.dtype == np.float32
+        assert not any(r.cached for r in r32)  # old-config cache not replayed
+
+
+class TestServiceCache:
+    def test_repeat_requests_hit_cache(self, tiny_network, tiny_data):
+        x = tiny_data[2][:4]
+        service = InferenceService(
+            Simulator(tiny_network, TTFSCoding(window=12)),
+            capacities=(4,),
+            max_wait_ms=5.0,
+            cache_size=16,
+            calibrate=False,
+        )
+        with service:
+            first = service.predict_many(x)
+            again = service.predict_many(x)
+            stats = service.stats()
+        assert not any(r.cached for r in first)
+        assert all(r.cached for r in again)
+        assert stats.cache_hits == 4
+        for a, b in zip(first, again):
+            np.testing.assert_array_equal(a.scores, b.scores)
+            assert b.batch_size == 0  # cache hits never enter a batch
+
+    def test_reconfiguration_invalidates_cache(self, tiny_network, tiny_data):
+        x = tiny_data[2][:2]
+        model = T2FSNN(tiny_network, window=12)
+        with model.serve(max_batch=2, max_wait_ms=5.0, cache_size=16) as service:
+            service.predict_many(x)
+            model.early_firing = True
+            results = service.predict_many(x)
+        assert not any(r.cached for r in results)
+
+    def test_cached_scores_are_private_copies(self, tiny_network, tiny_data):
+        x = tiny_data[2][:1]
+        service = InferenceService(
+            Simulator(tiny_network, TTFSCoding(window=12)),
+            capacities=(1,),
+            max_wait_ms=2.0,
+            cache_size=4,
+            calibrate=False,
+        )
+        with service:
+            first = service.predict(x[0])
+            first.scores[:] = 123.0  # caller scribbles on its result
+            again = service.predict(x[0])
+        assert again.cached
+        assert not np.any(again.scores == 123.0)
+
+
+class TestWorkerDispatch:
+    def test_sharded_dispatch_parity(self, tiny_network, tiny_data):
+        """workers=2 shards flushes over a persistent pool (per-worker
+        compiled plans); falls back to serial if the host cannot pool —
+        parity must hold either way."""
+        x = tiny_data[2][:8]
+        ref = Simulator(tiny_network, TTFSCoding(window=12)).run(x)
+        service = InferenceService(
+            Simulator(tiny_network, TTFSCoding(window=12)),
+            capacities=(8,),
+            max_wait_ms=10.0,
+            cache_size=0,
+            workers=2,
+        )
+        with service:
+            results = service.predict_many(x, timeout=120.0)
+        np.testing.assert_array_equal(
+            np.array([r.prediction for r in results]), ref.predictions
+        )
+
+    def test_auto_workers_single_core_stays_serial(
+        self, tiny_network, monkeypatch
+    ):
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        service = InferenceService(
+            Simulator(tiny_network, TTFSCoding(window=12)),
+            capacities=(4,),
+            workers="auto",
+        )
+        with service:
+            assert service.stats().workers == 1
+
+
+class TestValidation:
+    def test_wrong_shape_rejected(self, tiny_network):
+        service = InferenceService(
+            Simulator(tiny_network, TTFSCoding(window=12)), capacities=(2,)
+        )
+        with service:
+            with pytest.raises(ValueError, match="shape"):
+                service.submit(np.zeros((3, 3)))
+
+    def test_batch_dim_of_one_accepted(self, tiny_network, tiny_data):
+        service = InferenceService(
+            Simulator(tiny_network, TTFSCoding(window=12)),
+            capacities=(1,),
+            max_wait_ms=2.0,
+            calibrate=False,
+        )
+        with service:
+            result = service.predict(tiny_data[2][:1])  # (1, C, H, W)
+        assert result.scores.shape == (3,)
+
+    def test_submitted_buffer_can_be_reused_by_caller(
+        self, tiny_network, tiny_data
+    ):
+        """submit() must copy the sample: a client reusing one buffer for
+        consecutive requests (overwriting it before the flush fires) must
+        still get each request's own answer."""
+        x0, x1 = tiny_data[2][0], tiny_data[2][1]
+        service = InferenceService(
+            Simulator(tiny_network, TTFSCoding(window=12)),
+            capacities=(2,),
+            max_wait_ms=50.0,
+            cache_size=0,
+            calibrate=False,
+        )
+        buf = np.array(x0)
+        with service:
+            f0 = service.submit(buf)
+            buf[:] = x1  # overwritten while the request is still queued
+            f1 = service.submit(buf)
+            r0, r1 = f0.result(30.0), f1.result(30.0)
+        ref = Simulator(tiny_network, TTFSCoding(window=12)).run(
+            np.stack([x0, x1])
+        )
+        np.testing.assert_allclose(r0.scores, ref.scores[0], rtol=1e-9)
+        np.testing.assert_allclose(r1.scores, ref.scores[1], rtol=1e-9)
+
+    def test_monitored_simulator_rejected(self, tiny_network):
+        from repro.snn.monitors import SpikeCountMonitor
+
+        sim = Simulator(
+            tiny_network, TTFSCoding(window=12), monitors=[SpikeCountMonitor()]
+        )
+        with pytest.raises(ValueError, match="monitors"):
+            InferenceService(sim)
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(TypeError, match="T2FSNN model or a Simulator"):
+            InferenceService(object())
+
+    def test_submit_after_close_raises(self, tiny_network, tiny_data):
+        service = InferenceService(
+            Simulator(tiny_network, TTFSCoding(window=12)), capacities=(2,)
+        )
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(tiny_data[2][0])
+
+    def test_bool_workers_rejected(self, tiny_network):
+        with pytest.raises(ValueError, match="bool"):
+            InferenceService(
+                Simulator(tiny_network, TTFSCoding(window=12)), workers=True
+            )

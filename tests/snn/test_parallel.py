@@ -8,7 +8,12 @@ from repro.coding.rate import RateCoding
 from repro.coding.ttfs import TTFSCoding
 from repro.snn.engine import Simulator
 from repro.snn.monitors import SpikeCountMonitor
-from repro.snn.parallel import merge_results, resolve_workers, run_parallel
+from repro.snn.parallel import (
+    merge_results,
+    resolve_workers,
+    run_parallel,
+    worker_payload,
+)
 
 SCHEMES = {
     "ttfs": (lambda: TTFSCoding(window=12), None),
@@ -74,6 +79,79 @@ class TestRunParallel:
             sim.run_parallel(tiny_data[2][:4], workers="many")
         with pytest.raises(ValueError, match="batch_size"):
             sim.run_parallel(tiny_data[2][:4], batch_size=0)
+
+    def test_bool_workers_rejected(self, tiny_network, tiny_data):
+        """bool is an int subclass: workers=True used to slip through as
+        workers=1 (and False as an invalid count); both are call-site bugs
+        and must be rejected loudly."""
+        sim = Simulator(tiny_network, TTFSCoding(window=12))
+        for value in (True, False):
+            with pytest.raises(ValueError, match="bool"):
+                sim.run_parallel(tiny_data[2][:4], workers=value)
+            with pytest.raises(ValueError, match="bool"):
+                resolve_workers(value, 4)
+
+
+class TestCompiledParallel:
+    def test_compiled_workers_compose(self, tiny_network, tiny_data):
+        """compiled=True with workers>1 must run compiled per-worker plans
+        (previously one of the two flags was silently dropped), with
+        prediction and spike-count parity against the serial engine."""
+        x, y = tiny_data[2][:18], tiny_data[3][:18]
+        sim = Simulator(tiny_network, TTFSCoding(window=12))
+        ref = sim.run_batched(x, y, batch_size=6)
+        got = sim.run_parallel(x, y, workers=2, batch_size=6, compiled=True)
+        np.testing.assert_array_equal(got.predictions, ref.predictions)
+        assert got.spike_counts == pytest.approx(ref.spike_counts)
+        np.testing.assert_allclose(got.scores, ref.scores, rtol=1e-9, atol=1e-12)
+
+    def test_compiled_serial_fallback_uses_plan(
+        self, tiny_network, tiny_data, monkeypatch
+    ):
+        """workers resolving to 1 with compiled=True must still honour the
+        compiled flag (run through Simulator.run_compiled)."""
+        calls = []
+        sim = Simulator(tiny_network, TTFSCoding(window=12))
+        original = Simulator.run_compiled
+
+        def spy(self, *args, **kwargs):
+            calls.append(kwargs.get("batch_size"))
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(Simulator, "run_compiled", spy)
+        x, y = tiny_data[2][:10], tiny_data[3][:10]
+        ref = sim.run_batched(x, y, batch_size=4)
+        got = run_parallel(sim, x, y, workers=1, batch_size=4, compiled=True)
+        assert calls, "serial fallback ignored compiled=True"
+        np.testing.assert_array_equal(got.predictions, ref.predictions)
+
+    def test_worker_payload_carries_plan_options(self, tiny_network):
+        """The replication recipe must ship compiled/plan_batch/calibrate —
+        a worker that defaulted calibrate would silently serve calibrated
+        plans when the caller pinned the reference decisions."""
+        import pickle
+
+        sim = Simulator(tiny_network, TTFSCoding(window=12))
+        fields = pickle.loads(
+            worker_payload(sim, compiled=True, plan_batch=4, calibrate=False)
+        )
+        assert fields[6] is True  # compiled
+        assert fields[7] == 4  # plan batch capacity
+        assert fields[8] is False  # calibrate
+
+    def test_compiled_pool_failure_falls_back_compiled(
+        self, tiny_network, tiny_data, monkeypatch
+    ):
+        def broken_pool(*a, **k):
+            raise OSError("no process support")
+
+        monkeypatch.setattr("repro.snn.parallel.ProcessPoolExecutor", broken_pool)
+        x, y = tiny_data[2][:10], tiny_data[3][:10]
+        sim = Simulator(tiny_network, TTFSCoding(window=12))
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            got = run_parallel(sim, x, y, workers=2, batch_size=3, compiled=True)
+        ref = sim.run_batched(x, y, batch_size=3)
+        np.testing.assert_array_equal(got.predictions, ref.predictions)
 
 
 class TestAutoWorkers:

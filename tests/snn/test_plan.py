@@ -139,12 +139,67 @@ class TestPlanParity:
         sim.compile(batch_size=8, calibrate=False).run(x)
         assert m_plan.counts == m_ref.counts
 
+    @pytest.mark.parametrize("scheme_key", sorted(SCHEMES))
+    def test_every_partial_batch_size_matches_reference(
+        self, tiny_network, tiny_data, scheme_key
+    ):
+        """A plan compiled at capacity C, run at every batch size 1..C
+        (leading arena views), reproduces the uncompiled serial engine
+        bit-exactly: scores, predictions and per-stage spike counts.  This
+        is the invariant the serving layer's partial micro-batches lean on."""
+        factory, steps = SCHEMES[scheme_key]
+        capacity = 6
+        plan = Simulator(tiny_network, factory(), steps=steps).compile(
+            batch_size=capacity, calibrate=False
+        )
+        for k in range(1, capacity + 1):
+            x, y = tiny_data[2][:k], tiny_data[3][:k]
+            ref = reference(tiny_network, factory, steps, x, y)
+            got = plan.run(x, y)
+            np.testing.assert_array_equal(got.scores, ref.scores)
+            np.testing.assert_array_equal(got.predictions, ref.predictions)
+            assert got.spike_counts == ref.spike_counts
+
+    def test_zero_padded_rows_leave_real_rows_intact(self, tiny_network, tiny_data):
+        """Row independence: padding a partial batch with zero samples (the
+        service's capacity-padding rule) never changes the real rows'
+        predictions or their share of the spike totals."""
+        k, capacity = 3, 8
+        x = tiny_data[2][:k]
+        padded = np.zeros((capacity,) + tuple(tiny_network.input_shape))
+        padded[:k] = x
+        factory = lambda: TTFSCoding(window=12)  # noqa: E731
+        plan = Simulator(tiny_network, factory()).compile(
+            batch_size=capacity, calibrate=False
+        )
+        ref = reference(tiny_network, factory, None, x)
+        got = plan.run(padded)
+        np.testing.assert_array_equal(
+            got.predictions[:k], ref.predictions
+        )
+        np.testing.assert_allclose(
+            got.scores[:k], ref.scores, rtol=1e-9, atol=1e-12
+        )
+
     def test_compile_caches_plans(self, tiny_network):
         sim = Simulator(tiny_network, TTFSCoding(window=12))
         p1 = sim.compile(batch_size=8, calibrate=False)
         p2 = sim.compile(batch_size=8, calibrate=False)
         assert p1 is p2
         assert sim.compile(batch_size=16, calibrate=False) is not p1
+
+    def test_oversized_batch_rejected(self, tiny_network, tiny_data):
+        """plan.run must not silently grow the arenas past the compiled
+        capacity; run_batched splits instead."""
+        plan = Simulator(tiny_network, TTFSCoding(window=12)).compile(
+            batch_size=4, calibrate=False
+        )
+        x = tiny_data[2][:9]
+        with pytest.raises(ValueError, match="compiled capacity"):
+            plan.run(x)
+        got = plan.run_batched(x, batch_size=4)  # the sanctioned route
+        ref = Simulator(tiny_network, TTFSCoding(window=12)).run(x)
+        np.testing.assert_array_equal(got.predictions, ref.predictions)
 
 
 class TestCalibration:

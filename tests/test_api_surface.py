@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.coding",
     "repro.core",
     "repro.energy",
+    "repro.serve",
     "repro.analysis",
     "repro.utils",
 ]
@@ -60,6 +61,10 @@ MODULES = [
     "repro.core.t2fsnn",
     "repro.energy.model",
     "repro.energy.cost",
+    "repro.serve.batcher",
+    "repro.serve.cache",
+    "repro.serve.dispatch",
+    "repro.serve.service",
     "repro.analysis.experiments",
     "repro.analysis.tables",
     "repro.analysis.figures",

@@ -1,6 +1,7 @@
 """Parameter archive save/load."""
 
 import numpy as np
+import pytest
 
 from repro.utils.serialization import load_params, save_params
 
@@ -25,3 +26,36 @@ class TestRoundtrip:
         path = tmp_path / "deep" / "nest" / "m.npz"
         save_params(path, {"w": np.ones(1)})
         assert path.exists()
+
+    def test_roundtrip_with_meta_preserves_all_params(self, tmp_path):
+        """No user parameter is lost or altered when metadata rides along."""
+        params = {
+            "0.weight": np.arange(12.0).reshape(3, 4),
+            "1.bias": np.full(4, -2.5),
+        }
+        path = tmp_path / "full.npz"
+        save_params(path, params, meta={"epoch": 7})
+        loaded, meta = load_params(path)
+        assert meta == {"epoch": 7}
+        assert sorted(loaded) == sorted(params)
+        for name in params:
+            np.testing.assert_array_equal(loaded[name], params[name])
+
+
+class TestReservedKey:
+    def test_meta_param_name_rejected(self, tmp_path):
+        """A parameter literally named "__meta__" used to be clobbered by the
+        metadata blob (or swallowed as JSON on load); now it is an error."""
+        with pytest.raises(ValueError, match="__meta__.*reserved"):
+            save_params(
+                tmp_path / "bad.npz",
+                {"__meta__": np.ones(3)},
+                meta={"arch": "x"},
+            )
+
+    def test_meta_param_name_rejected_without_meta(self, tmp_path):
+        """Even without a meta argument the key collides with load_params'
+        reserved handling, so it is rejected regardless."""
+        with pytest.raises(ValueError, match="reserved"):
+            save_params(tmp_path / "bad.npz", {"__meta__": np.ones(3)})
+        assert not (tmp_path / "bad.npz").exists()
