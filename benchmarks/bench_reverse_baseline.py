@@ -16,6 +16,7 @@ import pytest
 from repro.analysis.tables import render_table
 from repro.coding.reverse import ReverseCoding
 from repro.core.t2fsnn import T2FSNN
+from repro.runtime import RunConfig
 from repro.snn.engine import Simulator
 
 
@@ -30,7 +31,7 @@ def test_reverse_vs_t2fsnn(benchmark, mnist_system):
             mnist_system.network, ReverseCoding(window=window)
         ).run_batched(x, y, batch_size=batch)
         ttfs_model = T2FSNN(mnist_system.network, window=window, early_firing=True)
-        ttfs = ttfs_model.run(x, y, batch_size=batch)
+        ttfs = ttfs_model.run(x, y, config=RunConfig(batch_size=batch))
         return reverse, ttfs
 
     reverse, ttfs = benchmark.pedantic(run_both, rounds=1, iterations=1)

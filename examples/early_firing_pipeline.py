@@ -12,6 +12,7 @@ Usage::
 
 from repro.analysis import get_config, prepare_system
 from repro.core import T2FSNN
+from repro.runtime import RunConfig
 from repro.snn.schedule import (
     baseline_decision_time,
     build_phased_schedule,
@@ -51,8 +52,8 @@ def main() -> None:
     x, y = system.x_eval, system.y_eval
     base_model = T2FSNN(system.network, window=config.window)
     ef_model = T2FSNN(system.network, window=config.window, early_firing=True)
-    r0 = base_model.run(x, y, batch_size=100)
-    r1 = ef_model.run(x, y, batch_size=100)
+    r0 = base_model.run(x, y, config=RunConfig(batch_size=100))
+    r1 = ef_model.run(x, y, config=RunConfig(batch_size=100))
     print(f"baseline    : {r0.summary()}")
     print(f"early firing: {r1.summary()}")
     print(

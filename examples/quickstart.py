@@ -8,12 +8,17 @@ Runs in under a minute on CPU.  Pipeline:
 4. run T2FSNN inference — every neuron spikes at most once — with and
    without the paper's early-firing pipeline;
 5. serve the test set through the throughput runtime: quiescence
-   early-exit plus multiprocess batch sharding (``run_parallel``);
+   early-exit plus multiprocess batch sharding (``RunConfig(workers=...)``);
 6. compile an execution plan — calibrated per-stage kernels and
-   zero-allocation workspace arenas (``Simulator.compile``, DESIGN.md §10);
+   zero-allocation workspace arenas (``RunConfig(compiled=True)``,
+   DESIGN.md §10);
 7. stand up an online inference service — single-sample requests
    micro-batched onto the compiled plans, with per-request latency and a
    result cache (``T2FSNN.serve()``, DESIGN.md §11).
+
+Every execution mode is one ``repro.runtime.RunConfig`` away: the model
+dispatches through a registry of backends (serial / compiled / parallel /
+service — DESIGN.md §12), so the call sites below differ only in config.
 
 Usage::
 
@@ -21,6 +26,7 @@ Usage::
 """
 
 from repro import convert, core, datasets, nn
+from repro.runtime import RunConfig
 
 
 def main() -> None:
@@ -46,11 +52,11 @@ def main() -> None:
 
     print("\n== 4. T2FSNN inference (TTFS coding) ==")
     snn = core.T2FSNN(network, window=10)
-    result = snn.run(x_test, y_test, batch_size=100)
+    result = snn.run(x_test, y_test, config=RunConfig(batch_size=100))
     print(f"baseline pipeline:     {result.summary()}")
 
     snn.early_firing = True
-    result_ef = snn.run(x_test, y_test, batch_size=100)
+    result_ef = snn.run(x_test, y_test, config=RunConfig(batch_size=100))
     print(f"early-firing pipeline: {result_ef.summary()}")
     saved = 1 - result_ef.decision_time / result.decision_time
     print(f"early firing saved {saved * 100:.1f}% latency "
@@ -60,39 +66,45 @@ def main() -> None:
     import time
 
     snn.early_firing = False
-    sim = snn.simulator()
     t0 = time.perf_counter()
-    serial = sim.run_batched(x_test, y_test, batch_size=100)
+    serial = snn.run(x_test, y_test, config=RunConfig(batch_size=100))
     t_serial = time.perf_counter() - t0
     t0 = time.perf_counter()
-    # Mini-batches sharded across worker processes; merges exactly like
-    # run_batched (identical predictions and spike counts).
-    parallel = sim.run_parallel(x_test, y_test, workers=2, batch_size=100)
+    # Mini-batches sharded across worker processes ("parallel" backend);
+    # merges exactly like the serial path (identical predictions and
+    # spike counts).
+    parallel = snn.run(
+        x_test, y_test, config=RunConfig(workers=2, batch_size=100)
+    )
     t_par = time.perf_counter() - t0
     assert (parallel.predictions == serial.predictions).all()
     print(f"serial:              {len(x_test) / t_serial:7.1f} samples/s")
-    print(f"run_parallel(2):     {len(x_test) / t_par:7.1f} samples/s")
+    print(f"workers=2:           {len(x_test) / t_par:7.1f} samples/s")
     print(f"executed steps {serial.steps} of {serial.decision_time} scheduled "
           "(quiescence early-exit trims idle tail steps)")
 
     print("\n== 6. compiled execution plan ==")
-    # Compile once: calibrated per-stage kernels + zero-allocation
+    # The "compiled" backend: calibrated per-stage kernels + zero-allocation
     # workspace arenas reused across batches (DESIGN.md §10).  Loss-free:
-    # identical predictions and spike counts to the uncompiled engine.
-    plan = sim.compile(batch_size=100)
-    plan.run_batched(x_test, y_test, batch_size=100)  # warm the arenas
+    # identical predictions and spike counts to the uncompiled engine.  The
+    # model's runtime caches the compiled simulator, so the second call
+    # reuses the warmed plan.
+    compiled_cfg = RunConfig(compiled=True, batch_size=100)
+    snn.run(x_test, y_test, config=compiled_cfg)  # compile + warm the arenas
     t0 = time.perf_counter()
-    compiled = plan.run_batched(x_test, y_test, batch_size=100)
+    compiled = snn.run(x_test, y_test, config=compiled_cfg)
     t_comp = time.perf_counter() - t0
     assert (compiled.predictions == serial.predictions).all()
     print(f"compiled plan:       {len(x_test) / t_comp:7.1f} samples/s "
           f"({t_serial / t_comp:.2f}x over serial)")
+    plan = snn.runtime.compiled_simulator().compile(batch_size=100)
     print(plan.describe())
 
     print("\n== 7. online inference service ==")
     # Requests arrive one sample at a time; the service coalesces them
     # into micro-batches (flush on max_batch or max_wait_ms) over the
-    # compiled-plan pool, and an LRU cache replays repeated inputs.
+    # compiled-plan pool, an LRU cache replays repeated inputs, and
+    # identical concurrent submissions dedupe onto one in-flight request.
     # Predictions are bit-identical to the batch engine's (DESIGN.md §11).
     with snn.serve(max_batch=32, max_wait_ms=2.0, cache_size=128) as service:
         t0 = time.perf_counter()

@@ -12,14 +12,19 @@ Public API tour
 * :mod:`repro.core` — the paper's contribution: TTFS kernels, the
   gradient-based kernel optimization, early firing, and :class:`T2FSNN`;
 * :mod:`repro.energy` — neuromorphic energy and op-count models;
+* :mod:`repro.runtime` — the unified execution API: ``RunConfig`` +
+  backend registry (serial / compiled / parallel / service) + per-model
+  ``Runtime`` owning plan caches and lifecycle;
 * :mod:`repro.serve` — online inference service: micro-batching over
-  compiled plans, result caching, worker dispatch (``T2FSNN.serve()``);
+  compiled plans, result caching, in-flight dedup, worker dispatch
+  (``T2FSNN.serve()``);
 * :mod:`repro.analysis` — experiment harness regenerating every table and
   figure of the paper.
 
 Quickstart::
 
     from repro import datasets, nn, convert, core
+    from repro.runtime import RunConfig
 
     task = datasets.synthetic_mnist(n_train=512, n_test=128)
     x_tr, y_tr, x_te, y_te = task.train_test()
@@ -29,12 +34,27 @@ Quickstart::
     net = convert.convert_to_snn(model, x_tr[:256])
     snn = core.T2FSNN(net, window=10, early_firing=True)
     print(snn.run(x_te, y_te).summary())
+    # every execution mode is one RunConfig away:
+    snn.run(x_te, y_te, config=RunConfig(compiled=True, batch_size=64))
+    snn.run(x_te, y_te, config=RunConfig(workers="auto"))
 """
 
-from repro import coding, convert, core, datasets, energy, nn, serve, snn, utils
+from repro import (
+    coding,
+    convert,
+    core,
+    datasets,
+    energy,
+    nn,
+    runtime,
+    serve,
+    snn,
+    utils,
+)
 from repro.core import T2FSNN
+from repro.runtime import RunConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "nn",
@@ -44,8 +64,10 @@ __all__ = [
     "coding",
     "core",
     "energy",
+    "runtime",
     "serve",
     "utils",
     "T2FSNN",
+    "RunConfig",
     "__version__",
 ]

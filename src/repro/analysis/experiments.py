@@ -40,6 +40,7 @@ from repro.energy.model import EnergyModel
 from repro.nn import architectures
 from repro.nn.optim import Adam
 from repro.nn.training import Trainer
+from repro.runtime import RunConfig
 from repro.snn.engine import Simulator
 from repro.snn.monitors import AccuracyCurveMonitor, SpikeTimeMonitor
 from repro.utils.rng import as_generator
@@ -381,7 +382,11 @@ def run_ttfs_variant(
         curve_monitor = AccuracyCurveMonitor(model.decision_time)
         monitors.append(curve_monitor)
     result = model.run(
-        system.x_eval, system.y_eval, monitors=monitors, batch_size=system.config.eval_batch
+        system.x_eval,
+        system.y_eval,
+        config=RunConfig(
+            monitors=tuple(monitors), batch_size=system.config.eval_batch
+        ),
     )
     label = "T2FSNN" + ("+GO" if go else "") + ("+EF" if ef else "")
     return SchemeRun(
@@ -554,7 +559,9 @@ def fig5_spike_histograms(
             total_steps=model.decision_time,
             num_stages=system.network.num_spiking_stages,
         )
-        model.run(system.x_eval[:max_samples], monitors=[monitor])
+        model.run(
+            system.x_eval[:max_samples], config=RunConfig(monitors=(monitor,))
+        )
         out[label] = monitor
     return out
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.analysis.experiments import PreparedSystem
 from repro.core.kernels import KernelParams
 from repro.core.t2fsnn import T2FSNN
+from repro.runtime import RunConfig
 
 __all__ = ["SweepPoint", "sweep_window", "sweep_fire_offset", "sweep_tau", "as_rows"]
 
@@ -35,7 +36,9 @@ class SweepPoint:
 
 def _measure(system: PreparedSystem, model: T2FSNN, parameter: str, value: float) -> SweepPoint:
     result = model.run(
-        system.x_eval, system.y_eval, batch_size=system.config.eval_batch
+        system.x_eval,
+        system.y_eval,
+        config=RunConfig(batch_size=system.config.eval_batch),
     )
     return SweepPoint(
         parameter=parameter,

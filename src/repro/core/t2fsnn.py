@@ -19,16 +19,23 @@ Typical usage::
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.convert.converter import ConvertedNetwork
 from repro.core.kernels import KernelParams, default_kernel_params
 from repro.core.optimize import KernelOptimizer, OptimizationHistory
+from repro.runtime import RunConfig, Runtime
 from repro.snn.engine import Simulator
 from repro.snn.results import SimulationResult
 from repro.snn.schedule import PhasedSchedule
 
 __all__ = ["T2FSNN"]
+
+#: Sentinel distinguishing "kwarg not passed" from any real value, so the
+#: deprecation shim only fires when a legacy kwarg is explicitly used.
+_UNSET = object()
 
 
 class T2FSNN:
@@ -74,31 +81,23 @@ class T2FSNN:
                 f"expected {self.num_sources} kernel parameter sets, got {len(kernel_params)}"
             )
         self.kernel_params = [p.validated() for p in kernel_params]
-        # Compiled-run cache: plans live on a Simulator, so repeated
-        # run(compiled=True) calls must reuse one simulator or they would
-        # pay calibration every call.  Invalidated whenever the coding
-        # configuration changes (optimize_kernels, early_firing toggles).
-        self._compiled_sim: Simulator | None = None
-        self._compiled_key = None
+        self._runtime: Runtime | None = None
+
+    @property
+    def runtime(self) -> Runtime:
+        """This model's execution :class:`~repro.runtime.runtime.Runtime`.
+
+        Created lazily and replaced if closed; owns the compiled-simulator
+        cache, coding keys, backend instances and service lifecycle —
+        everything :meth:`run` and :meth:`serve` dispatch through.
+        """
+        if self._runtime is None or self._runtime.closed:
+            self._runtime = Runtime(self)
+        return self._runtime
 
     def _coding_key(self):
-        # The network identity token guards against a swapped or mutated
-        # self.network (e.g. ConvertedNetwork.astype) silently reusing a
-        # simulator/plan compiled for the old parameters.
-        net = self.network
-        token = (
-            net.identity_token()
-            if hasattr(net, "identity_token")
-            else (id(net),)
-        )
-        return (
-            token,
-            tuple((p.tau, p.t_delay) for p in self.kernel_params),
-            self.early_firing,
-            self.fire_offset,
-            self.window,
-            self.theta0,
-        )
+        """Fingerprint of the coding configuration (see ``Runtime.coding_key``)."""
+        return self.runtime.coding_key()
 
     # ------------------------------------------------------------------ #
     # scheme / schedule plumbing
@@ -186,62 +185,74 @@ class T2FSNN:
 
     def simulator(self, monitors=()) -> Simulator:
         """A fresh :class:`~repro.snn.engine.Simulator` for this model."""
-        return Simulator(self.network, self.coding(), monitors=monitors)
+        return self.runtime.simulator(monitors=monitors)
 
     def run(
         self,
         x: np.ndarray,
         y: np.ndarray | None = None,
-        monitors=(),
-        batch_size: int | None = None,
-        workers: int | str = 1,
-        compiled: bool = False,
+        monitors=_UNSET,
+        batch_size=_UNSET,
+        workers=_UNSET,
+        compiled=_UNSET,
+        *,
+        config: RunConfig | None = None,
     ) -> SimulationResult:
-        """Run TTFS inference on a batch (optionally scored and batched).
+        """Run TTFS inference on a batch (optionally scored against ``y``).
 
-        ``workers > 1`` shards the mini-batches across worker processes via
-        :func:`repro.snn.parallel.run_parallel` (monitors then must be
-        empty); ``workers=1`` stays serial, and ``workers="auto"`` resolves
-        to ``min(os.cpu_count(), shards)`` — serial on single-core hosts,
-        where a pool is pure overhead.  ``compiled=True`` runs the serial
-        path through a cached compiled execution plan
-        (:meth:`repro.snn.engine.Simulator.compile` — calibrated per-stage
-        kernels and workspace arenas; loss-free).  The two flags compose:
-        ``compiled=True, workers=N`` has every worker compile its own plan
-        once and reuse it across its shards (arenas are process-local, so
-        this is the only correct meaning of "compiled parallel").
+        How the run executes is described by one
+        :class:`~repro.runtime.config.RunConfig`::
+
+            from repro.runtime import RunConfig
+
+            model.run(x, y)                                    # serial
+            model.run(x, y, config=RunConfig(batch_size=100))  # mini-batched
+            model.run(x, y, config=RunConfig(compiled=True))   # compiled plan
+            model.run(x, y, config=RunConfig(workers="auto", compiled=True))
+
+        Dispatch goes through the model's :attr:`runtime` and the backend
+        registry (``"serial"``/``"compiled"``/``"parallel"``; see
+        :mod:`repro.runtime.backends`): a parallel request that resolves to
+        more than one worker shards mini-batches across processes,
+        ``compiled=True`` runs through a cached execution plan (per-worker
+        plans when the two compose), everything else takes the reference
+        engine.  Illegal combinations (monitors with workers, bool workers,
+        ``batch_size <= 0``) are rejected when the config is built.
+
+        .. deprecated:: 1.1
+            The ``monitors=``, ``batch_size=``, ``workers=`` and
+            ``compiled=`` keywords are a deprecated shim: they still work
+            (bit-identical results) but emit :class:`DeprecationWarning`;
+            pass ``config=RunConfig(...)`` instead.  Two validations are
+            stricter than the old surface: ``batch_size=0`` no longer
+            silently becomes 64, and monitors with a parallel ``workers``
+            request now fail eagerly even in the corner cases that used to
+            resolve serially (``"auto"`` on a single-core host, inputs
+            fitting one shard).
         """
-        if isinstance(workers, bool):
-            raise ValueError(
-                f'workers must be an int >= 1 or "auto", got the bool {workers!r}'
-            )
-        sim = self.simulator(monitors=monitors)
-        if workers == "auto" or (isinstance(workers, int) and workers > 1):
-            from repro.snn.parallel import resolve_workers
-
-            shards = max(1, -(-len(x) // (batch_size or 64)))
-            if resolve_workers(workers, shards) > 1:
-                return sim.run_parallel(
-                    x,
-                    y,
-                    workers=workers,
-                    batch_size=batch_size or 64,
-                    compiled=compiled,
+        legacy = {}
+        if monitors is not _UNSET:
+            legacy["monitors"] = tuple(monitors)
+        if batch_size is not _UNSET:
+            legacy["batch_size"] = batch_size
+        if workers is not _UNSET:
+            legacy["workers"] = workers
+        if compiled is not _UNSET:
+            legacy["compiled"] = compiled
+        if legacy:
+            if config is not None:
+                raise TypeError(
+                    "pass either config= or the deprecated monitors=/"
+                    "batch_size=/workers=/compiled= keywords, not both"
                 )
-        if compiled:
-            if monitors:
-                # Monitors bind to one simulator; don't cache across calls.
-                return sim.run_compiled(x, y, batch_size=batch_size or 64)
-            key = self._coding_key()
-            if self._compiled_sim is None or self._compiled_key != key:
-                self._compiled_sim = sim
-                self._compiled_key = key
-            return self._compiled_sim.run_compiled(
-                x, y, batch_size=batch_size or 64
+            warnings.warn(
+                "T2FSNN.run(monitors=, batch_size=, workers=, compiled=) is "
+                "deprecated; pass config=repro.runtime.RunConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        if batch_size is None:
-            return sim.run(x, y)
-        return sim.run_batched(x, y, batch_size=batch_size)
+            config = RunConfig(**legacy)
+        return self.runtime.run(x, y, config)
 
     def serve(
         self,
@@ -249,8 +260,10 @@ class T2FSNN:
         capacities: tuple[int, ...] | None = None,
         max_wait_ms: float = 2.0,
         cache_size: int = 256,
-        workers: int | str = 1,
-        calibrate: bool = True,
+        workers=_UNSET,
+        calibrate=_UNSET,
+        *,
+        config: RunConfig | None = None,
     ):
         """An online :class:`~repro.serve.service.InferenceService` for this model.
 
@@ -259,24 +272,44 @@ class T2FSNN:
         through pre-compiled execution plans; results are bit-identical in
         predictions to :meth:`run`.  The service tracks this model's coding
         configuration — toggling ``early_firing``, re-optimizing kernels or
-        swapping ``self.network`` transparently compiles fresh plans.  Use
-        as a context manager (or call ``close()``) to stop the dispatch
-        thread::
+        swapping ``self.network`` transparently compiles fresh plans.
+        Execution options (worker pool, plan calibration, steps override)
+        travel in a :class:`~repro.runtime.config.RunConfig`; the service
+        is built through the registry's ``"service"`` backend and closed by
+        the runtime if left open.  Use as a context manager (or call
+        ``close()``) to stop the dispatch thread::
 
             with model.serve(max_batch=32, max_wait_ms=2.0) as svc:
                 print(svc.predict(x_test[0]).prediction)
-        """
-        # Imported lazily: repro.serve depends on this module.
-        from repro.serve.service import InferenceService
 
-        return InferenceService(
-            self,
+        .. deprecated:: 1.1
+            The ``workers=`` and ``calibrate=`` keywords are a deprecated
+            shim; pass ``config=RunConfig(workers=..., calibrate=...)``.
+        """
+        legacy = {}
+        if workers is not _UNSET:
+            legacy["workers"] = workers
+        if calibrate is not _UNSET:
+            legacy["calibrate"] = calibrate
+        if legacy:
+            if config is not None:
+                raise TypeError(
+                    "pass either config= or the deprecated workers=/"
+                    "calibrate= keywords, not both"
+                )
+            warnings.warn(
+                "T2FSNN.serve(workers=, calibrate=) is deprecated; pass "
+                "config=repro.runtime.RunConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = RunConfig(**legacy)
+        return self.runtime.serve(
+            config,
             max_batch=max_batch,
             capacities=capacities,
             max_wait_ms=max_wait_ms,
             cache_size=cache_size,
-            workers=workers,
-            calibrate=calibrate,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -20,7 +20,16 @@ The service tracks its source's coding configuration: serving a
 :class:`~repro.core.t2fsnn.T2FSNN` whose kernels / early-firing mode /
 network change between requests transparently compiles fresh plans under
 the new coding key (stale plans and cache entries can never be replayed —
-the key embeds the network identity token).
+the key embeds the network identity token).  Model-backed services source
+their simulators and coding keys from the model's
+:class:`~repro.runtime.runtime.Runtime` — one cache, one invalidation
+rule, shared with ``T2FSNN.run(config=RunConfig(compiled=True))``.
+
+In-flight deduplication: identical samples submitted concurrently (same
+bytes under the same coding key) coalesce onto the *first* request's
+flush — followers never enter a micro-batch, they are resolved with a
+private copy of the primary's scores the moment its flush lands
+(``ServedResult.deduped``, counted in ``ServiceStats.dedup_hits``).
 """
 
 from __future__ import annotations
@@ -48,14 +57,17 @@ class ServedResult:
     ``scores`` is the request's class-score vector (a private copy),
     ``prediction`` its argmax, ``latency_s`` the submit-to-resolve wall
     time, ``cached`` whether the result was replayed from the LRU cache,
-    and ``batch_size`` the micro-batch the sample rode in (``0`` for cache
-    hits, which never enter a batch).
+    ``deduped`` whether it was coalesced onto an identical in-flight
+    request's flush, and ``batch_size`` the micro-batch the sample rode in
+    (``0`` for cache hits, which never enter a batch; deduped results
+    report the primary's batch).
     """
 
     scores: np.ndarray
     prediction: int
     latency_s: float
     cached: bool = False
+    deduped: bool = False
     batch_size: int = 0
 
 
@@ -66,6 +78,7 @@ class ServiceStats:
     requests: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    dedup_hits: int = 0
     flushes: int = 0
     flushed_samples: int = 0
     padded_samples: int = 0
@@ -97,8 +110,12 @@ class InferenceService:
     source:
         What to serve: a :class:`~repro.core.t2fsnn.T2FSNN` model (its
         coding configuration is re-checked every flush, so mutating the
-        model between requests is safe) or a bare
+        model between requests is safe), the model's
+        :class:`~repro.runtime.runtime.Runtime`, or a bare
         :class:`~repro.snn.engine.Simulator` for any coding scheme.
+        Model- and runtime-backed services source generation simulators
+        and coding keys from the runtime — one cache and one invalidation
+        rule shared with compiled batch runs.
         Monitors are not supported — they observe per-step state and have
         no meaning at request granularity.
     max_batch:
@@ -127,6 +144,10 @@ class InferenceService:
         the plan-pool key.
     start_method:
         Multiprocessing start method for the worker pool.
+    dedupe:
+        Coalesce identical concurrent submissions onto one in-flight
+        request (see module docstring).  On by default; ``False`` gives
+        every submission its own micro-batch slot.
     """
 
     def __init__(
@@ -140,23 +161,30 @@ class InferenceService:
         calibrate: bool = True,
         steps: int | None = None,
         start_method: str | None = None,
+        dedupe: bool = True,
     ):
-        if hasattr(source, "_coding_key") and hasattr(source, "simulator"):
-            self._model = source
+        runtime = getattr(source, "runtime", None)
+        if runtime is None and hasattr(source, "coding_key") and hasattr(
+            source, "network_for"
+        ):
+            runtime = source  # a Runtime passed directly
+        if runtime is not None:
+            self._runtime = runtime
             self._base_sim = None
-            network = source.network
+            network = runtime.model.network
         elif isinstance(source, Simulator):
             if source.monitors:
                 raise ValueError(
                     "monitors observe per-step state and cannot be attached "
                     "to a request-serving simulator; use Simulator.run"
                 )
-            self._model = None
+            self._runtime = None
             self._base_sim = source
             network = source.network
         else:
             raise TypeError(
-                f"source must be a T2FSNN model or a Simulator, got {source!r}"
+                "source must be a T2FSNN model, a Runtime or a Simulator, "
+                f"got {source!r}"
             )
         if capacities:
             caps = tuple(sorted({int(c) for c in capacities}))
@@ -180,8 +208,14 @@ class InferenceService:
         self._gen_key = None
         self._gen_sim: Simulator | None = None
         self._closed = False
+        # In-flight dedup: digest -> follower futures of a pending request.
+        # Guarded by its own lock (submit runs on caller threads, resolution
+        # on the dispatch thread).
+        self._dedupe = bool(dedupe)
+        self._inflight: dict[bytes, list[ServedFuture]] = {}
+        self._inflight_lock = threading.Lock()
 
-        scheme = source.scheme if self._model is None else None
+        scheme = source.scheme if self._runtime is None else None
         self._workers = resolve_workers(workers, self.max_batch)
         self._start_method = start_method
         self._dispatcher: ShardedDispatcher | None = None
@@ -210,7 +244,9 @@ class InferenceService:
 
         Cache hits resolve immediately (never entering a micro-batch); the
         digest embeds the current coding key, so hits can only replay
-        scores computed under the *current* configuration.
+        scores computed under the *current* configuration.  A sample
+        identical to one already in flight coalesces onto that request's
+        flush instead of occupying its own batch slot (``dedupe=True``).
         """
         if self._closed:
             raise RuntimeError("InferenceService is closed")
@@ -228,13 +264,21 @@ class InferenceService:
         with self._stats_lock:
             self._stats.requests += 1
         future = ServedFuture()
+        # The coding key and the sample digest serve both the cache lookup
+        # and the dedup registration; compute each at most once per submit.
+        key = digest = None
+        if self._cache.capacity > 0 or self._dedupe:
+            key = self._coding_key()
+            digest = input_digest(x, key)
         # Cache lookups are only trusted under the *current generation's*
         # key: the generation simulator pins its network object (so its id
         # cannot be recycled), whereas an arbitrary coding key could —
         # after a swap away and back — collide with a freed network's
-        # recycled id and replay the old network's scores.
-        if self._cache.capacity > 0 and self._coding_key() == self._gen_key:
-            scores = self._cache.get(input_digest(x, self._gen_key))
+        # recycled id and replay the old network's scores.  (The gate is
+        # equivalent to digesting under self._gen_key: when it passes, the
+        # current key *is* the generation key.)
+        if self._cache.capacity > 0 and key == self._gen_key:
+            scores = self._cache.get(digest)
             if scores is not None:
                 future.submitted_at = time.monotonic()
                 future._resolve(
@@ -247,7 +291,22 @@ class InferenceService:
                     )
                 )
                 return future
-        return self._batcher.submit(x, future)
+        if self._dedupe:
+            # Dedup is safe regardless of concurrent reconfiguration: a
+            # follower rides the primary's flush, so both resolve from the
+            # one execution that actually ran — identical input, identical
+            # answer.  The digest embeds the submit-time coding key only to
+            # keep requests from different configurations apart.
+            with self._inflight_lock:
+                followers = self._inflight.get(digest)
+                if followers is not None:
+                    followers.append(future)
+                    future.submitted_at = time.monotonic()
+                    with self._stats_lock:
+                        self._stats.dedup_hits += 1
+                    return future
+                self._inflight[digest] = []
+        return self._batcher.submit((x, digest), future)
 
     def predict(self, x: np.ndarray, timeout: float | None = 30.0) -> ServedResult:
         """Submit one sample and block for its result."""
@@ -265,8 +324,8 @@ class InferenceService:
     # ------------------------------------------------------------------ #
 
     def _coding_key(self):
-        if self._model is not None:
-            return self._model._coding_key()
+        if self._runtime is not None:
+            return self._runtime.coding_key()
         sim = self._base_sim
         network = sim.network
         token = (
@@ -280,7 +339,7 @@ class InferenceService:
         if key == self._gen_key and self._gen_sim is not None:
             return self._gen_sim
         sim = (
-            self._model.simulator() if self._model is not None else self._base_sim
+            self._runtime.simulator() if self._runtime is not None else self._base_sim
         )
         # A new generation orphans the old coding key's plans and cache
         # entries; drop both so a long-lived service cannot accumulate
@@ -364,16 +423,28 @@ class InferenceService:
             xs = padded
         return plan.run(xs).scores[:n]
 
+    def _pop_followers(self, digest) -> list:
+        if digest is None:
+            return []
+        with self._inflight_lock:
+            return self._inflight.pop(digest, [])
+
     def _flush(self, requests) -> None:
-        key = self._coding_key()
-        xs = np.stack([x for x, _ in requests])
-        scores = self._execute(key, xs)
+        try:
+            key = self._coding_key()
+            xs = np.stack([x for (x, _), _ in requests])
+            scores = self._execute(key, xs)
+        except BaseException as exc:
+            # The batcher rejects the primaries; followers coalesced onto
+            # them must be rejected too, not left hanging.
+            self._reject_followers(requests, exc)
+            raise
         now = time.monotonic()
         n = len(requests)
         self._stats.flushes += 1
         self._stats.flushed_samples += n
         self._stats.flush_sizes[n] = self._stats.flush_sizes.get(n, 0) + 1
-        for i, (x, future) in enumerate(requests):
+        for i, ((x, digest), future) in enumerate(requests):
             row = np.array(scores[i], copy=True)
             if self._cache.capacity > 0:
                 # Digest under the key the flush actually executed with —
@@ -389,6 +460,27 @@ class InferenceService:
                     batch_size=n,
                 )
             )
+            # Followers attached up to this instant ride this flush; the
+            # pop closes the window, so later identical submissions open a
+            # fresh in-flight entry.
+            for follower in self._pop_followers(digest):
+                copy = row.copy()
+                follower._resolve(
+                    ServedResult(
+                        scores=copy,
+                        prediction=int(copy.argmax()),
+                        latency_s=now - follower.submitted_at,
+                        cached=False,
+                        deduped=True,
+                        batch_size=n,
+                    )
+                )
+
+    def _reject_followers(self, requests, exc: BaseException) -> None:
+        """Propagate a flush failure to coalesced followers."""
+        for (_, digest), _ in requests:
+            for follower in self._pop_followers(digest):
+                follower._reject(exc)
 
     # ------------------------------------------------------------------ #
     # lifecycle / introspection

@@ -50,6 +50,17 @@ from repro.snn.results import SimulationResult
 __all__ = ["Simulator"]
 
 
+def _check_batch_size(batch_size) -> int:
+    """Reject non-positive / bool batch sizes loudly (no silent fallback)."""
+    if isinstance(batch_size, bool) or not isinstance(
+        batch_size, (int, np.integer)
+    ):
+        raise ValueError(f"batch_size must be an int >= 1, got {batch_size!r}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    return int(batch_size)
+
+
 class _DriveBuffer:
     """Accumulates a stage's incoming spike emissions between drive reads.
 
@@ -535,6 +546,7 @@ class Simulator:
         exactly one ``on_run_start`` for the whole run, an ``on_batch_start``
         per mini-batch, and one ``on_run_end`` carrying the *merged* result.
         """
+        batch_size = _check_batch_size(batch_size)
         if len(x) <= batch_size:
             return self.run(x, y)
         for monitor in self.monitors:
@@ -661,5 +673,6 @@ class Simulator:
         calibrate: bool = True,
     ) -> SimulationResult:
         """Run through a cached compiled plan (:meth:`compile` on first use)."""
+        batch_size = _check_batch_size(batch_size)
         plan = self.compile(batch_size=batch_size, calibrate=calibrate)
         return plan.run_batched(x, y, batch_size=batch_size)

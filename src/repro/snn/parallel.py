@@ -37,7 +37,26 @@ import numpy as np
 
 from repro.snn.results import SimulationResult
 
-__all__ = ["run_parallel", "merge_results", "resolve_workers", "worker_payload"]
+__all__ = [
+    "run_parallel",
+    "merge_results",
+    "resolve_workers",
+    "num_shards",
+    "worker_payload",
+]
+
+
+def num_shards(n: int, batch_size: int) -> int:
+    """Number of contiguous mini-batch shards covering ``n`` samples.
+
+    The shared home of the shard-count ceil division: the parallel runner
+    and the runtime's backend selection both size their shard plans with
+    it (the serving dispatcher's ``shard_size`` is a different quotient —
+    samples per worker, not shards per set).
+    """
+    if isinstance(batch_size, bool) or batch_size < 1:
+        raise ValueError(f"batch_size must be an int >= 1, got {batch_size!r}")
+    return max(1, -(-int(n) // int(batch_size)))
 
 
 def resolve_workers(workers: int | str, num_shards: int) -> int:
@@ -232,10 +251,8 @@ def run_parallel(
         (no probe-run cost, reference kernel decisions).  The serial
         fallback path honours ``compiled`` via ``Simulator.run_compiled``.
     """
-    if batch_size < 1:
-        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-    num_shards = max(1, -(-len(x) // batch_size))
-    workers = resolve_workers(workers, num_shards)
+    shards_needed = num_shards(len(x), batch_size)
+    workers = resolve_workers(workers, shards_needed)
     if workers > 1 and sim.monitors:
         raise ValueError(
             "monitors observe per-step state inside one process and cannot be "

@@ -320,7 +320,11 @@ class ExecutionPlan:
         from repro.snn.parallel import merge_results
 
         sim = self.simulator
-        batch_size = batch_size or self.batch_size
+        if batch_size is None:
+            batch_size = self.batch_size
+        elif isinstance(batch_size, bool) or batch_size < 1:
+            # No silent `or`-fallback: a zero/negative size is a caller bug.
+            raise ValueError(f"batch_size must be an int >= 1, got {batch_size!r}")
         if batch_size > self.batch_size:
             raise ValueError(
                 f"mini-batch size {batch_size} exceeds this plan's compiled "

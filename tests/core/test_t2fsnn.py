@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.kernels import KernelParams
 from repro.core.t2fsnn import T2FSNN
+from repro.runtime import RunConfig
 
 
 class TestConstruction:
@@ -54,7 +55,7 @@ class TestInference:
         model = T2FSNN(tiny_network, window=16)
         x, y = tiny_data[2][:30], tiny_data[3][:30]
         whole = model.run(x, y)
-        batched = model.run(x, y, batch_size=7)
+        batched = model.run(x, y, config=RunConfig(batch_size=7))
         np.testing.assert_allclose(batched.scores, whole.scores, atol=1e-9)
 
     def test_accuracy_tracks_analog(self, tiny_network, tiny_data):
@@ -73,23 +74,24 @@ class TestInference:
 
 class TestCompiledRunCache:
     def test_network_swap_invalidates_compiled_cache(self, tiny_network, tiny_data):
-        """Regression: _coding_key ignored network identity, so swapping
-        self.network (e.g. an astype cast) after run(compiled=True) reused
-        the simulator/plan built for the OLD network."""
+        """Regression: the coding key ignored network identity, so swapping
+        self.network (e.g. an astype cast) after a compiled run reused the
+        simulator/plan built for the OLD network."""
         x = tiny_data[2][:12]
+        compiled = RunConfig(compiled=True)
         model = T2FSNN(tiny_network, window=12)
-        r64 = model.run(x, compiled=True)
-        assert model._compiled_sim is not None
+        r64 = model.run(x, config=compiled)
+        assert model.runtime._compiled_sim is not None
 
         model.network = tiny_network.astype(np.float32)
-        r32 = model.run(x, compiled=True)
+        r32 = model.run(x, config=compiled)
         # The cached simulator must now be bound to the new network ...
-        assert model._compiled_sim.network is model.network
+        assert model.runtime._compiled_sim.network is model.network
         # ... and the results must come from the float32 network, not the
         # stale float64 plan (calibration may re-associate sums, so scores
         # are compared to tolerance; predictions are exact by contract).
         fresh = T2FSNN(tiny_network.astype(np.float32), window=12).run(
-            x, compiled=True
+            x, config=compiled
         )
         assert r32.scores.dtype == np.float32
         np.testing.assert_allclose(r32.scores, fresh.scores, rtol=1e-5)
@@ -101,39 +103,42 @@ class TestCompiledRunCache:
         """In-place parameter mutation is invisible to id(); bump_version is
         the declared way to invalidate compiled caches after it."""
         x = tiny_data[2][:8]
+        compiled = RunConfig(compiled=True)
         model = T2FSNN(tiny_network, window=12)
-        model.run(x, compiled=True)
-        first = model._compiled_sim
-        model.run(x, compiled=True)
-        assert model._compiled_sim is first  # stable while nothing changed
+        model.run(x, config=compiled)
+        first = model.runtime._compiled_sim
+        model.run(x, config=compiled)
+        assert model.runtime._compiled_sim is first  # stable while unchanged
         model.network.bump_version()
-        model.run(x, compiled=True)
-        assert model._compiled_sim is not first
+        model.run(x, config=compiled)
+        assert model.runtime._compiled_sim is not first
         tiny_network.version = 0  # session-scoped fixture: restore
 
     def test_kernel_change_still_invalidates(self, tiny_network, tiny_data):
         x = tiny_data[2][:8]
+        compiled = RunConfig(compiled=True)
         model = T2FSNN(tiny_network, window=12)
-        model.run(x, compiled=True)
-        first = model._compiled_sim
+        model.run(x, config=compiled)
+        first = model.runtime._compiled_sim
         model.early_firing = True
-        model.run(x, compiled=True)
-        assert model._compiled_sim is not first
+        model.run(x, config=compiled)
+        assert model.runtime._compiled_sim is not first
 
     def test_compiled_composes_with_workers(self, tiny_network, tiny_data):
-        """Regression: run(compiled=True, workers=N) silently dropped the
-        compiled flag; now workers compile per-process plans."""
+        """Regression: compiled + workers silently dropped the compiled
+        flag; now workers compile per-process plans."""
         x, y = tiny_data[2][:16], tiny_data[3][:16]
         model = T2FSNN(tiny_network, window=12)
-        ref = model.run(x, y, batch_size=4)
-        got = model.run(x, y, batch_size=4, workers=2, compiled=True)
+        ref = model.run(x, y, config=RunConfig(batch_size=4))
+        got = model.run(
+            x, y, config=RunConfig(batch_size=4, workers=2, compiled=True)
+        )
         np.testing.assert_array_equal(got.predictions, ref.predictions)
         assert got.spike_counts == pytest.approx(ref.spike_counts)
 
     def test_bool_workers_rejected(self, tiny_network, tiny_data):
-        model = T2FSNN(tiny_network, window=12)
         with pytest.raises(ValueError, match="bool"):
-            model.run(tiny_data[2][:4], workers=True)
+            RunConfig(workers=True)
 
 
 class TestOptimizeKernels:

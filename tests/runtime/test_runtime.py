@@ -1,0 +1,156 @@
+"""Runtime: caching, laziness, dtype variants, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.core.t2fsnn import T2FSNN
+from repro.runtime import RunConfig, Runtime
+
+
+class TestCompiledCache:
+    def test_cache_hit_builds_no_simulator(self, tiny_network, tiny_data, monkeypatch):
+        """Regression: the old T2FSNN.run built a throwaway Simulator on
+        every compiled-cache hit; construction is now lazy in the backend."""
+        x = tiny_data[2][:8]
+        model = T2FSNN(tiny_network, window=12)
+        config = RunConfig(compiled=True, batch_size=8)
+        model.run(x, config=config)  # populate the cache
+
+        built = []
+        original = Runtime.simulator
+
+        def spy(self, *args, **kwargs):
+            built.append(1)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(Runtime, "simulator", spy)
+        model.run(x, config=config)
+        assert built == []
+
+    def test_steps_override_is_part_of_cache_key(self, tiny_network, tiny_data):
+        model = T2FSNN(tiny_network, window=12)
+        runtime = model.runtime
+        first = runtime.compiled_simulator()
+        assert runtime.compiled_simulator() is first
+        assert runtime.compiled_simulator(steps=None) is first
+
+
+class TestDtypeVariants:
+    def test_dtype_config_runs_in_float32(self, tiny_network, tiny_data):
+        x = tiny_data[2][:8]
+        model = T2FSNN(tiny_network, window=12)
+        r32 = model.run(x, config=RunConfig(dtype=np.float32))
+        assert r32.scores.dtype == np.float32
+        # The model's own network is untouched by the variant run.
+        assert model.network.dtype == np.float64
+        assert model.network is tiny_network
+
+    def test_variant_matches_explicit_cast(self, tiny_network, tiny_data):
+        x = tiny_data[2][:8]
+        model = T2FSNN(tiny_network, window=12)
+        via_config = model.run(x, config=RunConfig(dtype=np.float32))
+        via_cast = T2FSNN(tiny_network.astype(np.float32), window=12).run(x)
+        np.testing.assert_array_equal(
+            via_config.predictions, via_cast.predictions
+        )
+        np.testing.assert_array_equal(via_config.scores, via_cast.scores)
+
+    def test_variant_network_is_cached(self, tiny_network):
+        model = T2FSNN(tiny_network, window=12)
+        runtime = model.runtime
+        first = runtime.network_for(np.float32)
+        assert runtime.network_for(np.float32) is first
+        assert runtime.network_for(None) is tiny_network
+
+    def test_native_dtype_passes_through(self, tiny_network):
+        runtime = T2FSNN(tiny_network, window=12).runtime
+        assert runtime.network_for(np.float64) is tiny_network
+
+
+class TestLifecycle:
+    def test_closed_runtime_refuses_runs(self, tiny_network, tiny_data):
+        runtime = Runtime(T2FSNN(tiny_network, window=12))
+        runtime.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            runtime.run(tiny_data[2][:2])
+        runtime.close()  # idempotent
+
+    def test_model_replaces_closed_runtime(self, tiny_network, tiny_data):
+        model = T2FSNN(tiny_network, window=12)
+        first = model.runtime
+        first.close()
+        assert model.runtime is not first
+        model.run(tiny_data[2][:2])  # fresh runtime serves again
+
+    def test_close_shuts_down_open_services(self, tiny_network, tiny_data):
+        model = T2FSNN(tiny_network, window=12)
+        service = model.serve(max_batch=2, max_wait_ms=2.0)
+        model.runtime.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(tiny_data[2][0])
+
+    def test_context_manager(self, tiny_network, tiny_data):
+        model = T2FSNN(tiny_network, window=12)
+        with model.runtime as runtime:
+            runtime.run(tiny_data[2][:2])
+        assert runtime.closed
+
+    def test_reset_drops_caches(self, tiny_network, tiny_data):
+        model = T2FSNN(tiny_network, window=12)
+        model.run(tiny_data[2][:4], config=RunConfig(compiled=True))
+        runtime = model.runtime
+        assert runtime._compiled_sim is not None
+        runtime.reset()
+        assert runtime._compiled_sim is None
+        assert not runtime.closed
+
+
+class TestServeConfigRejections:
+    """serve() rejects config options it cannot honour instead of
+    silently ignoring them (the failure mode this PR exists to kill)."""
+
+    def test_serve_rejects_dtype(self, tiny_network):
+        model = T2FSNN(tiny_network, window=12)
+        with pytest.raises(ValueError, match="dtype"):
+            model.serve(config=RunConfig(dtype=np.float32))
+
+    def test_serve_rejects_foreign_backend(self, tiny_network):
+        model = T2FSNN(tiny_network, window=12)
+        with pytest.raises(ValueError, match="backend"):
+            model.serve(config=RunConfig(backend="compiled", compiled=True))
+
+    def test_serve_accepts_service_backend_name(self, tiny_network):
+        model = T2FSNN(tiny_network, window=12)
+        with model.serve(
+            max_batch=2, max_wait_ms=2.0, config=RunConfig(backend="service")
+        ):
+            pass
+
+    def test_serve_rejects_monitors(self, tiny_network):
+        model = T2FSNN(tiny_network, window=12)
+        with pytest.raises(ValueError, match="monitors"):
+            model.serve(config=RunConfig(monitors=(object(),)))
+
+
+class TestServiceSourcing:
+    def test_service_shares_runtime_coding_key(self, tiny_network, tiny_data):
+        """Model-backed services source simulators and keys from the same
+        Runtime the compiled path uses — one invalidation rule."""
+        model = T2FSNN(tiny_network, window=12)
+        with model.serve(max_batch=4, max_wait_ms=5.0, cache_size=0) as service:
+            assert service._runtime is model.runtime
+            assert service._coding_key() == model.runtime.coding_key()
+
+    def test_runtime_passed_directly_as_source(self, tiny_network, tiny_data):
+        from repro.serve.service import InferenceService
+
+        model = T2FSNN(tiny_network, window=12)
+        x = tiny_data[2][:4]
+        ref = model.run(x)
+        with InferenceService(
+            model.runtime, max_batch=4, max_wait_ms=5.0, cache_size=0
+        ) as service:
+            results = service.predict_many(x)
+        np.testing.assert_array_equal(
+            np.array([r.prediction for r in results]), ref.predictions
+        )

@@ -1,0 +1,133 @@
+"""Deprecation shim: legacy kwargs still work bit-identically, but warn.
+
+This module is the ONLY place allowed to exercise the deprecated
+``T2FSNN.run(monitors=/batch_size=/workers=/compiled=)`` and
+``T2FSNN.serve(workers=/calibrate=)`` surface — CI runs the rest of the
+suite under ``-W error::DeprecationWarning`` (excluding this file) so
+internal code can never call the shim.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.t2fsnn import T2FSNN
+from repro.runtime import RunConfig
+from repro.snn.monitors import SpikeCountMonitor
+
+
+class TestRunShim:
+    def test_plain_run_does_not_warn(self, tiny_network, tiny_data):
+        model = T2FSNN(tiny_network, window=12)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            model.run(tiny_data[2][:4], tiny_data[3][:4])
+
+    def test_config_run_does_not_warn(self, tiny_network, tiny_data):
+        model = T2FSNN(tiny_network, window=12)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            model.run(
+                tiny_data[2][:4], config=RunConfig(batch_size=2, compiled=True)
+            )
+
+    @pytest.mark.parametrize(
+        "legacy, config",
+        [
+            (dict(batch_size=5), RunConfig(batch_size=5)),
+            (dict(compiled=True), RunConfig(compiled=True)),
+            (
+                dict(batch_size=4, workers=2),
+                RunConfig(batch_size=4, workers=2),
+            ),
+            (
+                dict(batch_size=4, workers=2, compiled=True),
+                RunConfig(batch_size=4, workers=2, compiled=True),
+            ),
+        ],
+    )
+    def test_legacy_kwargs_bit_identical_and_warn(
+        self, tiny_network, tiny_data, legacy, config
+    ):
+        x, y = tiny_data[2][:12], tiny_data[3][:12]
+        model = T2FSNN(tiny_network, window=12)
+        with pytest.warns(DeprecationWarning, match="RunConfig"):
+            old = model.run(x, y, **legacy)
+        new = model.run(x, y, config=config)
+        np.testing.assert_array_equal(old.scores, new.scores)
+        np.testing.assert_array_equal(old.predictions, new.predictions)
+        assert old.accuracy == new.accuracy
+
+    def test_legacy_monitors_kwarg(self, tiny_network, tiny_data):
+        model = T2FSNN(tiny_network, window=12)
+        monitor = SpikeCountMonitor()
+        with pytest.warns(DeprecationWarning):
+            model.run(tiny_data[2][:4], monitors=[monitor])
+        assert monitor.counts  # the monitor really observed the run
+
+    def test_legacy_and_config_together_rejected(self, tiny_network, tiny_data):
+        model = T2FSNN(tiny_network, window=12)
+        with pytest.raises(TypeError, match="not both"):
+            model.run(tiny_data[2][:4], batch_size=2, config=RunConfig())
+
+    def test_legacy_bool_workers_still_valueerror(self, tiny_network, tiny_data):
+        model = T2FSNN(tiny_network, window=12)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="bool"):
+                model.run(tiny_data[2][:4], workers=True)
+
+    def test_legacy_zero_batch_now_rejected(self, tiny_network, tiny_data):
+        """The old surface silently turned batch_size=0 into 64; the shim
+        routes through RunConfig, which rejects it."""
+        model = T2FSNN(tiny_network, window=12)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="batch_size must be >= 1"):
+                model.run(tiny_data[2][:4], batch_size=0)
+
+    def test_legacy_monitors_with_workers_rejected(self, tiny_network, tiny_data):
+        model = T2FSNN(tiny_network, window=12)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="monitors"):
+                model.run(
+                    tiny_data[2][:4], monitors=[SpikeCountMonitor()], workers=2
+                )
+
+
+class TestServeShim:
+    def test_plain_serve_does_not_warn(self, tiny_network):
+        model = T2FSNN(tiny_network, window=12)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with model.serve(max_batch=2, max_wait_ms=2.0):
+                pass
+
+    def test_legacy_kwargs_warn_and_serve(self, tiny_network, tiny_data):
+        x = tiny_data[2][:4]
+        model = T2FSNN(tiny_network, window=12)
+        ref = model.run(x)
+        with pytest.warns(DeprecationWarning, match="RunConfig"):
+            service = model.serve(max_batch=4, max_wait_ms=5.0, calibrate=False)
+        with service:
+            results = service.predict_many(x)
+        np.testing.assert_array_equal(
+            np.array([r.prediction for r in results]), ref.predictions
+        )
+
+    def test_config_serve_matches_legacy(self, tiny_network, tiny_data):
+        x = tiny_data[2][:4]
+        model = T2FSNN(tiny_network, window=12)
+        with model.serve(
+            max_batch=4, max_wait_ms=5.0, config=RunConfig(calibrate=False)
+        ) as service:
+            new = np.stack([r.scores for r in service.predict_many(x)])
+        with pytest.warns(DeprecationWarning):
+            service = model.serve(max_batch=4, max_wait_ms=5.0, calibrate=False)
+        with service:
+            old = np.stack([r.scores for r in service.predict_many(x)])
+        np.testing.assert_array_equal(old, new)
+
+    def test_legacy_and_config_together_rejected(self, tiny_network):
+        model = T2FSNN(tiny_network, window=12)
+        with pytest.raises(TypeError, match="not both"):
+            model.serve(workers=1, config=RunConfig())

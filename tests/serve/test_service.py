@@ -284,7 +284,7 @@ class TestValidation:
             InferenceService(sim)
 
     def test_bad_source_rejected(self):
-        with pytest.raises(TypeError, match="T2FSNN model or a Simulator"):
+        with pytest.raises(TypeError, match="T2FSNN model, a Runtime or a Simulator"):
             InferenceService(object())
 
     def test_submit_after_close_raises(self, tiny_network, tiny_data):

@@ -141,3 +141,35 @@ class TestResultSummary:
         )
         text = result.summary()
         assert "accuracy=" in text and "latency=20" in text
+
+
+class TestBatchSizeValidation:
+    """No silent `batch_size or 64` fallback anywhere on the batched paths."""
+
+    @pytest.mark.parametrize("bad", [0, -1, True, 2.5])
+    def test_run_batched_rejects_bad_batch_size(self, tiny_network, tiny_data, bad):
+        sim = Simulator(tiny_network, TTFSCoding(window=12))
+        with pytest.raises(ValueError, match="batch_size"):
+            sim.run_batched(tiny_data[2][:4], batch_size=bad)
+
+    @pytest.mark.parametrize("bad", [0, -8, True])
+    def test_run_compiled_rejects_bad_batch_size(self, tiny_network, tiny_data, bad):
+        sim = Simulator(tiny_network, TTFSCoding(window=12))
+        with pytest.raises(ValueError, match="batch_size"):
+            sim.run_compiled(tiny_data[2][:4], batch_size=bad)
+
+    @pytest.mark.parametrize("bad", [0, -8])
+    def test_compile_rejects_bad_batch_size(self, tiny_network, bad):
+        sim = Simulator(tiny_network, TTFSCoding(window=12))
+        with pytest.raises(ValueError, match="batch_size"):
+            sim.compile(batch_size=bad)
+
+    @pytest.mark.parametrize("bad", [0, -2, True])
+    def test_plan_run_batched_rejects_bad_batch_size(
+        self, tiny_network, tiny_data, bad
+    ):
+        plan = Simulator(tiny_network, TTFSCoding(window=12)).compile(
+            batch_size=4, calibrate=False
+        )
+        with pytest.raises(ValueError, match="batch_size"):
+            plan.run_batched(tiny_data[2][:4], batch_size=bad)

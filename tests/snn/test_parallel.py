@@ -192,12 +192,13 @@ class TestAutoWorkers:
 
     def test_t2fsnn_run_accepts_auto(self, tiny_network, tiny_data, monkeypatch):
         from repro.core.t2fsnn import T2FSNN
+        from repro.runtime import RunConfig
 
         monkeypatch.setattr("os.cpu_count", lambda: 1)
         model = T2FSNN(tiny_network, window=12)
         x, y = tiny_data[2][:8], tiny_data[3][:8]
-        res = model.run(x, y, workers="auto", batch_size=4)
-        ref = model.run(x, y, batch_size=4)
+        res = model.run(x, y, config=RunConfig(workers="auto", batch_size=4))
+        ref = model.run(x, y, config=RunConfig(batch_size=4))
         np.testing.assert_array_equal(res.predictions, ref.predictions)
 
     def test_pool_failure_falls_back_to_serial(

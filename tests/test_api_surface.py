@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.coding",
     "repro.core",
     "repro.energy",
+    "repro.runtime",
     "repro.serve",
     "repro.analysis",
     "repro.utils",
@@ -61,6 +62,9 @@ MODULES = [
     "repro.core.t2fsnn",
     "repro.energy.model",
     "repro.energy.cost",
+    "repro.runtime.config",
+    "repro.runtime.backends",
+    "repro.runtime.runtime",
     "repro.serve.batcher",
     "repro.serve.cache",
     "repro.serve.dispatch",
@@ -114,7 +118,8 @@ def test_top_level_exports():
     import repro
 
     assert repro.T2FSNN is not None
-    assert repro.__version__ == "1.0.0"
+    assert repro.RunConfig is not None
+    assert repro.__version__ == "1.1.0"
 
 
 def test_readme_quickstart_names_exist():
