@@ -14,7 +14,10 @@ Runs in under a minute on CPU.  Pipeline:
    DESIGN.md §10);
 7. stand up an online inference service — single-sample requests
    micro-batched onto the compiled plans, with per-request latency and a
-   result cache (``T2FSNN.serve()``, DESIGN.md §11).
+   result cache (``T2FSNN.serve()``, DESIGN.md §11);
+8. serve with reliability controls — per-request deadlines
+   (``submit(deadline_ms=...)``) and the ``service.health()`` snapshot
+   (circuit-breaker state, drop counters — DESIGN.md §13).
 
 Every execution mode is one ``repro.runtime.RunConfig`` away: the model
 dispatches through a registry of backends (serial / compiled / parallel /
@@ -121,6 +124,30 @@ def main() -> None:
               f"(mean micro-batch {stats.mean_flush_size:.1f})")
         print(f"request latency p50={lat[50] * 1e3:.1f}ms "
               f"p99={lat[99] * 1e3:.1f}ms; repeat request cached={repeat.cached}")
+
+    print("\n== 8. reliability: deadlines and health ==")
+    # Every submission can carry a deadline bounding its time in the
+    # queue: a request whose micro-batch has not started executing by
+    # then is rejected with DeadlineExceeded and costs no compute.
+    # service.health() reports whether the service is serving as
+    # configured (circuit-breaker state, drop counters — DESIGN.md §13).
+    from repro.reliability import DeadlineExceeded
+
+    with snn.serve(max_batch=32, max_wait_ms=50.0, cache_size=0) as service:
+        future = service.submit(x_test[0], deadline_ms=5_000)
+        result = future.result(timeout=30.0)
+        print(f"deadline-bounded request served: prediction={result.prediction}")
+        # An impossible deadline: expired in the queue, never flushed.
+        doomed = service.submit(x_test[1], deadline_ms=0.001)
+        try:
+            doomed.result(timeout=10.0)
+        except DeadlineExceeded as exc:
+            print(f"1us deadline rejected as expected: {exc}")
+        health = service.health()
+        print(f"health: status={health.status} breaker={health.breaker} "
+              f"expired={health.deadline_expired}")
+    # A service-wide default deadline is one config away:
+    #     snn.serve(config=RunConfig(deadline_ms=100))
 
 
 if __name__ == "__main__":

@@ -18,6 +18,9 @@ Public API tour
 * :mod:`repro.serve` — online inference service: micro-batching over
   compiled plans, result caching, in-flight dedup, worker dispatch
   (``T2FSNN.serve()``);
+* :mod:`repro.reliability` — supervised worker pools, circuit breaker,
+  request deadlines/admission control, and the deterministic
+  fault-injection harness that tests them;
 * :mod:`repro.analysis` — experiment harness regenerating every table and
   figure of the paper.
 
@@ -46,6 +49,7 @@ from repro import (
     datasets,
     energy,
     nn,
+    reliability,
     runtime,
     serve,
     snn,
@@ -54,7 +58,7 @@ from repro import (
 from repro.core import T2FSNN
 from repro.runtime import RunConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "nn",
@@ -64,6 +68,7 @@ __all__ = [
     "coding",
     "core",
     "energy",
+    "reliability",
     "runtime",
     "serve",
     "utils",

@@ -19,8 +19,6 @@ Typical usage::
 
 from __future__ import annotations
 
-import warnings
-
 import numpy as np
 
 from repro.convert.converter import ConvertedNetwork
@@ -32,10 +30,6 @@ from repro.snn.results import SimulationResult
 from repro.snn.schedule import PhasedSchedule
 
 __all__ = ["T2FSNN"]
-
-#: Sentinel distinguishing "kwarg not passed" from any real value, so the
-#: deprecation shim only fires when a legacy kwarg is explicitly used.
-_UNSET = object()
 
 
 class T2FSNN:
@@ -191,10 +185,6 @@ class T2FSNN:
         self,
         x: np.ndarray,
         y: np.ndarray | None = None,
-        monitors=_UNSET,
-        batch_size=_UNSET,
-        workers=_UNSET,
-        compiled=_UNSET,
         *,
         config: RunConfig | None = None,
     ) -> SimulationResult:
@@ -219,39 +209,11 @@ class T2FSNN:
         engine.  Illegal combinations (monitors with workers, bool workers,
         ``batch_size <= 0``) are rejected when the config is built.
 
-        .. deprecated:: 1.1
-            The ``monitors=``, ``batch_size=``, ``workers=`` and
-            ``compiled=`` keywords are a deprecated shim: they still work
-            (bit-identical results) but emit :class:`DeprecationWarning`;
-            pass ``config=RunConfig(...)`` instead.  Two validations are
-            stricter than the old surface: ``batch_size=0`` no longer
-            silently becomes 64, and monitors with a parallel ``workers``
-            request now fail eagerly even in the corner cases that used to
-            resolve serially (``"auto"`` on a single-core host, inputs
-            fitting one shard).
+        .. versionchanged:: 1.2
+            The deprecated ``monitors=``/``batch_size=``/``workers=``/
+            ``compiled=`` keyword shim (deprecated in 1.1) was removed;
+            pass ``config=RunConfig(...)``.
         """
-        legacy = {}
-        if monitors is not _UNSET:
-            legacy["monitors"] = tuple(monitors)
-        if batch_size is not _UNSET:
-            legacy["batch_size"] = batch_size
-        if workers is not _UNSET:
-            legacy["workers"] = workers
-        if compiled is not _UNSET:
-            legacy["compiled"] = compiled
-        if legacy:
-            if config is not None:
-                raise TypeError(
-                    "pass either config= or the deprecated monitors=/"
-                    "batch_size=/workers=/compiled= keywords, not both"
-                )
-            warnings.warn(
-                "T2FSNN.run(monitors=, batch_size=, workers=, compiled=) is "
-                "deprecated; pass config=repro.runtime.RunConfig(...) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            config = RunConfig(**legacy)
         return self.runtime.run(x, y, config)
 
     def serve(
@@ -260,10 +222,9 @@ class T2FSNN:
         capacities: tuple[int, ...] | None = None,
         max_wait_ms: float = 2.0,
         cache_size: int = 256,
-        workers=_UNSET,
-        calibrate=_UNSET,
         *,
         config: RunConfig | None = None,
+        **service_kwargs,
     ):
         """An online :class:`~repro.serve.service.InferenceService` for this model.
 
@@ -273,43 +234,31 @@ class T2FSNN:
         predictions to :meth:`run`.  The service tracks this model's coding
         configuration — toggling ``early_firing``, re-optimizing kernels or
         swapping ``self.network`` transparently compiles fresh plans.
-        Execution options (worker pool, plan calibration, steps override)
-        travel in a :class:`~repro.runtime.config.RunConfig`; the service
-        is built through the registry's ``"service"`` backend and closed by
-        the runtime if left open.  Use as a context manager (or call
-        ``close()``) to stop the dispatch thread::
+        Execution options (worker pool, plan calibration, steps override,
+        request deadlines) travel in a
+        :class:`~repro.runtime.config.RunConfig`; extra keyword arguments
+        (``max_pending``, ``breaker``, ``retry``, ``dedupe``, ...) pass
+        straight to the :class:`~repro.serve.service.InferenceService`
+        constructor.  The service is built through the registry's
+        ``"service"`` backend and closed by the runtime if left open.  Use
+        as a context manager (or call ``close()``) to stop the dispatch
+        thread::
 
             with model.serve(max_batch=32, max_wait_ms=2.0) as svc:
                 print(svc.predict(x_test[0]).prediction)
 
-        .. deprecated:: 1.1
-            The ``workers=`` and ``calibrate=`` keywords are a deprecated
-            shim; pass ``config=RunConfig(workers=..., calibrate=...)``.
+        .. versionchanged:: 1.2
+            The deprecated ``workers=``/``calibrate=`` keyword shim
+            (deprecated in 1.1) was removed; pass
+            ``config=RunConfig(workers=..., calibrate=...)``.
         """
-        legacy = {}
-        if workers is not _UNSET:
-            legacy["workers"] = workers
-        if calibrate is not _UNSET:
-            legacy["calibrate"] = calibrate
-        if legacy:
-            if config is not None:
-                raise TypeError(
-                    "pass either config= or the deprecated workers=/"
-                    "calibrate= keywords, not both"
-                )
-            warnings.warn(
-                "T2FSNN.serve(workers=, calibrate=) is deprecated; pass "
-                "config=repro.runtime.RunConfig(...) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            config = RunConfig(**legacy)
         return self.runtime.serve(
             config,
             max_batch=max_batch,
             capacities=capacities,
             max_wait_ms=max_wait_ms,
             cache_size=cache_size,
+            **service_kwargs,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

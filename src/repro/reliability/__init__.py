@@ -1,0 +1,54 @@
+"""Reliability layer: supervision, circuit breaking, deadlines, fault injection.
+
+The production-serving story (docs/DESIGN.md §13) needs the stack to
+survive its own infrastructure: worker processes die, pools fail to
+spawn, flushes stall, requests go stale.  This package concentrates the
+machinery:
+
+* :mod:`~repro.reliability.supervisor` — :class:`SupervisedPool` rebuilds
+  broken worker pools with bounded exponential backoff
+  (:class:`RetryPolicy`) and re-dispatches only the unfinished shards;
+* :mod:`~repro.reliability.breaker` — :class:`CircuitBreaker`
+  (closed → open → half-open) so a persistently broken pool stops being
+  retried on the hot path and parallel service is *restored* when the
+  half-open probe succeeds — replacing the old permanent serial
+  degradation;
+* :mod:`~repro.reliability.errors` — :class:`DeadlineExceeded`,
+  :class:`QueueFull`, :class:`PoolUnavailable`: the request-level
+  deadline/admission-control vocabulary used by
+  :class:`~repro.serve.batcher.MicroBatcher` and
+  :class:`~repro.serve.service.InferenceService`;
+* :mod:`~repro.reliability.faults` — deterministic, seedable fault
+  injection (worker crash, pool-spawn failure, slow flush, kernel
+  exception) driving the reliability test suite and the CI chaos job;
+* :mod:`~repro.reliability.log` — the ``repro.reliability`` logger and
+  the once-per-process serial-fallback warning.
+"""
+
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.errors import (
+    DeadlineExceeded,
+    InjectedFault,
+    PoolUnavailable,
+    QueueFull,
+    ReliabilityError,
+)
+from repro.reliability.faults import FaultPlan, FaultSpec
+from repro.reliability.log import LOGGER, note_serial_fallback, reset_fallback_warnings
+from repro.reliability.supervisor import RetryPolicy, SupervisedPool
+
+__all__ = [
+    "CircuitBreaker",
+    "RetryPolicy",
+    "SupervisedPool",
+    "FaultPlan",
+    "FaultSpec",
+    "ReliabilityError",
+    "PoolUnavailable",
+    "DeadlineExceeded",
+    "QueueFull",
+    "InjectedFault",
+    "LOGGER",
+    "note_serial_fallback",
+    "reset_fallback_warnings",
+]

@@ -1,0 +1,117 @@
+"""Circuit breaker for the parallel serving path (docs/DESIGN.md §13).
+
+Before this layer, one pool failure degraded `InferenceService` to serial
+*permanently* — a transient spawn failure at startup cost the whole
+service lifetime's parallelism.  The breaker replaces that with the
+classic three-state machine:
+
+* **closed** — parallel dispatch allowed; consecutive failures are
+  counted, and reaching ``failure_threshold`` trips the breaker open.
+* **open** — parallel dispatch denied (callers serve serially, paying no
+  pool-spawn latency on a broken host) until ``reset_after_s`` elapses.
+* **half-open** — after the cooldown, exactly one probe is admitted.
+  Success re-closes the breaker (parallel service restored); failure
+  re-opens it and restarts the cooldown.
+
+The breaker is intentionally policy-only: it never touches pools itself.
+Callers ask :meth:`allow`, act, and report via :meth:`record_success` /
+:meth:`record_failure`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a half-open probe.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive :meth:`record_failure` calls (while closed) that trip
+        the breaker open.  Each failure already represents a *supervised*
+        pool attempt — rebuild retries exhausted — so the default is low.
+    reset_after_s:
+        Cooldown before an open breaker admits its half-open probe.
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 2,
+        reset_after_s: float = 30.0,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_after_s < 0:
+            raise ValueError(f"reset_after_s must be >= 0, got {reset_after_s}")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_after_s = float(reset_after_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self.trips = 0  # closed/half-open -> open transitions
+        self.recoveries = 0  # half-open -> closed transitions
+
+    @property
+    def state(self) -> str:
+        """Current state: ``"closed"``, ``"open"`` or ``"half_open"``."""
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether the protected path may be attempted right now.
+
+        Open breakers transition to half-open (and admit exactly one
+        probe) once the cooldown has elapsed; a half-open breaker denies
+        further attempts until the in-flight probe reports back.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if (
+                self._state == OPEN
+                and self._clock() - self._opened_at >= self.reset_after_s
+            ):
+                self._state = HALF_OPEN
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """Report a successful attempt: resets failures, re-closes."""
+        with self._lock:
+            if self._state != CLOSED:
+                self.recoveries += 1
+            self._state = CLOSED
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        """Report a failed attempt; may trip the breaker open."""
+        with self._lock:
+            self._failures += 1
+            if self._state == HALF_OPEN or self._failures >= self.failure_threshold:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._failures = 0
+                self.trips += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"threshold={self.failure_threshold}, "
+            f"reset_after_s={self.reset_after_s})"
+        )

@@ -1,0 +1,59 @@
+"""Reliability-layer exceptions (docs/DESIGN.md §13).
+
+The serving and parallel layers distinguish three failure families:
+
+* **infrastructure** — the worker pool broke or could not be (re)built:
+  :class:`PoolUnavailable`.  Supervised callers retry/rebuild and fall
+  back to serial execution; the service's circuit breaker counts these.
+* **admission / deadline** — the request never executed because the
+  system declined it (:class:`QueueFull`) or it went stale waiting
+  (:class:`DeadlineExceeded`).  Both are per-request outcomes, not
+  service failures.
+* **injected** — :class:`InjectedFault`, raised by the deterministic
+  fault harness (:mod:`repro.reliability.faults`) at a ``kernel.exception``
+  fault point.  Deliberately *not* a :class:`ReliabilityError`: it
+  impersonates a workload bug, so nothing in the reliability machinery
+  may catch it.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReliabilityError",
+    "PoolUnavailable",
+    "DeadlineExceeded",
+    "QueueFull",
+    "InjectedFault",
+]
+
+
+class ReliabilityError(RuntimeError):
+    """Base class for reliability-layer failures."""
+
+
+class PoolUnavailable(ReliabilityError):
+    """The worker pool could not be created or rebuilt; fall back to serial."""
+
+
+class DeadlineExceeded(ReliabilityError):
+    """The request's deadline expired before its micro-batch executed.
+
+    Raised from ``ServedFuture.result()`` for requests submitted with
+    ``deadline_ms``; the request is culled from the pending queue without
+    ever entering a flush (T2FSNN's fixed time-window schedule makes the
+    worst-case flush cost known up front, so expiry is decided *before*
+    compute is spent).
+    """
+
+
+class QueueFull(ReliabilityError):
+    """Admission control: the bounded pending queue is saturated.
+
+    Raised synchronously from ``submit()`` so backpressure reaches the
+    caller immediately instead of queueing work that will miss every
+    deadline anyway.
+    """
+
+
+class InjectedFault(RuntimeError):
+    """A deliberate failure raised by the fault-injection harness."""

@@ -1,0 +1,51 @@
+"""The reliability layer's logging surface.
+
+Everything the supervision machinery does in the background — pool
+rebuilds, serial fallbacks, breaker transitions — is reported through one
+module logger, ``logging.getLogger("repro.reliability")``, so operators
+get a single knob to surface or silence it.  Serial fallbacks used to be
+*silent* except for a `warnings.warn` that repeated on every call site
+hit; now every fallback is logged, and the warning fires **once per
+process per context** (enough to be seen in an interactive session
+without drowning a long-lived service's logs).
+"""
+
+from __future__ import annotations
+
+import logging
+import warnings
+
+__all__ = ["LOGGER", "note_serial_fallback", "reset_fallback_warnings"]
+
+LOGGER = logging.getLogger("repro.reliability")
+
+#: Contexts that have already emitted their once-per-process warning.
+_warned: set[str] = set()
+
+
+def note_serial_fallback(context: str, exc: BaseException) -> None:
+    """Record that ``context`` fell back to serial execution.
+
+    Logs a warning on the ``repro.reliability`` logger every time, and
+    emits a :class:`RuntimeWarning` the first time each ``context`` falls
+    back in this process.
+    """
+    LOGGER.warning(
+        "%s: worker pool unavailable (%s); falling back to serial execution",
+        context,
+        exc,
+    )
+    if context not in _warned:
+        _warned.add(context)
+        warnings.warn(
+            f"{context}: worker pool unavailable ({exc}); falling back to "
+            "serial execution (warned once per process; further fallbacks "
+            "are logged on the 'repro.reliability' logger)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+def reset_fallback_warnings() -> None:
+    """Re-arm the once-per-process fallback warnings (test helper)."""
+    _warned.clear()

@@ -213,6 +213,8 @@ class ServiceBackend:
         """A persistent :class:`InferenceService` for ``runtime``'s model."""
         from repro.serve.service import InferenceService
 
+        if config.deadline_ms is not None:
+            service_kwargs.setdefault("default_deadline_ms", config.deadline_ms)
         return InferenceService(
             runtime.model,
             workers=config.workers,

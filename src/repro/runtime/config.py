@@ -86,6 +86,13 @@ class RunConfig:
         Explicit backend name from the registry
         (:mod:`repro.runtime.backends`); ``None`` selects automatically
         from the other fields (parallel > compiled > serial).
+    deadline_ms:
+        Per-request deadline for served execution
+        (``InferenceService.submit(deadline_ms=...)`` default).  Only the
+        service honours deadlines — batch backends run to completion — so
+        combining it with an explicit builtin batch backend is rejected
+        here, and ``Runtime.run`` rejects it for auto-selected batch
+        backends too.
     """
 
     batch_size: int | None = None
@@ -96,6 +103,7 @@ class RunConfig:
     monitors: tuple = ()
     dtype: np.dtype | None = None
     backend: str | None = None
+    deadline_ms: float | None = None
 
     def __post_init__(self):
         object.__setattr__(self, "monitors", tuple(self.monitors))
@@ -139,6 +147,19 @@ class RunConfig:
                 )
             object.__setattr__(self, "dtype", dtype)
 
+        if self.deadline_ms is not None:
+            deadline = self.deadline_ms
+            if (
+                isinstance(deadline, bool)
+                or not isinstance(deadline, (int, float, np.integer, np.floating))
+                or not deadline > 0  # "not >" also catches NaN
+            ):
+                raise ValueError(
+                    "deadline_ms must be a positive number or None, "
+                    f"got {deadline!r}"
+                )
+            object.__setattr__(self, "deadline_ms", float(deadline))
+
         if self.monitors and self.parallel_requested:
             raise ValueError(
                 "monitors observe per-step state inside one process and "
@@ -171,6 +192,14 @@ class RunConfig:
                 raise ValueError(
                     "monitors observe per-step state and cannot be attached "
                     'to backend="service" (no meaning at request granularity)'
+                )
+            if self.backend in ("serial", "compiled", "parallel") and (
+                self.deadline_ms is not None
+            ):
+                raise ValueError(
+                    f"deadline_ms is a served-request option; "
+                    f'backend={self.backend!r} runs batches to completion '
+                    "and cannot honour it (use the service backend)"
                 )
             if self.backend == "service" and self.dtype is not None:
                 raise ValueError(

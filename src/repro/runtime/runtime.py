@@ -150,6 +150,16 @@ class Runtime:
         self._check_open()
         config = RunConfig() if config is None else config
         name = select_backend(config, len(x))
+        if config.deadline_ms is not None and name in (
+            "serial",
+            "compiled",
+            "parallel",
+        ):
+            raise ValueError(
+                "deadline_ms is a served-request option; this run selected "
+                f"the {name!r} backend, which executes batches to completion "
+                "— drop deadline_ms or serve() the model instead"
+            )
         return self.backend(name).execute(self, config, x, y)
 
     def serve(self, config: RunConfig | None = None, **service_kwargs):

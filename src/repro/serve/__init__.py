@@ -19,19 +19,28 @@ decision available at a fixed schedule depth).  See docs/DESIGN.md §11.
 Entry point: ``T2FSNN.serve()`` or ``InferenceService(simulator)``.
 """
 
+from repro.reliability.errors import DeadlineExceeded, QueueFull
 from repro.serve.batcher import MicroBatcher, ServedFuture
 from repro.serve.cache import ResultCache, input_digest
 from repro.serve.dispatch import PoolUnavailable, ShardedDispatcher
-from repro.serve.service import InferenceService, ServedResult, ServiceStats
+from repro.serve.service import (
+    InferenceService,
+    ServedResult,
+    ServiceHealth,
+    ServiceStats,
+)
 
 __all__ = [
     "InferenceService",
     "ServedResult",
     "ServiceStats",
+    "ServiceHealth",
     "MicroBatcher",
     "ServedFuture",
     "ResultCache",
     "input_digest",
     "PoolUnavailable",
+    "DeadlineExceeded",
+    "QueueFull",
     "ShardedDispatcher",
 ]

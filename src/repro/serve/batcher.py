@@ -1,4 +1,4 @@
-"""Micro-batching for online inference (docs/DESIGN.md §11).
+"""Micro-batching for online inference (docs/DESIGN.md §11, §13).
 
 Requests arrive one sample at a time; compiled execution plans want
 arena-sized batches.  The :class:`MicroBatcher` bridges the two: submitted
@@ -9,15 +9,41 @@ flush callback (the service's plan executor) resolves each request's
 :class:`ServedFuture`; a callback exception rejects every request in the
 flush instead of wedging the callers.
 
-The batcher is transport-agnostic: it never touches numpy or plans, it only
-moves ``(payload, future)`` pairs.  All latency bookkeeping (submit
-timestamps) lives on the future so percentile stats come for free.
+Reliability semantics (§13):
+
+* **Cancellation** — :meth:`ServedFuture.cancel` settles the future with
+  ``CancelledError``; the batcher culls cancelled entries when assembling
+  a flush, so a caller that gave up (e.g. after a ``result()`` timeout)
+  no longer consumes a batch slot and compute.
+* **Deadlines** — a future stamped with ``deadline_at`` is rejected with
+  :class:`~repro.reliability.errors.DeadlineExceeded` the moment its
+  deadline passes while queued; expiry is decided *before* the flush, so
+  no compute is spent on stale requests.  The dispatch thread's wake-up
+  accounts for the earliest pending deadline, so expiry does not wait for
+  the flush timer.
+* **Admission control** — ``max_pending`` bounds the queue;
+  :meth:`submit` raises :class:`~repro.reliability.errors.QueueFull`
+  synchronously when saturated, surfacing backpressure to the caller
+  instead of queueing work that will miss every deadline anyway.
+
+Dropped entries (cancelled or expired) are reported through the optional
+``on_drop(payload, future, exc)`` callback — invoked *outside* the
+batcher lock — which the service uses to promote dedup followers whose
+primary never flushed.
+
+The batcher is transport-agnostic: it never touches numpy or plans, it
+only moves ``(payload, future)`` pairs.  All latency bookkeeping (submit
+timestamps, deadlines) lives on the future so percentile stats come for
+free.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import CancelledError
+
+from repro.reliability.errors import DeadlineExceeded, QueueFull
 
 __all__ = ["ServedFuture", "MicroBatcher"]
 
@@ -29,20 +55,62 @@ class ServedFuture:
     has been executed, then returns the service's per-request result (or
     re-raises the flush error).  ``submitted_at`` is the monotonic submit
     time the batcher stamps; the service uses it to report per-request
-    latency.
+    latency.  ``deadline_at`` (monotonic, ``None`` = no deadline) is
+    stamped by the service from ``submit(deadline_ms=...)``.
+
+    Settlement is first-wins: whichever of resolve / reject / cancel
+    lands first decides the outcome; later attempts are no-ops (they
+    return ``False``).  This is what makes a ``cancel()`` racing the
+    flush safe — the caller observes exactly one of the two outcomes.
     """
 
-    __slots__ = ("_event", "_value", "_error", "submitted_at")
+    __slots__ = (
+        "_event",
+        "_lock",
+        "_value",
+        "_error",
+        "_cancelled",
+        "submitted_at",
+        "deadline_at",
+    )
 
     def __init__(self):
         self._event = threading.Event()
+        self._lock = threading.Lock()
         self._value = None
         self._error: BaseException | None = None
+        self._cancelled = False
         self.submitted_at: float = 0.0
+        self.deadline_at: float | None = None
 
     def done(self) -> bool:
-        """True once a result or an error has been set."""
+        """True once a result, an error or a cancellation has been set."""
         return self._event.is_set()
+
+    def cancelled(self) -> bool:
+        """True if the future was settled by :meth:`cancel`."""
+        return self._cancelled
+
+    def expired(self, now: float | None = None) -> bool:
+        """True if the deadline has passed and the future is unsettled."""
+        if self.deadline_at is None or self._event.is_set():
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline_at
+
+    def cancel(self) -> bool:
+        """Withdraw the request; True if this call settled the future.
+
+        A cancelled entry is skipped when its micro-batch is assembled
+        (no compute is spent on it).  Returns ``False`` when the future
+        already has an outcome — the result stands in that case.
+        """
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._cancelled = True
+            self._error = CancelledError("request cancelled by caller")
+            self._event.set()
+            return True
 
     def result(self, timeout: float | None = None):
         """Block for the outcome; raises ``TimeoutError`` after ``timeout``."""
@@ -52,13 +120,20 @@ class ServedFuture:
             raise self._error
         return self._value
 
-    def _resolve(self, value) -> None:
-        self._value = value
-        self._event.set()
+    def _settle(self, value, error: BaseException | None) -> bool:
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._value = value
+            self._error = error
+            self._event.set()
+            return True
 
-    def _reject(self, error: BaseException) -> None:
-        self._error = error
-        self._event.set()
+    def _resolve(self, value) -> bool:
+        return self._settle(value, None)
+
+    def _reject(self, error: BaseException) -> bool:
+        return self._settle(None, error)
 
 
 class MicroBatcher:
@@ -77,31 +152,71 @@ class MicroBatcher:
     max_wait_ms:
         Flush when the oldest pending sample has waited this long, even if
         the batch is not full — the service's latency/throughput knob.
+    max_pending:
+        Bound on the pending queue (``None`` = unbounded).  ``submit``
+        raises :class:`QueueFull` when the bound is hit.
+    on_drop:
+        ``on_drop(payload, future, exc)`` callback for entries culled
+        before flushing — ``exc`` is the :class:`DeadlineExceeded` the
+        future was rejected with, or ``None`` for cancellations.  Called
+        from the dispatch thread with no batcher lock held.
     """
 
-    def __init__(self, flush_fn, max_batch: int, max_wait_ms: float):
+    def __init__(
+        self,
+        flush_fn,
+        max_batch: int,
+        max_wait_ms: float,
+        max_pending: int | None = None,
+        on_drop=None,
+    ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_wait_ms < 0:
             raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self._flush_fn = flush_fn
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_ms) / 1000.0
+        self.max_pending = None if max_pending is None else int(max_pending)
+        self._on_drop = on_drop
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._pending: list = []
         self._closed = False
+        # Drop counters (dispatch-thread writers except rejected_full,
+        # which submit() increments under the lock).
+        self.expired = 0
+        self.cancelled_dropped = 0
+        self.rejected_full = 0
         self._thread = threading.Thread(
             target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
         )
         self._thread.start()
 
     def submit(self, payload, future: ServedFuture) -> ServedFuture:
-        """Enqueue one sample; returns ``future`` for symmetry."""
+        """Enqueue one sample; returns ``future`` for symmetry.
+
+        Raises :class:`QueueFull` when ``max_pending`` entries are already
+        queued.  A future with a nonzero ``submitted_at`` keeps it (dedup
+        followers promoted into the queue preserve their original submit
+        time, so their reported latency spans the full wait).
+        """
         with self._wake:
             if self._closed:
                 raise RuntimeError("MicroBatcher is closed")
-            future.submitted_at = time.monotonic()
+            if (
+                self.max_pending is not None
+                and len(self._pending) >= self.max_pending
+            ):
+                self.rejected_full += 1
+                raise QueueFull(
+                    f"pending queue is full ({self.max_pending} entries); "
+                    "retry later or raise max_pending"
+                )
+            if not future.submitted_at:
+                future.submitted_at = time.monotonic()
             self._pending.append((payload, future))
             self._wake.notify_all()
         return future
@@ -130,28 +245,99 @@ class MicroBatcher:
     # dispatch thread
     # ------------------------------------------------------------------ #
 
+    def _cull_locked(self, dropped: list) -> None:
+        """Remove cancelled/expired entries from the queue (lock held).
+
+        Expired futures are rejected here (so callers unblock at the
+        deadline, not at the next flush); the ``on_drop`` notification is
+        deferred to the caller, which fires it outside the lock.
+        """
+        if not self._pending:
+            return
+        now = time.monotonic()
+        kept = []
+        for payload, future in self._pending:
+            if future.cancelled():
+                self.cancelled_dropped += 1
+                dropped.append((payload, future, None))
+            elif future.done():  # settled elsewhere; nothing left to serve
+                dropped.append((payload, future, None))
+            elif future.expired(now):
+                exc = DeadlineExceeded(
+                    f"deadline expired after {now - future.submitted_at:.3f}s "
+                    "in queue; the request was never flushed"
+                )
+                future._reject(exc)
+                self.expired += 1
+                dropped.append((payload, future, exc))
+            else:
+                kept.append((payload, future))
+        self._pending = kept
+
+    def _notify_drops(self, dropped: list) -> None:
+        if self._on_drop is None:
+            dropped.clear()
+            return
+        for payload, future, exc in dropped:
+            try:
+                self._on_drop(payload, future, exc)
+            except Exception:  # pragma: no cover - observer must not wedge us
+                pass
+        dropped.clear()
+
     def _dispatch_loop(self) -> None:
         while True:
+            dropped: list = []
             with self._wake:
-                while not self._pending and not self._closed:
-                    self._wake.wait()
-                if not self._pending and self._closed:
-                    return
-                # Wait for a full batch or the oldest request's deadline;
-                # close() flushes the backlog immediately.
-                while len(self._pending) < self.max_batch and not self._closed:
-                    oldest = self._pending[0][1].submitted_at
-                    remaining = oldest + self.max_wait_s - time.monotonic()
-                    if remaining <= 0:
+                while True:
+                    self._cull_locked(dropped)
+                    if self._closed:
+                        flush = True
                         break
-                    self._wake.wait(remaining)
-                batch = self._pending[: self.max_batch]
-                del self._pending[: self.max_batch]
-            if not batch:  # pragma: no cover - defensive
+                    if len(self._pending) >= self.max_batch:
+                        flush = True
+                        break
+                    now = time.monotonic()
+                    wake_at = None
+                    if self._pending:
+                        wake_at = (
+                            self._pending[0][1].submitted_at + self.max_wait_s
+                        )
+                        if wake_at <= now:
+                            flush = True
+                            break
+                    if dropped:
+                        # Deliver drop notifications before sleeping: a
+                        # promotion may need to re-enter the queue now.
+                        flush = False
+                        break
+                    deadline = min(
+                        (
+                            f.deadline_at
+                            for _, f in self._pending
+                            if f.deadline_at is not None
+                        ),
+                        default=None,
+                    )
+                    if deadline is not None:
+                        wake_at = (
+                            deadline if wake_at is None else min(wake_at, deadline)
+                        )
+                    if wake_at is None:
+                        self._wake.wait()
+                    else:
+                        self._wake.wait(max(0.0, wake_at - now))
+                batch = self._pending[: self.max_batch] if flush else []
+                if flush:
+                    del self._pending[: self.max_batch]
+                closed = self._closed
+            self._notify_drops(dropped)
+            if not batch:
+                if closed and not self.pending:
+                    return
                 continue
             try:
                 self._flush_fn(batch)
             except BaseException as exc:  # noqa: BLE001 - forwarded to callers
                 for _, future in batch:
-                    if not future.done():
-                        future._reject(exc)
+                    future._reject(exc)

@@ -1,7 +1,7 @@
-"""Micro-batch dispatchers: in-process plans or a persistent worker pool.
+"""Micro-batch dispatchers: in-process plans or a supervised worker pool.
 
 The service's dispatch thread executes flushed micro-batches.  Two modes
-(docs/DESIGN.md §11):
+(docs/DESIGN.md §11, §13):
 
 * **Serial** (the default): the micro-batch runs through a compiled
   :class:`~repro.snn.plan.ExecutionPlan` in the dispatch thread itself —
@@ -15,30 +15,32 @@ The service's dispatch thread executes flushed micro-batches.  Two modes
   pool here outlives individual flushes, so pool startup is paid once per
   service, not once per request burst.
 
-A pool that cannot be created or breaks mid-service raises
-:class:`PoolUnavailable`; the service catches it and degrades to serial
-dispatch permanently (with a warning), mirroring ``run_parallel``'s
-graceful-degradation contract.
+The pool is **supervised** (:class:`~repro.reliability.supervisor
+.SupervisedPool`): a worker crash mid-flush rebuilds the pool with
+bounded exponential backoff and re-dispatches only the unfinished shards
+— shard results are pure functions of their payload, so the reassembled
+flush is bit-identical to an unfaulted one.  Only an exhausted retry
+budget raises :class:`~repro.reliability.errors.PoolUnavailable`; the
+service's circuit breaker decides what happens next (serial fallback now,
+half-open probe later) instead of the old *permanent* serial degradation.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from repro.reliability.errors import PoolUnavailable
+from repro.reliability.supervisor import RetryPolicy, SupervisedPool
 from repro.snn.parallel import _init_worker, _run_shard, worker_payload
 
 __all__ = ["PoolUnavailable", "ShardedDispatcher"]
 
 
-class PoolUnavailable(RuntimeError):
-    """The worker pool could not be created or died; fall back to serial."""
-
-
 class ShardedDispatcher:
-    """Run micro-batches over a persistent pool of plan-compiling workers.
+    """Run micro-batches over a supervised, persistent worker pool.
 
     Parameters
     ----------
@@ -62,6 +64,12 @@ class ShardedDispatcher:
         service is inherently multithreaded when the pool spawns — forking
         a multithreaded process can deadlock children on inherited locks —
         so the default prefers ``forkserver``, then ``spawn``.
+    retry:
+        Pool-rebuild :class:`~repro.reliability.supervisor.RetryPolicy`;
+        ``None`` uses the supervisor's default.
+    on_rebuild:
+        ``on_rebuild(attempt, exc)`` observer, called before each pool
+        rebuild (the service counts these into ``ServiceStats``).
     """
 
     def __init__(
@@ -72,6 +80,8 @@ class ShardedDispatcher:
         compiled: bool = True,
         calibrate: bool = True,
         start_method: str | None = None,
+        retry: RetryPolicy | None = None,
+        on_rebuild=None,
     ):
         if workers < 2:
             raise ValueError(f"ShardedDispatcher needs workers >= 2, got {workers}")
@@ -91,40 +101,38 @@ class ShardedDispatcher:
         self._payload = worker_payload(
             sim, compiled=compiled, plan_batch=shard_size, calibrate=calibrate
         )
-        self._pool: ProcessPoolExecutor | None = None
+        self._supervisor = SupervisedPool(
+            self._make_pool, policy=retry, on_rebuild=on_rebuild
+        )
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            try:
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.workers,
-                    mp_context=self._context,
-                    initializer=_init_worker,
-                    initargs=(self._payload,),
-                )
-            except (OSError, ValueError) as exc:
-                raise PoolUnavailable(str(exc)) from exc
-        return self._pool
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=self._context,
+            initializer=_init_worker,
+            initargs=(self._payload,),
+        )
+
+    @property
+    def rebuilds(self) -> int:
+        """Pool rebuilds performed by the supervisor so far."""
+        return self._supervisor.rebuilds
 
     def run(self, x: np.ndarray) -> np.ndarray:
         """Execute one micro-batch; returns the stacked score matrix.
 
         Shards are contiguous, so concatenating shard scores preserves the
         submission order (the same invariant ``merge_results`` relies on).
+        A mid-flush worker crash is absorbed here — rebuild, re-dispatch,
+        same scores; :class:`PoolUnavailable` escapes only when the
+        supervisor's retry budget is spent.
         """
         shards = [
             (None, x[start : start + self.shard_size], None)
             for start in range(0, len(x), self.shard_size)
         ]
-        pool = self._ensure_pool()
-        try:
-            results = list(pool.map(_run_shard, shards))
-        except (OSError, BrokenExecutor) as exc:
-            self.close()
-            raise PoolUnavailable(str(exc)) from exc
+        results = self._supervisor.map(_run_shard, shards)
         return np.concatenate([r.scores for r in results], axis=0)
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+        self._supervisor.close()

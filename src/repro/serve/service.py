@@ -30,6 +30,19 @@ bytes under the same coding key) coalesce onto the *first* request's
 flush — followers never enter a micro-batch, they are resolved with a
 private copy of the primary's scores the moment its flush lands
 (``ServedResult.deduped``, counted in ``ServiceStats.dedup_hits``).
+
+Reliability (docs/DESIGN.md §13): the sharded dispatcher's pool is
+supervised (crash → rebuild → re-dispatch), and pool attempts are gated
+by a :class:`~repro.reliability.breaker.CircuitBreaker` — a flush whose
+pool retries are exhausted serves serially and records a failure;
+``failure_threshold`` consecutive failures trip the breaker open (all
+flushes serial, no spawn latency paid), and after the cooldown one
+half-open probe flush attempts the pool again, restoring parallel service
+on success.  Requests carry optional deadlines
+(``submit(deadline_ms=...)``), the pending queue can be bounded
+(``max_pending`` → :class:`~repro.reliability.errors.QueueFull`), and
+:meth:`InferenceService.health` reports the breaker state and drop
+counters.
 """
 
 from __future__ import annotations
@@ -41,13 +54,18 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+import repro.reliability.faults as faults
+from repro.reliability.breaker import CLOSED, CircuitBreaker
+from repro.reliability.errors import DeadlineExceeded, PoolUnavailable, QueueFull
+from repro.reliability.log import note_serial_fallback
+from repro.reliability.supervisor import RetryPolicy
 from repro.serve.batcher import MicroBatcher, ServedFuture
 from repro.serve.cache import ResultCache, input_digest
-from repro.serve.dispatch import PoolUnavailable, ShardedDispatcher
+from repro.serve.dispatch import ShardedDispatcher
 from repro.snn.engine import Simulator
 from repro.snn.parallel import resolve_workers
 
-__all__ = ["ServedResult", "ServiceStats", "InferenceService"]
+__all__ = ["ServedResult", "ServiceStats", "ServiceHealth", "InferenceService"]
 
 
 @dataclass
@@ -84,12 +102,45 @@ class ServiceStats:
     padded_samples: int = 0
     plans_compiled: int = 0
     workers: int = 1
+    serial_fallbacks: int = 0
+    pool_rebuilds: int = 0
+    deadline_expired: int = 0
+    cancelled: int = 0
+    rejected_full: int = 0
+    breaker_state: str = "disabled"
     flush_sizes: dict[int, int] = field(default_factory=dict)
 
     @property
     def mean_flush_size(self) -> float:
         """Average samples per micro-batch flush (0.0 before any flush)."""
         return self.flushed_samples / self.flushes if self.flushes else 0.0
+
+
+@dataclass(frozen=True)
+class ServiceHealth:
+    """Point-in-time health snapshot (see :meth:`InferenceService.health`).
+
+    ``status`` is ``"ok"`` when the service is operating as configured and
+    ``"degraded"`` when a tripped (or probing) circuit breaker has it
+    serving serially despite ``workers > 1``.  ``breaker`` is the breaker
+    state string, or ``"disabled"`` for serial services that have no
+    parallel path to protect.
+    """
+
+    status: str
+    breaker: str
+    parallel_active: bool
+    workers: int
+    pending: int
+    pool_rebuilds: int
+    serial_fallbacks: int
+    deadline_expired: int
+    cancelled: int
+    rejected_full: int
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
 
 def _default_capacities(max_batch: int) -> tuple[int, ...]:
@@ -148,6 +199,21 @@ class InferenceService:
         Coalesce identical concurrent submissions onto one in-flight
         request (see module docstring).  On by default; ``False`` gives
         every submission its own micro-batch slot.
+    default_deadline_ms:
+        Deadline applied to every submission that does not pass its own
+        ``deadline_ms`` (``None`` = no default deadline).
+    max_pending:
+        Bound on the pending queue; ``submit`` raises
+        :class:`~repro.reliability.errors.QueueFull` when saturated
+        (``None`` = unbounded).
+    breaker:
+        :class:`~repro.reliability.breaker.CircuitBreaker` guarding the
+        parallel dispatch path; ``None`` builds one with defaults.  Only
+        consulted when ``workers > 1``.
+    retry:
+        :class:`~repro.reliability.supervisor.RetryPolicy` for pool
+        rebuilds inside the sharded dispatcher; ``None`` uses the
+        supervisor default.
     """
 
     def __init__(
@@ -162,6 +228,10 @@ class InferenceService:
         steps: int | None = None,
         start_method: str | None = None,
         dedupe: bool = True,
+        default_deadline_ms: float | None = None,
+        max_pending: int | None = None,
+        breaker: CircuitBreaker | None = None,
+        retry: RetryPolicy | None = None,
     ):
         runtime = getattr(source, "runtime", None)
         if runtime is None and hasattr(source, "coding_key") and hasattr(
@@ -231,15 +301,33 @@ class InferenceService:
             )
             self._workers = 1
         self._stats.workers = self._workers
+        if default_deadline_ms is not None and not (
+            isinstance(default_deadline_ms, (int, float))
+            and not isinstance(default_deadline_ms, bool)
+            and default_deadline_ms > 0
+        ):
+            raise ValueError(
+                "default_deadline_ms must be a positive number or None, "
+                f"got {default_deadline_ms!r}"
+            )
+        self._default_deadline_ms = default_deadline_ms
+        self._breaker = breaker if breaker is not None else CircuitBreaker()
+        self._retry = retry
         self._batcher = MicroBatcher(
-            self._flush, max_batch=self.max_batch, max_wait_ms=max_wait_ms
+            self._flush,
+            max_batch=self.max_batch,
+            max_wait_ms=max_wait_ms,
+            max_pending=max_pending,
+            on_drop=self._on_drop,
         )
 
     # ------------------------------------------------------------------ #
     # request path (caller threads)
     # ------------------------------------------------------------------ #
 
-    def submit(self, x: np.ndarray) -> ServedFuture:
+    def submit(
+        self, x: np.ndarray, deadline_ms: float | None = None
+    ) -> ServedFuture:
         """Enqueue one sample; returns a future resolving to a result.
 
         Cache hits resolve immediately (never entering a micro-batch); the
@@ -247,9 +335,26 @@ class InferenceService:
         scores computed under the *current* configuration.  A sample
         identical to one already in flight coalesces onto that request's
         flush instead of occupying its own batch slot (``dedupe=True``).
+
+        ``deadline_ms`` bounds the time the request may spend queued
+        (falling back to the service's ``default_deadline_ms``): if its
+        micro-batch has not started executing by then, the future is
+        rejected with :class:`DeadlineExceeded` and no compute is spent on
+        it.  Raises :class:`QueueFull` when ``max_pending`` is configured
+        and the queue is saturated.
         """
         if self._closed:
             raise RuntimeError("InferenceService is closed")
+        if deadline_ms is None:
+            deadline_ms = self._default_deadline_ms
+        elif not (
+            isinstance(deadline_ms, (int, float))
+            and not isinstance(deadline_ms, bool)
+            and deadline_ms > 0
+        ):
+            raise ValueError(
+                f"deadline_ms must be a positive number, got {deadline_ms!r}"
+            )
         x = np.asarray(x)
         if x.shape == (1, *self.input_shape):
             x = x[0]
@@ -264,6 +369,8 @@ class InferenceService:
         with self._stats_lock:
             self._stats.requests += 1
         future = ServedFuture()
+        if deadline_ms is not None:
+            future.deadline_at = time.monotonic() + deadline_ms / 1000.0
         # The coding key and the sample digest serve both the cache lookup
         # and the dedup registration; compute each at most once per submit.
         key = digest = None
@@ -306,7 +413,18 @@ class InferenceService:
                         self._stats.dedup_hits += 1
                     return future
                 self._inflight[digest] = []
-        return self._batcher.submit((x, digest), future)
+        try:
+            return self._batcher.submit((x, digest), future)
+        except QueueFull:
+            # Admission was refused after the in-flight registration: take
+            # the registration back out (and reject any follower that
+            # attached in the window) so the digest doesn't point at a
+            # primary that never entered the queue.
+            for follower in self._pop_followers(digest):
+                follower._reject(
+                    QueueFull("coalesced primary was rejected: queue full")
+                )
+            raise
 
     def predict(self, x: np.ndarray, timeout: float | None = 30.0) -> ServedResult:
         """Submit one sample and block for its result."""
@@ -368,26 +486,29 @@ class InferenceService:
                 return cap
         return self.capacities[-1]  # pragma: no cover - n <= max_batch always
 
-    def _degrade_to_serial(self, exc: Exception) -> None:
-        """Permanent fallback when the worker pool cannot serve."""
-        warnings.warn(
-            f"worker pool unavailable ({exc}); serving serially",
-            RuntimeWarning,
-            stacklevel=3,
-        )
-        self._dispatcher = None
-        self._workers = 1
-        self._stats.workers = 1
+    def _note_rebuild(self, attempt: int, exc: BaseException) -> None:
+        """Dispatcher supervisor observer: count pool rebuilds."""
+        with self._stats_lock:
+            self._stats.pool_rebuilds += 1
 
     def _execute(self, key, xs: np.ndarray) -> np.ndarray:
-        """Run one stacked micro-batch; returns scores for the real rows."""
+        """Run one stacked micro-batch; returns scores for the real rows.
+
+        With ``workers > 1`` the parallel path is gated by the circuit
+        breaker: a flush whose supervised pool retries are exhausted
+        serves serially *this flush* and records a failure; once tripped,
+        flushes go serial without paying spawn latency until the cooldown
+        admits a half-open probe, whose success restores parallel service.
+        The old behaviour — one failure degrading the service to serial
+        permanently — is gone.
+        """
         n = len(xs)
         if self._dispatcher is not None and self._dispatcher_key != key:
             # The model was reconfigured: workers hold plans for the old
             # coding key, so the pool must be rebuilt.
             self._dispatcher.close()
             self._dispatcher = None
-        if self._workers > 1:
+        if self._workers > 1 and self._breaker.allow():
             try:
                 if self._dispatcher is None:
                     sim = self._sim_for(key)
@@ -409,11 +530,23 @@ class InferenceService:
                         compiled=True,
                         calibrate=self._calibrate,
                         start_method=self._start_method,
+                        retry=self._retry,
+                        on_rebuild=self._note_rebuild,
                     )
                     self._dispatcher_key = key
-                return self._dispatcher.run(xs)
+                scores = self._dispatcher.run(xs)
             except PoolUnavailable as exc:
-                self._degrade_to_serial(exc)
+                self._breaker.record_failure()
+                note_serial_fallback("repro.serve.InferenceService", exc)
+                with self._stats_lock:
+                    self._stats.serial_fallbacks += 1
+                if self._dispatcher is not None:
+                    self._dispatcher.close()
+                    self._dispatcher = None
+            else:
+                self._breaker.record_success()
+                return scores
+        faults.check(faults.KERNEL_EXCEPTION)
         capacity = self._capacity_for(n)
         plan = self._plan_for(key, capacity)
         if n < capacity:
@@ -429,7 +562,53 @@ class InferenceService:
         with self._inflight_lock:
             return self._inflight.pop(digest, [])
 
+    def _on_drop(self, payload, future: ServedFuture, exc) -> None:
+        """A queued primary was culled (cancelled/expired) before flushing.
+
+        Its dedup followers must not be orphaned: expired or cancelled
+        followers are settled accordingly, and the first still-viable
+        follower is *promoted* — it enters the micro-batch queue as the
+        new primary (keeping its original ``submitted_at``), with the
+        remaining followers re-registered to ride its flush.  Called from
+        the dispatch thread with no batcher lock held.
+        """
+        _, digest = payload
+        followers = self._pop_followers(digest)
+        if not followers:
+            return
+        now = time.monotonic()
+        promoted = False
+        riders: list[ServedFuture] = []
+        for follower in followers:
+            if follower.done():
+                continue
+            if follower.expired(now):
+                follower._reject(
+                    DeadlineExceeded(
+                        f"deadline expired after {now - follower.submitted_at:.3f}s "
+                        "coalesced behind a dropped request"
+                    )
+                )
+                continue
+            if promoted:
+                riders.append(follower)
+                continue
+            with self._inflight_lock:
+                self._inflight[digest] = []
+            try:
+                self._batcher.submit(payload, follower)
+            except BaseException as submit_exc:  # noqa: BLE001 - settle caller
+                with self._inflight_lock:
+                    self._inflight.pop(digest, None)
+                follower._reject(submit_exc)
+            else:
+                promoted = True
+        if riders:
+            with self._inflight_lock:
+                self._inflight.setdefault(digest, []).extend(riders)
+
     def _flush(self, requests) -> None:
+        faults.check(faults.SLOW_FLUSH)
         try:
             key = self._coding_key()
             xs = np.stack([x for (x, _), _ in requests])
@@ -490,14 +669,46 @@ class InferenceService:
         """A snapshot of the service counters (cache stats folded in).
 
         The returned object is a copy — safe to read while the dispatch
-        thread keeps serving.  Hit/miss counts come from the cache itself
-        (the single source of truth).
+        thread keeps serving.  Hit/miss counts come from the cache itself,
+        drop counts from the batcher, and the breaker state from the
+        breaker (each the single source of truth).
         """
         return replace(
             self._stats,
             cache_hits=self._cache.hits,
             cache_misses=self._cache.misses,
+            deadline_expired=self._batcher.expired,
+            cancelled=self._batcher.cancelled_dropped,
+            rejected_full=self._batcher.rejected_full,
+            breaker_state=(
+                self._breaker.state if self._workers > 1 else "disabled"
+            ),
             flush_sizes=dict(self._stats.flush_sizes),
+        )
+
+    def health(self) -> ServiceHealth:
+        """Liveness/degradation snapshot for operators and probes.
+
+        ``status == "ok"`` means the service is operating as configured:
+        serial services are always ``"ok"`` while accepting work; a
+        parallel service is ``"degraded"`` while its breaker is open or
+        probing (flushes serve serially until the probe succeeds).
+        """
+        breaker_state = self._breaker.state if self._workers > 1 else "disabled"
+        parallel_active = self._workers > 1 and breaker_state == CLOSED
+        degraded = self._workers > 1 and not parallel_active
+        stats = self.stats()
+        return ServiceHealth(
+            status="degraded" if degraded else "ok",
+            breaker=breaker_state,
+            parallel_active=parallel_active,
+            workers=self._workers,
+            pending=self._batcher.pending,
+            pool_rebuilds=stats.pool_rebuilds,
+            serial_fallbacks=stats.serial_fallbacks,
+            deadline_expired=stats.deadline_expired,
+            cancelled=stats.cancelled,
+            rejected_full=stats.rejected_full,
         )
 
     def close(self) -> None:

@@ -16,9 +16,12 @@ an *independent* stream instead of workers replaying identical noise.
 Degradation is graceful by construction: ``workers=1`` (or a test set that
 fits one mini-batch) never touches multiprocessing, ``workers="auto"``
 resolves to ``min(os.cpu_count(), shards)`` and stays serial on single-core
-hosts (where a pool is pure overhead), and a pool that cannot be created
-(restricted sandboxes without fork/spawn) falls back to the serial path
-with a warning rather than failing the run.
+hosts (where a pool is pure overhead), and pool failures are *supervised*
+(docs/DESIGN.md §13): a broken pool is rebuilt with bounded exponential
+backoff and only the unfinished shards are re-dispatched
+(:class:`~repro.reliability.supervisor.SupervisedPool`), falling back to
+the serial path — logged on the ``repro.reliability`` logger, warned once
+per process — only when the retry budget is exhausted.
 
 Monitors are a per-process observer protocol and cannot be merged across
 address spaces, so parallel runs reject simulators with attached monitors —
@@ -30,11 +33,14 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
-import warnings
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+import repro.reliability.faults as faults
+from repro.reliability.errors import PoolUnavailable
+from repro.reliability.log import note_serial_fallback
+from repro.reliability.supervisor import SupervisedPool
 from repro.snn.results import SimulationResult
 
 __all__ = [
@@ -103,7 +109,10 @@ def worker_payload(
     micro-batch flushes (:mod:`repro.serve.dispatch`).  ``sim._steps_arg``
     travels with the recipe, so a steps override must be baked into ``sim``
     before building the payload; ``calibrate`` controls the workers' plan
-    compilation when ``compiled`` is set.
+    compilation when ``compiled`` is set.  The active fault plan (if one
+    is installed, :mod:`repro.reliability.faults`) rides along so worker
+    processes consult the same cross-process fault budget as the parent —
+    under any start method, not just fork.
     """
     return pickle.dumps(
         (
@@ -116,6 +125,7 @@ def worker_payload(
             bool(compiled),
             int(plan_batch),
             bool(calibrate),
+            faults.active(),
         )
     )
 
@@ -134,7 +144,9 @@ def _init_worker(payload: bytes) -> None:
         compiled,
         plan_batch,
         calibrate,
+        fault_plan,
     ) = pickle.loads(payload)
+    faults.adopt(fault_plan)
     _WORKER_ARGS = (network, steps, event_driven, density_threshold, early_exit)
     _WORKER_COMPILED = (compiled, plan_batch, calibrate)
     _WORKER_SIM = Simulator(
@@ -148,6 +160,11 @@ def _init_worker(payload: bytes) -> None:
 
 
 def _run_shard(shard) -> SimulationResult:
+    # Fault points (DESIGN.md §13): a crash here surfaces in the parent as
+    # BrokenProcessPool (supervised: pool rebuilt, shard re-dispatched); an
+    # injected kernel exception is a workload error and propagates verbatim.
+    faults.check(faults.WORKER_CRASH)
+    faults.check(faults.KERNEL_EXCEPTION)
     scheme, xb, yb = shard
     compiled, plan_batch, calibrate = _WORKER_COMPILED
     if scheme is None:
@@ -278,27 +295,28 @@ def run_parallel(
         start_method = "fork" if "fork" in methods else methods[0]
     payload = worker_payload(sim, compiled=compiled, plan_batch=batch_size)
     context = multiprocessing.get_context(start_method)
-    try:
-        # Worker processes spawn lazily on the first submit, so the map must
-        # sit inside the guard too — a host without working fork/spawn
-        # surfaces as BrokenProcessPool/OSError there, not in the ctor.
-        # Workload exceptions (bad shapes, labels) re-raise verbatim from
-        # map and are deliberately NOT caught.
-        with ProcessPoolExecutor(
+
+    def make_pool():
+        return ProcessPoolExecutor(
             max_workers=min(workers, len(shards)),
             mp_context=context,
             initializer=_init_worker,
             initargs=(payload,),
-        ) as pool:
-            results = list(pool.map(_run_shard, shards))
-    except (OSError, BrokenExecutor) as exc:
-        warnings.warn(
-            f"could not run a {start_method!r} worker pool ({exc}); "
-            "falling back to the serial runner",
-            RuntimeWarning,
-            stacklevel=2,
         )
+
+    # Supervised execution (DESIGN.md §13): a worker crash or spawn failure
+    # rebuilds the pool with bounded backoff and re-dispatches only the
+    # unfinished shards; completed shard results are kept.  Workload
+    # exceptions (bad shapes, labels) re-raise verbatim and are NOT
+    # retried.  Only an exhausted retry budget reaches the serial fallback.
+    supervisor = SupervisedPool(make_pool)
+    try:
+        results = supervisor.map(_run_shard, shards)
+    except PoolUnavailable as exc:
+        note_serial_fallback("repro.snn.parallel.run_parallel", exc)
         if compiled:
             return sim.run_compiled(x, y, batch_size=batch_size)
         return sim.run_batched(x, y, batch_size=batch_size)
+    finally:
+        supervisor.close()
     return merge_results(results, sizes, y, sim.bound.decision_time)

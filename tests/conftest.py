@@ -56,6 +56,16 @@ def _no_disk_cache(monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", "off")
 
 
+@pytest.fixture()
+def fast_retry(monkeypatch):
+    """Shrink the supervised-pool rebuild backoff so fault tests stay fast."""
+    from repro.reliability.supervisor import RetryPolicy
+
+    policy = RetryPolicy(max_retries=2, backoff_s=0.001, max_backoff_s=0.005)
+    monkeypatch.setattr("repro.reliability.supervisor.DEFAULT_RETRY", policy)
+    return policy
+
+
 @pytest.fixture(scope="session")
 def tiny_task():
     return SyntheticImages(TINY_SPEC)

@@ -1,0 +1,107 @@
+"""Circuit breaker state machine, driven by a fake clock."""
+
+import pytest
+
+from repro.reliability import CircuitBreaker
+from repro.reliability.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = CircuitBreaker(failure_threshold=2, reset_after_s=5.0, clock=clock)
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_failures_below_threshold_stay_closed(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, reset_after_s=5.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.trips == 0
+
+    def test_threshold_trips_open(self, clock):
+        breaker = CircuitBreaker(failure_threshold=2, reset_after_s=5.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_consecutive_count(self, clock):
+        """Failures must be *consecutive*: a success in between resets."""
+        breaker = CircuitBreaker(failure_threshold=2, reset_after_s=5.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_cooldown_admits_exactly_one_probe(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, reset_after_s=5.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()  # still cooling down
+        clock.advance(5.0)
+        assert breaker.allow()  # the half-open probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow()  # a second caller is denied mid-probe
+
+    def test_probe_success_recloses(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, reset_after_s=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.recoveries == 1
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, reset_after_s=5.0, clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()  # one probe failure re-opens immediately
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        clock.advance(4.9)
+        assert not breaker.allow()  # cooldown restarted at the probe failure
+        clock.advance(0.2)
+        assert breaker.allow()
+
+    def test_trip_resets_failure_count_for_next_cycle(self, clock):
+        breaker = CircuitBreaker(failure_threshold=2, reset_after_s=1.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        # After recovery a fresh threshold's worth of failures is needed.
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+
+class TestValidation:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_rejects_negative_cooldown(self):
+        with pytest.raises(ValueError, match="reset_after_s"):
+            CircuitBreaker(reset_after_s=-1.0)

@@ -1,0 +1,136 @@
+"""Deterministic fault-injection harness: budgets, seeding, lifecycle."""
+
+import pickle
+import time
+
+import pytest
+
+from repro.reliability import FaultPlan, FaultSpec, InjectedFault
+from repro.reliability import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    """Never leak an installed plan between tests."""
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec(faults.WORKER_CRASH, times=0)
+        with pytest.raises(ValueError, match="after"):
+            FaultSpec(faults.WORKER_CRASH, after=-1)
+        with pytest.raises(ValueError, match="delay_ms"):
+            FaultSpec(faults.SLOW_FLUSH, delay_ms=-5)
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(faults.WORKER_CRASH, probability=0.0)
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(faults.WORKER_CRASH, probability=1.5)
+
+
+class TestFaultPlan:
+    def test_duplicate_point_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan([FaultSpec("p"), FaultSpec("p")])
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(TypeError, match="FaultSpec"):
+            FaultPlan(["worker.crash"])
+
+    def test_token_budget_claims(self):
+        plan = FaultPlan([FaultSpec("p", times=2)]).arm()
+        try:
+            assert plan.remaining("p") == 2
+            assert plan.consult("p") is not None
+            assert plan.consult("p") is not None
+            assert plan.remaining("p") == 0
+            assert plan.consult("p") is None  # budget exhausted -> clean
+        finally:
+            plan.disarm()
+        assert plan.remaining("p") == 0
+        assert not plan.armed
+
+    def test_after_skips_consultations(self):
+        plan = FaultPlan([FaultSpec("p", times=1, after=2)]).arm()
+        try:
+            assert plan.consult("p") is None
+            assert plan.consult("p") is None
+            assert plan.consult("p") is not None
+        finally:
+            plan.disarm()
+
+    def test_seeded_probability_is_deterministic(self):
+        def pattern(seed):
+            plan = FaultPlan(
+                [FaultSpec("p", times=100, probability=0.5)], seed=seed
+            ).arm()
+            try:
+                return [plan.consult("p") is not None for _ in range(40)]
+            finally:
+                plan.disarm()
+
+        a, b = pattern(7), pattern(7)
+        assert a == b  # same seed -> identical firing pattern
+        assert any(a) and not all(a)  # the coin actually flips
+        assert pattern(8) != a  # a different seed draws differently
+
+    def test_plan_pickles_with_shared_budget(self):
+        """A pickled copy (what rides the pool payload) consumes the SAME
+        token budget as the original — cross-process determinism."""
+        plan = FaultPlan([FaultSpec("p", times=1)]).arm()
+        try:
+            clone = pickle.loads(pickle.dumps(plan))
+            assert clone.consult("p") is not None
+            assert plan.consult("p") is None  # the one token is gone
+        finally:
+            plan.disarm()
+
+
+class TestModuleLifecycle:
+    def test_check_without_plan_is_noop(self):
+        faults.check(faults.KERNEL_EXCEPTION)  # must not raise
+
+    def test_install_uninstall(self):
+        plan = faults.install(FaultPlan([FaultSpec(faults.KERNEL_EXCEPTION)]))
+        assert faults.active() is plan
+        assert plan.armed
+        with pytest.raises(RuntimeError, match="already installed"):
+            faults.install(FaultPlan([]))
+        faults.uninstall()
+        assert faults.active() is None
+        faults.uninstall()  # idempotent
+
+    def test_inject_context_manager(self):
+        with faults.inject(FaultSpec(faults.KERNEL_EXCEPTION, times=1)):
+            with pytest.raises(InjectedFault, match="kernel.exception"):
+                faults.check(faults.KERNEL_EXCEPTION)
+            faults.check(faults.KERNEL_EXCEPTION)  # budget spent -> clean
+        assert faults.active() is None
+
+    def test_pool_spawn_raises_oserror(self):
+        with faults.inject(FaultSpec(faults.POOL_SPAWN, times=1)):
+            with pytest.raises(OSError, match="pool.spawn"):
+                faults.check(faults.POOL_SPAWN)
+
+    def test_slow_flush_sleeps(self):
+        with faults.inject(FaultSpec(faults.SLOW_FLUSH, times=1, delay_ms=30)):
+            start = time.monotonic()
+            faults.check(faults.SLOW_FLUSH)  # sleeps, does not raise
+            assert time.monotonic() - start >= 0.025
+
+    def test_unrelated_point_does_not_fire(self):
+        with faults.inject(FaultSpec(faults.POOL_SPAWN, times=1)):
+            faults.check(faults.KERNEL_EXCEPTION)  # no spec -> clean
+
+    def test_adopt_activates_without_rearming(self):
+        plan = FaultPlan([FaultSpec("p", times=1)]).arm()
+        try:
+            faults.adopt(plan)
+            assert faults.active() is plan
+            faults.adopt(None)
+            assert plan.armed  # adopt never disarms
+        finally:
+            plan.disarm()

@@ -1,0 +1,124 @@
+"""SupervisedPool: rebuild on breakage, keep finished work, bounded retries."""
+
+from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
+
+import pytest
+
+from repro.reliability import (
+    FaultSpec,
+    PoolUnavailable,
+    RetryPolicy,
+    SupervisedPool,
+    faults,
+)
+
+
+class TestRetryPolicy:
+    def test_delay_is_capped_exponential(self):
+        policy = RetryPolicy(
+            max_retries=5, backoff_s=0.1, multiplier=2.0, max_backoff_s=0.3
+        )
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.3)  # capped
+        assert policy.delay(3) == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="backoff_s"):
+            RetryPolicy(backoff_s=-0.1)
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError, match="max_backoff_s"):
+            RetryPolicy(max_backoff_s=-1.0)
+
+
+def thread_pool():
+    return ThreadPoolExecutor(max_workers=2)
+
+
+class TestSupervisedPool:
+    def test_map_returns_in_order(self):
+        with SupervisedPool(thread_pool) as pool:
+            assert pool.map(lambda v: v * 2, [3, 1, 2]) == [6, 2, 4]
+            assert pool.rebuilds == 0
+
+    def test_broken_pool_rebuilds_and_keeps_finished_results(self):
+        calls = []
+        armed = {"on": True}
+
+        def work(item):
+            calls.append(item)
+            if item == "b" and armed["on"]:
+                armed["on"] = False
+                raise BrokenExecutor("worker died mid-shard")
+            return item.upper()
+
+        pool = SupervisedPool(
+            thread_pool,
+            policy=RetryPolicy(max_retries=2, backoff_s=0.0),
+            sleep=lambda s: None,
+        )
+        with pool:
+            assert pool.map(work, ["a", "b", "c"]) == ["A", "B", "C"]
+        assert pool.rebuilds == 1
+        # "a" finished before the breakage and was kept, not re-run.
+        assert calls.count("a") == 1
+
+    def test_factory_failure_exhausts_retries(self):
+        sleeps = []
+        observed = []
+
+        def factory():
+            raise OSError("spawn denied")
+
+        pool = SupervisedPool(
+            factory,
+            policy=RetryPolicy(max_retries=2, backoff_s=0.01, multiplier=2.0),
+            on_rebuild=lambda attempt, exc: observed.append(attempt),
+            sleep=sleeps.append,
+        )
+        with pytest.raises(PoolUnavailable, match="2 rebuild"):
+            pool.map(str, [1])
+        assert sleeps == pytest.approx([0.01, 0.02])
+        assert observed == [0, 1]
+        assert pool.rebuilds == 2
+
+    def test_zero_retries_fails_immediately(self):
+        def factory():
+            raise OSError("no")
+
+        pool = SupervisedPool(
+            factory, policy=RetryPolicy(max_retries=0), sleep=lambda s: None
+        )
+        with pytest.raises(PoolUnavailable, match="0 rebuild"):
+            pool.map(str, [1])
+
+    def test_workload_exception_propagates_verbatim(self):
+        def bad(item):
+            raise KeyError(f"workload bug {item}")
+
+        with SupervisedPool(thread_pool) as pool:
+            with pytest.raises(KeyError, match="workload bug"):
+                pool.map(bad, [1, 2])
+        assert pool.rebuilds == 0  # never treated as a pool failure
+
+    def test_close_is_idempotent(self):
+        pool = SupervisedPool(thread_pool)
+        assert pool.map(lambda v: v, [1]) == [1]
+        pool.close()
+        pool.close()
+
+    def test_pool_spawn_fault_point(self):
+        """The harness's pool.spawn fault hits _ensure_pool: one injected
+        spawn failure, then a clean rebuild serves the work."""
+        pool = SupervisedPool(
+            thread_pool,
+            policy=RetryPolicy(max_retries=2, backoff_s=0.0),
+            sleep=lambda s: None,
+        )
+        with faults.inject(FaultSpec(faults.POOL_SPAWN, times=1)):
+            with pool:
+                assert pool.map(lambda v: v + 1, [1, 2]) == [2, 3]
+        assert pool.rebuilds == 1

@@ -106,6 +106,38 @@ class TestIllegalCombinations:
         with pytest.raises(ValueError, match="dtype"):
             RunConfig(backend="service", dtype=np.float32)
 
+    @pytest.mark.parametrize("backend", ["serial", "compiled", "parallel"])
+    def test_batch_backends_reject_deadline(self, backend):
+        """Deadlines only mean something to the service: batch backends
+        run to completion and would silently ignore the bound."""
+        workers = 2 if backend == "parallel" else 1
+        compiled = backend == "compiled"
+        with pytest.raises(ValueError, match="deadline_ms.*service"):
+            RunConfig(
+                backend=backend,
+                workers=workers,
+                compiled=compiled,
+                deadline_ms=50,
+            )
+
+
+class TestDeadline:
+    def test_default_is_none(self):
+        assert RunConfig().deadline_ms is None
+
+    def test_normalized_to_float(self):
+        assert RunConfig(deadline_ms=50).deadline_ms == 50.0
+        assert isinstance(RunConfig(deadline_ms=np.int64(50)).deadline_ms, float)
+
+    @pytest.mark.parametrize("bad", [0, -1, True, False, "50", float("nan")])
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(ValueError, match="deadline_ms"):
+            RunConfig(deadline_ms=bad)
+
+    def test_service_backend_accepts_deadline(self):
+        config = RunConfig(backend="service", deadline_ms=25.5)
+        assert config.deadline_ms == 25.5
+
 
 class TestOtherFields:
     @pytest.mark.parametrize("flag", ["compiled", "calibrate"])

@@ -2,9 +2,11 @@
 
 import threading
 import time
+from concurrent.futures import CancelledError
 
 import pytest
 
+from repro.reliability import DeadlineExceeded, QueueFull
 from repro.serve.batcher import MicroBatcher, ServedFuture
 
 
@@ -129,3 +131,154 @@ class TestServedFuture:
         assert not future.done()
         future._resolve(42)
         assert future.done() and future.result() == 42
+
+    def test_cancel_settles_with_cancelled_error(self):
+        future = ServedFuture()
+        assert future.cancel() is True
+        assert future.done() and future.cancelled()
+        with pytest.raises(CancelledError, match="cancelled by caller"):
+            future.result(timeout=0)
+
+    def test_settlement_is_first_wins(self):
+        resolved = ServedFuture()
+        assert resolved._resolve("kept") is True
+        assert resolved.cancel() is False  # too late, the result stands
+        assert not resolved.cancelled() and resolved.result() == "kept"
+        cancelled = ServedFuture()
+        assert cancelled.cancel() is True
+        assert cancelled.cancel() is False  # only the first call settles
+        assert cancelled._resolve("lost") is False
+        with pytest.raises(CancelledError):
+            cancelled.result(timeout=0)
+
+    def test_expired_tracks_deadline_and_settlement(self):
+        future = ServedFuture()
+        assert not future.expired()  # no deadline -> never expires
+        future.deadline_at = time.monotonic() - 1.0
+        assert future.expired()
+        future._resolve("done")
+        assert not future.expired()  # settled futures are not expired
+
+
+class TestCancellation:
+    def test_cancelled_entry_is_culled_not_flushed(self):
+        record = []
+        mb = MicroBatcher(collecting_flush(record), max_batch=2, max_wait_ms=5000)
+        try:
+            doomed = mb.submit("doomed", ServedFuture())
+            assert doomed.cancel()
+            # Filling the batch forces a flush; the cancelled entry must
+            # not ride along (nor count toward the batch size).
+            a, b = mb.submit("a", ServedFuture()), mb.submit("b", ServedFuture())
+            assert a.result(timeout=5) == "a" and b.result(timeout=5) == "b"
+        finally:
+            mb.close()
+        assert ["doomed"] not in record and all("doomed" not in b for b in record)
+        assert mb.cancelled_dropped == 1
+
+    def test_on_drop_fires_for_cancellations(self):
+        drops = []
+        mb = MicroBatcher(
+            collecting_flush([]),
+            max_batch=8,
+            max_wait_ms=5.0,
+            on_drop=lambda payload, future, exc: drops.append((payload, exc)),
+        )
+        try:
+            future = mb.submit("x", ServedFuture())
+            future.cancel()
+            deadline = time.monotonic() + 5.0
+            while not drops and time.monotonic() < deadline:
+                time.sleep(0.005)
+        finally:
+            mb.close()
+        assert drops == [("x", None)]  # exc is None for cancellations
+
+
+class TestDeadlines:
+    def test_expired_entry_rejected_before_flush(self):
+        record = []
+        mb = MicroBatcher(collecting_flush(record), max_batch=8, max_wait_ms=60_000)
+        try:
+            future = ServedFuture()
+            future.deadline_at = time.monotonic() + 0.02
+            mb.submit("stale", future)
+            # The dispatch thread wakes for the deadline, well before the
+            # 60s flush timer.
+            with pytest.raises(DeadlineExceeded, match="never flushed"):
+                future.result(timeout=5)
+        finally:
+            mb.close()
+        assert record == []  # no compute was spent
+        assert mb.expired == 1
+
+    def test_on_drop_carries_the_deadline_error(self):
+        drops = []
+        mb = MicroBatcher(
+            collecting_flush([]),
+            max_batch=8,
+            max_wait_ms=60_000,
+            on_drop=lambda payload, future, exc: drops.append((payload, exc)),
+        )
+        try:
+            future = ServedFuture()
+            future.deadline_at = time.monotonic() + 0.01
+            mb.submit("x", future)
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=5)
+            deadline = time.monotonic() + 5.0
+            while not drops and time.monotonic() < deadline:
+                time.sleep(0.005)
+        finally:
+            mb.close()
+        assert len(drops) == 1
+        payload, exc = drops[0]
+        assert payload == "x" and isinstance(exc, DeadlineExceeded)
+
+    def test_live_deadline_still_flushes(self):
+        record = []
+        with MicroBatcher(collecting_flush(record), max_batch=1, max_wait_ms=0) as mb:
+            future = ServedFuture()
+            future.deadline_at = time.monotonic() + 60.0
+            assert mb.submit("fresh", future).result(timeout=5) == "fresh"
+        assert record == [["fresh"]]
+        assert mb.expired == 0
+
+
+class TestAdmissionControl:
+    def test_queue_full_raises_synchronously(self):
+        gate = threading.Event()
+
+        def gated_flush(requests):
+            gate.wait(10)
+            for payload, future in requests:
+                future._resolve(payload)
+
+        mb = MicroBatcher(gated_flush, max_batch=1, max_wait_ms=0, max_pending=2)
+        try:
+            admitted = []
+            # At most one entry is in the (gated) flush and two in the
+            # queue; rapid submission must hit the bound.
+            with pytest.raises(QueueFull, match="full"):
+                for i in range(50):
+                    admitted.append(mb.submit(i, ServedFuture()))
+            assert mb.rejected_full >= 1
+            gate.set()
+            for future in admitted:
+                future.result(timeout=5)  # admitted work still lands
+        finally:
+            gate.set()
+            mb.close()
+
+    def test_max_pending_validation(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            MicroBatcher(lambda r: None, max_batch=1, max_wait_ms=1, max_pending=0)
+
+    def test_promoted_future_keeps_submit_time(self):
+        record = []
+        with MicroBatcher(collecting_flush(record), max_batch=1, max_wait_ms=0) as mb:
+            future = ServedFuture()
+            future.submitted_at = 123.456  # a promoted dedup follower
+            mb.submit("p", future)
+            future.result(timeout=5)
+        assert future.submitted_at == 123.456

@@ -6,6 +6,12 @@ import pytest
 from repro.coding.phase import PhaseCoding
 from repro.coding.rate import RateCoding
 from repro.coding.ttfs import TTFSCoding
+from repro.reliability import (
+    FaultSpec,
+    InjectedFault,
+    faults,
+    reset_fallback_warnings,
+)
 from repro.snn.engine import Simulator
 from repro.snn.monitors import SpikeCountMonitor
 from repro.snn.parallel import (
@@ -140,7 +146,7 @@ class TestCompiledParallel:
         assert fields[8] is False  # calibrate
 
     def test_compiled_pool_failure_falls_back_compiled(
-        self, tiny_network, tiny_data, monkeypatch
+        self, tiny_network, tiny_data, monkeypatch, fast_retry
     ):
         def broken_pool(*a, **k):
             raise OSError("no process support")
@@ -148,6 +154,7 @@ class TestCompiledParallel:
         monkeypatch.setattr("repro.snn.parallel.ProcessPoolExecutor", broken_pool)
         x, y = tiny_data[2][:10], tiny_data[3][:10]
         sim = Simulator(tiny_network, TTFSCoding(window=12))
+        reset_fallback_warnings()
         with pytest.warns(RuntimeWarning, match="falling back"):
             got = run_parallel(sim, x, y, workers=2, batch_size=3, compiled=True)
         ref = sim.run_batched(x, y, batch_size=3)
@@ -202,7 +209,7 @@ class TestAutoWorkers:
         np.testing.assert_array_equal(res.predictions, ref.predictions)
 
     def test_pool_failure_falls_back_to_serial(
-        self, tiny_network, tiny_data, monkeypatch
+        self, tiny_network, tiny_data, monkeypatch, fast_retry
     ):
         def broken_pool(*a, **k):
             raise OSError("no process support")
@@ -210,10 +217,56 @@ class TestAutoWorkers:
         monkeypatch.setattr("repro.snn.parallel.ProcessPoolExecutor", broken_pool)
         x, y = tiny_data[2][:10], tiny_data[3][:10]
         sim = Simulator(tiny_network, TTFSCoding(window=12))
+        reset_fallback_warnings()
         with pytest.warns(RuntimeWarning, match="falling back"):
             par = run_parallel(sim, x, y, workers=2, batch_size=3)
         serial = sim.run_batched(x, y, batch_size=3)
         np.testing.assert_array_equal(par.predictions, serial.predictions)
+
+
+class TestFaultInjection:
+    """Deterministic crash injection through the real pool machinery —
+    the BrokenExecutor paths that were untestable before the harness."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_faults(self):
+        faults.uninstall()
+        yield
+        faults.uninstall()
+
+    def test_killed_worker_run_is_bit_identical_to_clean(
+        self, tiny_network, tiny_data, fast_retry, recwarn
+    ):
+        """Kill exactly one worker mid-shard: the supervisor rebuilds the
+        pool, re-dispatches only the unfinished shards, and the merged
+        result is bit-identical to the fault-free run — no serial
+        fallback, no warning."""
+        x, y = tiny_data[2][:18], tiny_data[3][:18]
+        sim = Simulator(tiny_network, TTFSCoding(window=12))
+        ref = sim.run_batched(x, y, batch_size=6)
+        with faults.inject(FaultSpec(faults.WORKER_CRASH, times=1)) as plan:
+            got = run_parallel(sim, x, y, workers=2, batch_size=6)
+            assert plan.remaining(faults.WORKER_CRASH) == 0  # it really fired
+        np.testing.assert_array_equal(got.scores, ref.scores)
+        np.testing.assert_array_equal(got.predictions, ref.predictions)
+        assert got.spike_counts == pytest.approx(ref.spike_counts)
+        assert got.accuracy == ref.accuracy
+        fallback_warnings = [
+            w for w in recwarn if "falling back" in str(w.message)
+        ]
+        assert not fallback_warnings  # absorbed in-pool, never went serial
+
+    def test_injected_kernel_exception_propagates_verbatim(
+        self, tiny_network, tiny_data, fast_retry
+    ):
+        """A workload error inside a worker is NOT a pool failure: it must
+        reach the caller unretried instead of burning the rebuild budget."""
+        x = tiny_data[2][:18]
+        sim = Simulator(tiny_network, TTFSCoding(window=12))
+        with faults.inject(FaultSpec(faults.KERNEL_EXCEPTION, times=1)) as plan:
+            with pytest.raises(InjectedFault, match="kernel.exception"):
+                run_parallel(sim, x, workers=2, batch_size=6)
+            assert plan.remaining(faults.KERNEL_EXCEPTION) == 0
 
 
 class TestMergeResults:

@@ -119,7 +119,7 @@ def test_top_level_exports():
 
     assert repro.T2FSNN is not None
     assert repro.RunConfig is not None
-    assert repro.__version__ == "1.1.0"
+    assert repro.__version__ == "1.2.0"
 
 
 def test_readme_quickstart_names_exist():
