@@ -1,0 +1,147 @@
+"""Anytime accuracy-vs-budget curves — what a compute budget buys.
+
+Sweeps step budgets over the TTFS schedule and records the accuracy of
+the **sealed anytime answer** at each truncation (docs/DESIGN.md §14):
+``Simulator.run(x, y, budget=Budget(max_steps=k))`` for k from 1 to the
+full schedule.  This is *not* the per-step monitor curve of Fig. 6 — the
+anytime seal applies the still-pending readout bias, so the curve starts
+at the class prior's accuracy (the honest zero-evidence answer) and
+climbs to the full-run accuracy as spike evidence arrives, instead of
+sitting at chance until the readout bias lands.
+
+Results merge into ``BENCH_engine.json`` under the ``"anytime"`` key
+(other sections preserved).  The CI smoke gates on the curve being
+monotone non-decreasing up to a small tolerance: late spikes can flip a
+thin-margin sample just before the schedule ends, so the final point may
+dip a hair below the running peak — a genuine property of truncated
+evidence, not noise — but any larger regression means the seal is wrong.
+
+Runnable directly: ``python benchmarks/bench_anytime_curves.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+#: Monotonicity tolerance: each curve point must stay within this of the
+#: running maximum.  Sized to a few thin-margin samples of the CI eval
+#: split (late-arriving spikes may legitimately flip them either way).
+MONOTONE_TOL = float(os.environ.get("REPRO_BENCH_ANYTIME_TOL", "0.05"))
+
+#: Number of budget points sampled across the schedule (plus the final
+#: full-schedule point, always included).
+CURVE_POINTS = 12
+
+
+def budget_grid(total_steps: int) -> list[int]:
+    """~CURVE_POINTS step budgets spanning [1, total_steps], dense late:
+    evidence pipelines through the layers, so accuracy sits at the prior
+    until spikes reach the readout in the final window — the interesting
+    region is the tail, and quadratic spacing puts most points there."""
+    fractions = np.linspace(1.0, 0.0, CURVE_POINTS) ** 2
+    ks = np.unique(np.round(total_steps - (total_steps - 1) * fractions).astype(int))
+    return [int(k) for k in ks]
+
+
+def measure_curve(system) -> dict:
+    """Accuracy of the sealed anytime answer at each sampled step budget."""
+    from repro.coding.ttfs import TTFSCoding
+    from repro.snn import Budget
+    from repro.snn.engine import Simulator
+
+    window = system.config.window
+    x, y = system.x_eval, system.y_eval
+    full = Simulator(system.network, TTFSCoding(window=window)).run(x, y)
+    total_steps = full.steps
+    budgets, accuracies, margins = [], [], []
+    for k in budget_grid(total_steps):
+        result = Simulator(system.network, TTFSCoding(window=window)).run(
+            x, y, budget=Budget(max_steps=k)
+        )
+        assert result.steps_executed == min(k, total_steps)
+        budgets.append(k)
+        accuracies.append(round(float(result.accuracy), 4))
+        margins.append(round(float(np.median(result.margins)), 4))
+    return {
+        "dataset": system.config.name,
+        "scheme": f"ttfs(window={window})",
+        "scale": os.environ.get("REPRO_SCALE", "ci"),
+        "n_eval": int(len(x)),
+        "total_steps": int(total_steps),
+        "full_accuracy": round(float(full.accuracy), 4),
+        "budget_steps": budgets,
+        "accuracy": accuracies,
+        "median_margin": margins,
+    }
+
+
+def check_payload(payload: dict) -> None:
+    """The smoke gates: anytime answers must only get better with budget."""
+    acc = np.array(payload["accuracy"], dtype=float)
+    print(f"\n[anytime] {payload['dataset']} {payload['scheme']} "
+          f"n={payload['n_eval']} steps={payload['total_steps']}")
+    for k, a, m in zip(
+        payload["budget_steps"], payload["accuracy"], payload["median_margin"]
+    ):
+        print(f"  k={k:>4}: acc={a * 100:5.1f}%  median margin={m:.3f}")
+    running_max = np.maximum.accumulate(acc)
+    worst_dip = float((running_max - acc).max())
+    assert worst_dip <= MONOTONE_TOL, (
+        f"anytime curve regressed {worst_dip:.3f} below its running peak "
+        f"(tolerance {MONOTONE_TOL}); truncated seals are losing evidence"
+    )
+    # The full budget must recover the unbudgeted run's accuracy exactly.
+    assert acc[-1] == pytest.approx(payload["full_accuracy"], abs=1e-9)
+    # And the budget must matter: the curve ends above its floor (the
+    # class-prior answer at near-zero evidence) on any trained system.
+    assert acc[-1] >= acc[0]
+
+
+def write_payload(payload: dict) -> None:
+    merged = {}
+    if RESULT_PATH.exists():
+        merged = json.loads(RESULT_PATH.read_text())
+    merged["anytime"] = payload
+    RESULT_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+
+
+@pytest.mark.benchmark(group="anytime")
+def test_anytime_accuracy_curve(mnist_system):
+    payload = measure_curve(mnist_system)
+    check_payload(payload)
+    write_payload(payload)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("ci", "paper"), default=None)
+    parser.add_argument(
+        "--no-write", action="store_true", help="skip writing BENCH_engine.json"
+    )
+    args = parser.parse_args()
+    if args.scale is not None:
+        os.environ["REPRO_SCALE"] = args.scale
+    from repro.analysis.experiments import get_config, prepare_system
+
+    payload = measure_curve(prepare_system(get_config("mnist")))
+    check_payload(payload)
+    if not args.no_write:
+        write_payload(payload)
+        print(f"\nwrote {RESULT_PATH}")
+    else:
+        print("\n(dry run)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    main()

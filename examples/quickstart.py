@@ -17,7 +17,10 @@ Runs in under a minute on CPU.  Pipeline:
    result cache (``T2FSNN.serve()``, DESIGN.md §11);
 8. serve with reliability controls — per-request deadlines
    (``submit(deadline_ms=...)``) and the ``service.health()`` snapshot
-   (circuit-breaker state, drop counters — DESIGN.md §13).
+   (circuit-breaker state, drop counters — DESIGN.md §13);
+9. anytime inference under compute budgets — ``RunConfig(budget_ms=...)``
+   seals a truncated run into an honest partial answer, and the serving
+   flush watchdog abandons a hung micro-batch and recovers (DESIGN.md §14).
 
 Every execution mode is one ``repro.runtime.RunConfig`` away: the model
 dispatches through a registry of backends (serial / compiled / parallel /
@@ -148,6 +151,54 @@ def main() -> None:
               f"expired={health.deadline_expired}")
     # A service-wide default deadline is one config away:
     #     snn.serve(config=RunConfig(deadline_ms=100))
+
+    print("\n== 9. anytime inference: compute budgets and the flush watchdog ==")
+    # deadline_ms bounded *waiting*; budget_ms bounds *execution*
+    # (DESIGN.md §14).  A budgeted batch run checks the budget every step
+    # and, on expiry, seals what it has into an AnytimeResult — scores,
+    # predictions and confidence margins for every sample — instead of
+    # raising.  A generous budget never binds and matches the unbudgeted
+    # run bit for bit.
+    anytime = snn.run(x_test, y_test, config=RunConfig(budget_ms=60_000))
+    print(f"generous budget:  accuracy={anytime.accuracy * 100:.2f}% "
+          f"exhausted={anytime.budget_exhausted} "
+          f"steps={anytime.steps_executed}")
+    tight = snn.run(x_test, y_test, config=RunConfig(budget_ms=0.001))
+    print(f"1us budget:       accuracy={tight.accuracy * 100:.2f}% "
+          f"exhausted={tight.budget_exhausted} "
+          f"(the honest zero-evidence answer: the class prior)")
+
+    # Under serve, a dispatched flush inherits the tightest member budget
+    # as its execution deadline.  If the flush overruns it — here forced
+    # with the deterministic flush.hang fault point — the watchdog
+    # abandons it, settles every member, rebuilds the worker shard, and
+    # the service degrades gracefully instead of wedging.
+    from repro.reliability import FaultSpec, faults
+
+    with snn.serve(max_batch=8, max_wait_ms=2.0, cache_size=0) as service:
+        with faults.inject(FaultSpec(faults.FLUSH_HANG, times=1, delay_ms=2_000)):
+            t0 = time.perf_counter()
+            hung = service.submit(x_test[0], budget_ms=150)
+            try:
+                hung.result(timeout=30.0)
+            except DeadlineExceeded:
+                settled_ms = (time.perf_counter() - t0) * 1e3
+                print(f"hung flush abandoned by the watchdog in "
+                      f"{settled_ms:.0f}ms (the hang itself was 2000ms)")
+            health = service.health()
+            print(f"after the hang: status={health.status} "
+                  f"watchdog_timeouts={health.watchdog_timeouts} "
+                  f"degrade_level={health.degrade_level}")
+            # The next request executes on rebuilt state and succeeds; a
+            # clean budgeted flush walks the degrade ladder back down.
+            recovered = service.submit(x_test[0], budget_ms=60_000).result(
+                timeout=30.0
+            )
+            assert recovered.prediction == serial.predictions[0]
+            assert not recovered.partial
+        health = service.health()
+        print(f"recovered: prediction={recovered.prediction} "
+              f"margin={recovered.margin:.3f} status={health.status}")
 
 
 if __name__ == "__main__":

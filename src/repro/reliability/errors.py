@@ -36,13 +36,19 @@ class PoolUnavailable(ReliabilityError):
 
 
 class DeadlineExceeded(ReliabilityError):
-    """The request's deadline expired before its micro-batch executed.
+    """A request's deadline expired — while queued, or mid-execution.
 
-    Raised from ``ServedFuture.result()`` for requests submitted with
-    ``deadline_ms``; the request is culled from the pending queue without
-    ever entering a flush (T2FSNN's fixed time-window schedule makes the
-    worst-case flush cost known up front, so expiry is decided *before*
-    compute is spent).
+    Raised from ``ServedFuture.result()`` in two cases:
+
+    * **queue admission** (``deadline_ms``): the request went stale
+      before its micro-batch dispatched and was culled from the pending
+      queue without ever entering a flush (T2FSNN's fixed time-window
+      schedule makes the worst-case flush cost known up front, so expiry
+      is decided *before* compute is spent);
+    * **execution overrun** (``budget_ms`` under serve): the flush
+      watchdog abandoned a dispatched micro-batch that blew its compute
+      budget and no partial :class:`~repro.snn.results.AnytimeResult`
+      was recoverable for the member.
     """
 
 

@@ -13,6 +13,11 @@ chaos job) arm them with a :class:`FaultPlan`:
                           without working fork/spawn
 ``flush.slow``            the service's flush sleeps ``delay_ms`` — a stalled
                           dispatch thread backing up the pending queue
+``flush.hang``            the *execution* of a dispatched flush sleeps
+                          ``delay_ms`` — a hung worker the flush watchdog
+                          must detect, abandon and recover from (distinct
+                          from ``flush.slow``, which stalls the dispatch
+                          thread before any compute is committed)
 ``kernel.exception``      plan execution raises :class:`InjectedFault` — a
                           workload bug, rejected to callers, never retried
 ========================  ====================================================
@@ -51,6 +56,7 @@ __all__ = [
     "WORKER_CRASH",
     "POOL_SPAWN",
     "SLOW_FLUSH",
+    "FLUSH_HANG",
     "KERNEL_EXCEPTION",
     "FAULT_POINTS",
     "FaultSpec",
@@ -66,9 +72,10 @@ __all__ = [
 WORKER_CRASH = "worker.crash"
 POOL_SPAWN = "pool.spawn"
 SLOW_FLUSH = "flush.slow"
+FLUSH_HANG = "flush.hang"
 KERNEL_EXCEPTION = "kernel.exception"
 
-FAULT_POINTS = (WORKER_CRASH, POOL_SPAWN, SLOW_FLUSH, KERNEL_EXCEPTION)
+FAULT_POINTS = (WORKER_CRASH, POOL_SPAWN, SLOW_FLUSH, FLUSH_HANG, KERNEL_EXCEPTION)
 
 #: Exit status used by ``worker.crash`` (distinctive in pool diagnostics).
 CRASH_EXIT_CODE = 73
@@ -266,9 +273,10 @@ def check(point: str) -> None:
     """Consult the active plan at a fault point; fire if scheduled.
 
     Firing behaviour by point: ``worker.crash`` hard-exits the process,
-    ``flush.slow`` sleeps ``delay_ms``, ``pool.spawn`` raises ``OSError``,
-    everything else (including ``kernel.exception`` and unknown points)
-    raises :class:`InjectedFault`.
+    ``flush.slow`` and ``flush.hang`` sleep ``delay_ms`` (at different
+    seams: pre-dispatch queueing vs committed execution), ``pool.spawn``
+    raises ``OSError``, everything else (including ``kernel.exception``
+    and unknown points) raises :class:`InjectedFault`.
     """
     plan = _ACTIVE
     if plan is None:
@@ -278,7 +286,7 @@ def check(point: str) -> None:
         return
     if point == WORKER_CRASH:
         os._exit(CRASH_EXIT_CODE)
-    if point == SLOW_FLUSH:
+    if point in (SLOW_FLUSH, FLUSH_HANG):
         time.sleep(spec.delay_ms / 1000.0)
         return
     if point == POOL_SPAWN:

@@ -90,8 +90,15 @@ class SupervisedPool:
         self._sleep = sleep
         self._pool = None
         self.rebuilds = 0
+        #: Permanently shut down (see :meth:`close`).  A closed supervisor
+        #: refuses to build pools: the watchdog's force-kill of an
+        #: abandoned dispatcher must not be raced by a zombie flush thread
+        #: quietly respawning workers through the old supervisor.
+        self.closed = False
 
     def _ensure_pool(self):
+        if self.closed:
+            raise PoolUnavailable("supervised pool is closed")
         if self._pool is None:
             faults.check(faults.POOL_SPAWN)
             self._pool = self._factory()
@@ -133,7 +140,7 @@ class SupervisedPool:
                 pending = still_pending
                 if failure is None:
                     return results
-                self.close(force=True)  # the broken pool is unsalvageable
+                self._discard_pool(force=True)  # the broken pool is unsalvageable
             if attempt >= self._policy.max_retries:
                 raise PoolUnavailable(
                     f"worker pool failed after {attempt} rebuild "
@@ -167,12 +174,15 @@ class SupervisedPool:
         future.cancel()
         return False
 
-    def close(self, force: bool = False) -> None:
-        """Discard the pool.  ``force=True`` (broken pools) also kills the
-        worker processes: a worker that died abruptly can corrupt the
-        shared call queue, leaving its siblings blocked forever on
-        ``get()`` — which wedges the executor's management thread (and,
-        at interpreter exit, the whole process) joining them."""
+    def _discard_pool(self, force: bool = False) -> None:
+        """Drop the current pool (a fresh one is built on next use).
+
+        ``force=True`` (broken or abandoned pools) also kills the worker
+        processes: a worker that died abruptly can corrupt the shared
+        call queue, leaving its siblings blocked forever on ``get()`` —
+        which wedges the executor's management thread (and, at
+        interpreter exit, the whole process) joining them.
+        """
         if self._pool is None:
             return
         pool, self._pool = self._pool, None
@@ -184,6 +194,18 @@ class SupervisedPool:
                 except Exception:  # pragma: no cover - already-reaped worker
                     pass
         pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self, force: bool = False) -> None:
+        """Shut down permanently: discard the pool and refuse rebuilds.
+
+        After ``close()``, :meth:`map` raises :class:`PoolUnavailable`
+        instead of quietly spawning fresh workers — essential when the
+        flush watchdog abandons a hung dispatcher: the abandoned thread
+        may still be inside :meth:`map`, and must not resurrect the pool
+        the watchdog just force-killed.
+        """
+        self.closed = True
+        self._discard_pool(force=force)
 
     def __enter__(self) -> "SupervisedPool":
         return self

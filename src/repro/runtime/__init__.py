@@ -7,8 +7,8 @@ One extensible seam for every way inference executes (docs/DESIGN.md §12):
   steps, monitors, dtype), rejecting illegal combinations eagerly;
 * :class:`~repro.runtime.backends.Backend` — the execution protocol, with
   a string-keyed registry (``"serial"``, ``"compiled"``, ``"parallel"``,
-  ``"service"``) open to third-party registration, mirroring
-  :mod:`repro.coding.registry`;
+  ``"anytime"``, ``"service"``) open to third-party registration,
+  mirroring :mod:`repro.coding.registry`;
 * :class:`~repro.runtime.runtime.Runtime` — per-model state: compiled
   simulator/plan caching, coding keys, dtype variants, backend instances
   and lifecycle (``close()`` / context manager).
@@ -19,6 +19,7 @@ Entry points: ``T2FSNN.run(x, y, config=RunConfig(...))``,
 
 from repro.runtime.backends import (
     BACKEND_FACTORIES,
+    AnytimeBackend,
     Backend,
     CompiledBackend,
     ParallelBackend,
@@ -45,5 +46,6 @@ __all__ = [
     "SerialBackend",
     "CompiledBackend",
     "ParallelBackend",
+    "AnytimeBackend",
     "ServiceBackend",
 ]

@@ -11,6 +11,11 @@ every execution seam grown so far:
 * ``"parallel"`` — multiprocess mini-batch sharding
   (:func:`repro.snn.parallel.run_parallel`), composing with ``compiled``
   via per-worker plans;
+* ``"anytime"`` — budget-bounded execution (DESIGN.md §14): truncates the
+  simulation window when ``config.budget_ms`` expires and/or retires
+  samples at ``config.min_confidence``, returning an
+  :class:`~repro.snn.results.AnytimeResult` (current argmax + margins);
+  auto-selected whenever a budget field is set;
 * ``"service"`` — the online micro-batching service (DESIGN.md §11); its
   :meth:`ServiceBackend.open` backs ``T2FSNN.serve()``, and its
   ``execute`` routes a batch through a transient service (the parity
@@ -42,6 +47,7 @@ __all__ = [
     "SerialBackend",
     "CompiledBackend",
     "ParallelBackend",
+    "AnytimeBackend",
     "ServiceBackend",
 ]
 
@@ -114,6 +120,13 @@ def select_backend(config: RunConfig, num_samples: int) -> str:
     """
     if config.backend is not None:
         return config.backend
+    if (
+        config.budget_ms is not None or config.min_confidence is not None
+    ) and config.deadline_ms is None:
+        # Budget fields mean anytime execution; deadline_ms + budget_ms
+        # together is the served combination, which Runtime.run rejects
+        # for batch runs with the clearer deadline message.
+        return "anytime"
     if config.parallel_requested:
         from repro.snn.parallel import num_shards, resolve_workers
 
@@ -194,6 +207,44 @@ class ParallelBackend:
         pass
 
 
+class AnytimeBackend:
+    """Budget-bounded execution: anytime inference (DESIGN.md §14).
+
+    Builds a :class:`~repro.snn.budget.Budget` from ``config.budget_ms``
+    and/or ``config.min_confidence`` and runs the engine under it; the
+    result is always an :class:`~repro.snn.results.AnytimeResult` carrying
+    per-sample confidence margins and whether the budget truncated the
+    window.  ``config.compiled`` composes for monitor-free runs through
+    the runtime's cached compiled simulator (the phased executor checks
+    the same budget between steps).
+    """
+
+    name = "anytime"
+
+    def execute(self, runtime, config, x, y=None) -> SimulationResult:
+        from repro.snn.budget import Budget
+
+        budget = Budget(ms=config.budget_ms, min_confidence=config.min_confidence)
+        if config.compiled and not config.monitors:
+            sim = runtime.compiled_simulator(steps=config.steps, dtype=config.dtype)
+            return sim.run_compiled(
+                x,
+                y,
+                batch_size=config.resolved_batch_size,
+                calibrate=config.calibrate,
+                budget=budget,
+            )
+        sim = runtime.simulator(
+            monitors=config.monitors, steps=config.steps, dtype=config.dtype
+        )
+        if config.batch_size is None:
+            return sim.run(x, y, budget=budget)
+        return sim.run_batched(x, y, batch_size=config.batch_size, budget=budget)
+
+    def close(self) -> None:
+        pass
+
+
 class ServiceBackend:
     """The online inference service as a backend (DESIGN.md §11).
 
@@ -215,6 +266,8 @@ class ServiceBackend:
 
         if config.deadline_ms is not None:
             service_kwargs.setdefault("default_deadline_ms", config.deadline_ms)
+        if config.budget_ms is not None:
+            service_kwargs.setdefault("budget_ms", config.budget_ms)
         return InferenceService(
             runtime.model,
             workers=config.workers,
@@ -248,4 +301,5 @@ class ServiceBackend:
 register_backend("serial", SerialBackend)
 register_backend("compiled", CompiledBackend)
 register_backend("parallel", ParallelBackend)
+register_backend("anytime", AnytimeBackend)
 register_backend("service", ServiceBackend)

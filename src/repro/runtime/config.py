@@ -87,12 +87,28 @@ class RunConfig:
         (:mod:`repro.runtime.backends`); ``None`` selects automatically
         from the other fields (parallel > compiled > serial).
     deadline_ms:
-        Per-request deadline for served execution
-        (``InferenceService.submit(deadline_ms=...)`` default).  Only the
+        Per-request *queue admission* deadline for served execution
+        (``InferenceService.submit(deadline_ms=...)`` default): a request
+        still waiting in the micro-batcher when it expires is rejected
+        with ``DeadlineExceeded`` before any compute is spent.  Only the
         service honours deadlines — batch backends run to completion — so
         combining it with an explicit builtin batch backend is rejected
         here, and ``Runtime.run`` rejects it for auto-selected batch
-        backends too.
+        backends too.  See DESIGN.md §13/§14 for the deadline/budget
+        split.
+    budget_ms:
+        *Execution* compute budget in milliseconds (docs/DESIGN.md §14).
+        Batch runs route to the ``"anytime"`` backend, which truncates the
+        simulation window when the budget expires and returns an
+        :class:`~repro.snn.results.AnytimeResult` (current argmax +
+        confidence margins).  Under ``serve()`` it bounds each dispatched
+        flush's execution (the watchdog deadline), complementing
+        ``deadline_ms``'s queueing bound.
+    min_confidence:
+        Per-sample early decision margin (``"anytime"`` backend only): a
+        sample whose accumulated evidence margin reaches this value is
+        retired immediately, freeing batch capacity before the budget
+        expires.  Deliberately lossy; not available under ``serve()``.
     """
 
     batch_size: int | None = None
@@ -104,6 +120,8 @@ class RunConfig:
     dtype: np.dtype | None = None
     backend: str | None = None
     deadline_ms: float | None = None
+    budget_ms: float | None = None
+    min_confidence: float | None = None
 
     def __post_init__(self):
         object.__setattr__(self, "monitors", tuple(self.monitors))
@@ -147,18 +165,28 @@ class RunConfig:
                 )
             object.__setattr__(self, "dtype", dtype)
 
-        if self.deadline_ms is not None:
-            deadline = self.deadline_ms
+        for name in ("deadline_ms", "budget_ms", "min_confidence"):
+            value = getattr(self, name)
+            if value is None:
+                continue
             if (
-                isinstance(deadline, bool)
-                or not isinstance(deadline, (int, float, np.integer, np.floating))
-                or not deadline > 0  # "not >" also catches NaN
+                isinstance(value, bool)
+                or not isinstance(value, (int, float, np.integer, np.floating))
+                or not value > 0  # "not >" also catches NaN
+                or not np.isfinite(value)
             ):
                 raise ValueError(
-                    "deadline_ms must be a positive number or None, "
-                    f"got {deadline!r}"
+                    f"{name} must be a positive number or None, got {value!r}"
                 )
-            object.__setattr__(self, "deadline_ms", float(deadline))
+            object.__setattr__(self, name, float(value))
+
+        budgeted = self.budget_ms is not None or self.min_confidence is not None
+        if budgeted and self.parallel_requested:
+            raise ValueError(
+                "budget_ms/min_confidence bound a single in-process window; "
+                f"workers={self.workers!r} shards across processes, whose "
+                "wall clocks cannot share one budget — run with workers=1"
+            )
 
         if self.monitors and self.parallel_requested:
             raise ValueError(
@@ -193,13 +221,32 @@ class RunConfig:
                     "monitors observe per-step state and cannot be attached "
                     'to backend="service" (no meaning at request granularity)'
                 )
-            if self.backend in ("serial", "compiled", "parallel") and (
+            if self.backend in ("serial", "compiled", "parallel", "anytime") and (
                 self.deadline_ms is not None
             ):
                 raise ValueError(
                     f"deadline_ms is a served-request option; "
                     f'backend={self.backend!r} runs batches to completion '
-                    "and cannot honour it (use the service backend)"
+                    "and cannot honour it (use the service backend; for an "
+                    "execution-side bound on batch runs use budget_ms)"
+                )
+            if self.backend in ("serial", "compiled", "parallel") and budgeted:
+                raise ValueError(
+                    "budget_ms/min_confidence select anytime execution; "
+                    f"backend={self.backend!r} runs the window to completion "
+                    '— drop the explicit backend or use backend="anytime"'
+                )
+            if self.backend == "anytime" and not budgeted:
+                raise ValueError(
+                    'backend="anytime" needs a bound: set budget_ms and/or '
+                    "min_confidence"
+                )
+            if self.backend == "service" and self.min_confidence is not None:
+                raise ValueError(
+                    "min_confidence retires individual samples inside a "
+                    'batch window and has no meaning under backend="service" '
+                    "(requests are padded micro-batches); use budget_ms to "
+                    "bound served execution"
                 )
             if self.backend == "service" and self.dtype is not None:
                 raise ValueError(

@@ -154,6 +154,7 @@ class Runtime:
             "serial",
             "compiled",
             "parallel",
+            "anytime",
         ):
             raise ValueError(
                 "deadline_ms is a served-request option; this run selected "
@@ -191,6 +192,12 @@ class Runtime:
             raise ValueError(
                 f"serve() always builds the service backend; a config naming "
                 f"backend={config.backend!r} cannot be honoured"
+            )
+        if config.min_confidence is not None:
+            raise ValueError(
+                "min_confidence retires individual samples inside a batch "
+                "window and has no meaning at request granularity; use "
+                "budget_ms to bound served execution"
             )
         backend = self.backend("service")
         if not hasattr(backend, "open"):

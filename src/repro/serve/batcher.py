@@ -14,7 +14,10 @@ Reliability semantics (§13):
 * **Cancellation** — :meth:`ServedFuture.cancel` settles the future with
   ``CancelledError``; the batcher culls cancelled entries when assembling
   a flush, so a caller that gave up (e.g. after a ``result()`` timeout)
-  no longer consumes a batch slot and compute.
+  no longer consumes a batch slot and compute.  Once a micro-batch
+  *dispatches*, its members' compute is committed: ``cancel()`` then
+  returns ``False`` (counted in ``cancelled_late``) and the flush's
+  outcome settles the future normally.
 * **Deadlines** — a future stamped with ``deadline_at`` is rejected with
   :class:`~repro.reliability.errors.DeadlineExceeded` the moment its
   deadline passes while queued; expiry is decided *before* the flush, so
@@ -56,7 +59,9 @@ class ServedFuture:
     re-raises the flush error).  ``submitted_at`` is the monotonic submit
     time the batcher stamps; the service uses it to report per-request
     latency.  ``deadline_at`` (monotonic, ``None`` = no deadline) is
-    stamped by the service from ``submit(deadline_ms=...)``.
+    stamped by the service from ``submit(deadline_ms=...)``;
+    ``budget_ms`` (``None`` = unbudgeted) is the execution budget the
+    service's flush watchdog enforces once the request dispatches.
 
     Settlement is first-wins: whichever of resolve / reject / cancel
     lands first decides the outcome; later attempts are no-ops (they
@@ -70,8 +75,11 @@ class ServedFuture:
         "_value",
         "_error",
         "_cancelled",
+        "_dispatched",
+        "_late_cancel_cb",
         "submitted_at",
         "deadline_at",
+        "budget_ms",
     )
 
     def __init__(self):
@@ -80,8 +88,11 @@ class ServedFuture:
         self._value = None
         self._error: BaseException | None = None
         self._cancelled = False
+        self._dispatched = False
+        self._late_cancel_cb = None
         self.submitted_at: float = 0.0
         self.deadline_at: float | None = None
+        self.budget_ms: float | None = None
 
     def done(self) -> bool:
         """True once a result, an error or a cancellation has been set."""
@@ -97,20 +108,46 @@ class ServedFuture:
             return False
         return (time.monotonic() if now is None else now) >= self.deadline_at
 
+    def mark_dispatched(self, late_cancel_cb=None) -> None:
+        """Stamp the moment the micro-batch is handed to the flush.
+
+        Called by the batcher's dispatch thread.  From here on
+        :meth:`cancel` cannot withdraw the request — its compute is
+        already committed — so cancellation returns ``False`` and notifies
+        ``late_cancel_cb(future)`` instead (the service counts these).
+        """
+        with self._lock:
+            self._dispatched = True
+            self._late_cancel_cb = late_cancel_cb
+
     def cancel(self) -> bool:
         """Withdraw the request; True if this call settled the future.
 
         A cancelled entry is skipped when its micro-batch is assembled
         (no compute is spent on it).  Returns ``False`` when the future
-        already has an outcome — the result stands in that case.
+        already has an outcome — the result stands — **or** once its
+        micro-batch has dispatched: committed compute cannot be recalled,
+        so the flush's result (or error) will settle the future normally.
+        Post-dispatch attempts are reported to the batcher's late-cancel
+        observer, outside the future's lock.
         """
+        cb = None
         with self._lock:
             if self._event.is_set():
                 return False
-            self._cancelled = True
-            self._error = CancelledError("request cancelled by caller")
-            self._event.set()
-            return True
+            if self._dispatched:
+                cb = self._late_cancel_cb
+            else:
+                self._cancelled = True
+                self._error = CancelledError("request cancelled by caller")
+                self._event.set()
+                return True
+        if cb is not None:
+            try:
+                cb(self)
+            except Exception:  # pragma: no cover - observer must not wedge us
+                pass
+        return False
 
     def result(self, timeout: float | None = None):
         """Block for the outcome; raises ``TimeoutError`` after ``timeout``."""
@@ -186,10 +223,12 @@ class MicroBatcher:
         self._pending: list = []
         self._closed = False
         # Drop counters (dispatch-thread writers except rejected_full,
-        # which submit() increments under the lock).
+        # which submit() increments under the lock, and cancelled_late,
+        # incremented from the cancelling caller's thread).
         self.expired = 0
         self.cancelled_dropped = 0
         self.rejected_full = 0
+        self.cancelled_late = 0
         self._thread = threading.Thread(
             target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
         )
@@ -274,6 +313,11 @@ class MicroBatcher:
                 kept.append((payload, future))
         self._pending = kept
 
+    def _note_late_cancel(self, future: ServedFuture) -> None:
+        """A caller tried to cancel after dispatch (see ``cancel``)."""
+        with self._lock:
+            self.cancelled_late += 1
+
     def _notify_drops(self, dropped: list) -> None:
         if self._on_drop is None:
             dropped.clear()
@@ -331,6 +375,10 @@ class MicroBatcher:
                 if flush:
                     del self._pending[: self.max_batch]
                 closed = self._closed
+            # Dispatch commits the batch's compute: from here a cancel()
+            # can no longer withdraw a member (it is counted instead).
+            for _, future in batch:
+                future.mark_dispatched(self._note_late_cancel)
             self._notify_drops(dropped)
             if not batch:
                 if closed and not self.pending:

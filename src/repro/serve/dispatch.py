@@ -134,5 +134,33 @@ class ShardedDispatcher:
         results = self._supervisor.map(_run_shard, shards)
         return np.concatenate([r.scores for r in results], axis=0)
 
-    def close(self) -> None:
-        self._supervisor.close()
+    def run_budgeted(self, x: np.ndarray, budget_ms: float):
+        """Execute one micro-batch under a per-shard compute budget.
+
+        Each shard carries ``budget_ms`` in its payload and runs as an
+        anytime window in its worker (shards execute concurrently, so the
+        wall-clock budget applies to each, not to their sum).  Returns
+        ``(scores, exhausted)`` where ``exhausted`` is True when *any*
+        shard's window was truncated by the budget — the flush's rows are
+        then partial answers (sealed early, never cached by the service).
+        """
+        shards = [
+            (None, x[start : start + self.shard_size], None, float(budget_ms))
+            for start in range(0, len(x), self.shard_size)
+        ]
+        results = self._supervisor.map(_run_shard, shards)
+        scores = np.concatenate([r.scores for r in results], axis=0)
+        exhausted = any(getattr(r, "budget_exhausted", False) for r in results)
+        return scores, exhausted
+
+    def close(self, force: bool = False) -> None:
+        """Shut down the supervised pool permanently.
+
+        ``force=True`` (the flush watchdog's recovery path) also kills the
+        worker processes outright — a hung flush may have wedged them —
+        and, because the supervisor is *closed* rather than merely
+        discarded, the abandoned dispatch attempt cannot resurrect the
+        pool: its next rebuild raises
+        :class:`~repro.reliability.errors.PoolUnavailable` instead.
+        """
+        self._supervisor.close(force=force)

@@ -43,6 +43,20 @@ on success.  Requests carry optional deadlines
 (``max_pending`` → :class:`~repro.reliability.errors.QueueFull`), and
 :meth:`InferenceService.health` reports the breaker state and drop
 counters.
+
+Deadline enforcement end to end (docs/DESIGN.md §14): ``deadline_ms``
+bounds *queue* time (stale requests culled before compute);
+``budget_ms`` bounds *execution*.  A budgeted flush runs on a dedicated
+runner thread as an anytime window (the engine gets a fraction of the
+tightest member budget), while the dispatch thread doubles as a **flush
+watchdog**: a flush still executing past its full budget is abandoned —
+members settle with :class:`DeadlineExceeded` within one flush deadline,
+the abandoned runner is fenced off by a flush *epoch* (it can never
+touch shared state again), and plans/pool are force-rebuilt so the next
+flush starts clean.  Sustained overruns engage a degrade ladder that
+halves the compute window (graceful degradation — partial anytime
+answers, flagged ``ServedResult.partial`` and never cached) before
+admission control starts rejecting outright.
 """
 
 from __future__ import annotations
@@ -62,8 +76,10 @@ from repro.reliability.supervisor import RetryPolicy
 from repro.serve.batcher import MicroBatcher, ServedFuture
 from repro.serve.cache import ResultCache, input_digest
 from repro.serve.dispatch import ShardedDispatcher
+from repro.snn.budget import Budget
 from repro.snn.engine import Simulator
 from repro.snn.parallel import resolve_workers
+from repro.snn.results import confidence_margins
 
 __all__ = ["ServedResult", "ServiceStats", "ServiceHealth", "InferenceService"]
 
@@ -79,6 +95,12 @@ class ServedResult:
     request's flush, and ``batch_size`` the micro-batch the sample rode in
     (``0`` for cache hits, which never enter a batch; deduped results
     report the primary's batch).
+
+    Budgeted requests additionally carry ``partial`` — True when the
+    compute budget truncated the flush's window, making ``scores`` an
+    anytime answer (evidence so far plus the readout prior) rather than
+    the full run's — and ``margin``, the top-2 confidence margin of the
+    sealed scores (``None`` for unbudgeted requests).
     """
 
     scores: np.ndarray
@@ -87,6 +109,8 @@ class ServedResult:
     cached: bool = False
     deduped: bool = False
     batch_size: int = 0
+    partial: bool = False
+    margin: float | None = None
 
 
 @dataclass
@@ -106,7 +130,11 @@ class ServiceStats:
     pool_rebuilds: int = 0
     deadline_expired: int = 0
     cancelled: int = 0
+    cancelled_after_dispatch: int = 0
     rejected_full: int = 0
+    watchdog_timeouts: int = 0
+    partial_results: int = 0
+    degrade_level: int = 0
     breaker_state: str = "disabled"
     flush_sizes: dict[int, int] = field(default_factory=dict)
 
@@ -122,9 +150,12 @@ class ServiceHealth:
 
     ``status`` is ``"ok"`` when the service is operating as configured and
     ``"degraded"`` when a tripped (or probing) circuit breaker has it
-    serving serially despite ``workers > 1``.  ``breaker`` is the breaker
-    state string, or ``"disabled"`` for serial services that have no
-    parallel path to protect.
+    serving serially despite ``workers > 1``, **or** when the flush
+    watchdog's degrade ladder is engaged (``degrade_level > 0``: recent
+    budgeted flushes overran and the compute window is shrunk until clean
+    flushes walk it back).  ``breaker`` is the breaker state string, or
+    ``"disabled"`` for serial services that have no parallel path to
+    protect.  ``watchdog_timeouts`` counts flushes the watchdog abandoned.
     """
 
     status: str
@@ -137,10 +168,74 @@ class ServiceHealth:
     deadline_expired: int
     cancelled: int
     rejected_full: int
+    watchdog_timeouts: int = 0
+    degrade_level: int = 0
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+
+#: Fraction of the flush deadline handed to the engine as its compute
+#: budget — the remainder is headroom for stacking, padding, plan lookup
+#: and settlement, so a well-behaved budgeted flush finishes *inside* the
+#: watchdog's deadline instead of racing it.
+_ENGINE_FRACTION = 0.5
+
+#: Floor for the degraded engine budget: the degrade ladder halves the
+#: window under sustained overload but never below this, so a degraded
+#: flush still executes at least a sliver of the schedule (sealing the
+#: readout prior) rather than spinning on a zero-step window.
+_MIN_ENGINE_BUDGET_MS = 0.05
+
+#: Degrade-ladder depth cap; at 2**8 the window is already at the floor
+#: for any sane budget, deeper levels only slow re-escalation.
+_MAX_DEGRADE_LEVEL = 8
+
+
+class _FlushAbandoned(Exception):
+    """Internal: a zombie flush thread noticed the watchdog moved on.
+
+    Raised inside ``_execute_budgeted`` when the flush epoch advanced —
+    i.e. the watchdog already abandoned this flush, settled its members
+    and rebuilt the execution state.  The runner thread swallows it via
+    the ticket (whose ``try_finish`` is a no-op after abandonment).
+    """
+
+
+class _FlushTicket:
+    """First-wins settlement token shared by a flush runner and the watchdog.
+
+    Exactly one of :meth:`try_finish` (runner: result or error) and
+    :meth:`try_abandon` (watchdog: deadline blown) claims the ticket; the
+    loser's outcome is discarded.  This is what makes the runner finishing
+    *just* as the watchdog fires race-free: members are settled by
+    whichever side won, exactly once.
+    """
+
+    __slots__ = ("_lock", "_state", "result", "error")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._state = "pending"
+        self.result = None
+        self.error: BaseException | None = None
+
+    def try_finish(self, result, error: BaseException | None) -> bool:
+        with self._lock:
+            if self._state != "pending":
+                return False
+            self._state = "finished"
+            self.result = result
+            self.error = error
+            return True
+
+    def try_abandon(self) -> bool:
+        with self._lock:
+            if self._state != "pending":
+                return False
+            self._state = "abandoned"
+            return True
 
 
 def _default_capacities(max_batch: int) -> tuple[int, ...]:
@@ -202,6 +297,19 @@ class InferenceService:
     default_deadline_ms:
         Deadline applied to every submission that does not pass its own
         ``deadline_ms`` (``None`` = no default deadline).
+    budget_ms:
+        Default *execution* budget applied to every submission that does
+        not pass its own ``budget_ms`` (``None`` = unbudgeted flushes,
+        no watchdog).  Where ``deadline_ms`` bounds time spent *queued*
+        (stale requests are culled before compute), ``budget_ms`` bounds
+        the dispatched flush itself: the engine runs the micro-batch as
+        an anytime window under a fraction of the budget, and a flush
+        watchdog abandons any flush that overruns the full budget —
+        settling members with a partial result when one exists, or
+        :class:`DeadlineExceeded` otherwise — then force-rebuilds the
+        execution state so the next flush starts clean.  Under sustained
+        overruns the watchdog degrades by halving the compute window
+        before admission control starts rejecting with ``QueueFull``.
     max_pending:
         Bound on the pending queue; ``submit`` raises
         :class:`~repro.reliability.errors.QueueFull` when saturated
@@ -229,6 +337,7 @@ class InferenceService:
         start_method: str | None = None,
         dedupe: bool = True,
         default_deadline_ms: float | None = None,
+        budget_ms: float | None = None,
         max_pending: int | None = None,
         breaker: CircuitBreaker | None = None,
         retry: RetryPolicy | None = None,
@@ -301,16 +410,25 @@ class InferenceService:
             )
             self._workers = 1
         self._stats.workers = self._workers
-        if default_deadline_ms is not None and not (
-            isinstance(default_deadline_ms, (int, float))
-            and not isinstance(default_deadline_ms, bool)
-            and default_deadline_ms > 0
+        for name, value in (
+            ("default_deadline_ms", default_deadline_ms),
+            ("budget_ms", budget_ms),
         ):
-            raise ValueError(
-                "default_deadline_ms must be a positive number or None, "
-                f"got {default_deadline_ms!r}"
-            )
+            if value is not None and not (
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and value > 0
+                and np.isfinite(value)
+            ):
+                raise ValueError(
+                    f"{name} must be a positive number or None, got {value!r}"
+                )
         self._default_deadline_ms = default_deadline_ms
+        self._budget_ms = None if budget_ms is None else float(budget_ms)
+        # Flush-watchdog state (dispatch-thread writers; the epoch is read
+        # by abandoned runner threads to detect they are zombies).
+        self._flush_epoch = 0
+        self._degrade_level = 0
         self._breaker = breaker if breaker is not None else CircuitBreaker()
         self._retry = retry
         self._batcher = MicroBatcher(
@@ -326,7 +444,10 @@ class InferenceService:
     # ------------------------------------------------------------------ #
 
     def submit(
-        self, x: np.ndarray, deadline_ms: float | None = None
+        self,
+        x: np.ndarray,
+        deadline_ms: float | None = None,
+        budget_ms: float | None = None,
     ) -> ServedFuture:
         """Enqueue one sample; returns a future resolving to a result.
 
@@ -340,8 +461,11 @@ class InferenceService:
         (falling back to the service's ``default_deadline_ms``): if its
         micro-batch has not started executing by then, the future is
         rejected with :class:`DeadlineExceeded` and no compute is spent on
-        it.  Raises :class:`QueueFull` when ``max_pending`` is configured
-        and the queue is saturated.
+        it.  ``budget_ms`` (falling back to the service's ``budget_ms``)
+        bounds *execution*: the flush carrying the sample runs under the
+        tightest member budget, watchdog-enforced — see the constructor.
+        Raises :class:`QueueFull` when ``max_pending`` is configured and
+        the queue is saturated.
         """
         if self._closed:
             raise RuntimeError("InferenceService is closed")
@@ -354,6 +478,17 @@ class InferenceService:
         ):
             raise ValueError(
                 f"deadline_ms must be a positive number, got {deadline_ms!r}"
+            )
+        if budget_ms is None:
+            budget_ms = self._budget_ms
+        elif not (
+            isinstance(budget_ms, (int, float))
+            and not isinstance(budget_ms, bool)
+            and budget_ms > 0
+            and np.isfinite(budget_ms)
+        ):
+            raise ValueError(
+                f"budget_ms must be a positive number, got {budget_ms!r}"
             )
         x = np.asarray(x)
         if x.shape == (1, *self.input_shape):
@@ -371,6 +506,8 @@ class InferenceService:
         future = ServedFuture()
         if deadline_ms is not None:
             future.deadline_at = time.monotonic() + deadline_ms / 1000.0
+        if budget_ms is not None:
+            future.budget_ms = float(budget_ms)
         # The coding key and the sample digest serve both the cache lookup
         # and the dedup registration; compute each at most once per submit.
         key = digest = None
@@ -510,31 +647,8 @@ class InferenceService:
             self._dispatcher = None
         if self._workers > 1 and self._breaker.allow():
             try:
-                if self._dispatcher is None:
-                    sim = self._sim_for(key)
-                    if self._steps is not None and sim._steps_arg != self._steps:
-                        # The payload ships sim._steps_arg, so the service's
-                        # steps override must be baked into the replica.
-                        sim = Simulator(
-                            sim.network,
-                            sim.scheme,
-                            steps=self._steps,
-                            event_driven=sim.event_driven,
-                            density_threshold=sim.density_threshold,
-                            early_exit=sim.early_exit,
-                        )
-                    self._dispatcher = ShardedDispatcher(
-                        sim,
-                        workers=self._workers,
-                        shard_size=max(1, -(-self.max_batch // self._workers)),
-                        compiled=True,
-                        calibrate=self._calibrate,
-                        start_method=self._start_method,
-                        retry=self._retry,
-                        on_rebuild=self._note_rebuild,
-                    )
-                    self._dispatcher_key = key
-                scores = self._dispatcher.run(xs)
+                dispatcher = self._ensure_dispatcher(key)
+                scores = dispatcher.run(xs)
             except PoolUnavailable as exc:
                 self._breaker.record_failure()
                 note_serial_fallback("repro.serve.InferenceService", exc)
@@ -547,6 +661,39 @@ class InferenceService:
                 self._breaker.record_success()
                 return scores
         faults.check(faults.KERNEL_EXCEPTION)
+        plan, xs = self._padded_plan(key, xs)
+        return plan.run(xs).scores[:n]
+
+    def _ensure_dispatcher(self, key) -> ShardedDispatcher:
+        if self._dispatcher is None:
+            sim = self._sim_for(key)
+            if self._steps is not None and sim._steps_arg != self._steps:
+                # The payload ships sim._steps_arg, so the service's
+                # steps override must be baked into the replica.
+                sim = Simulator(
+                    sim.network,
+                    sim.scheme,
+                    steps=self._steps,
+                    event_driven=sim.event_driven,
+                    density_threshold=sim.density_threshold,
+                    early_exit=sim.early_exit,
+                )
+            self._dispatcher = ShardedDispatcher(
+                sim,
+                workers=self._workers,
+                shard_size=max(1, -(-self.max_batch // self._workers)),
+                compiled=True,
+                calibrate=self._calibrate,
+                start_method=self._start_method,
+                retry=self._retry,
+                on_rebuild=self._note_rebuild,
+            )
+            self._dispatcher_key = key
+        return self._dispatcher
+
+    def _padded_plan(self, key, xs: np.ndarray):
+        """The serial plan for this flush, plus ``xs`` padded to its capacity."""
+        n = len(xs)
         capacity = self._capacity_for(n)
         plan = self._plan_for(key, capacity)
         if n < capacity:
@@ -554,7 +701,49 @@ class InferenceService:
             padded[:n] = xs
             self._stats.padded_samples += capacity - n
             xs = padded
-        return plan.run(xs).scores[:n]
+        return plan, xs
+
+    def _execute_budgeted(self, key, xs: np.ndarray, engine_ms: float, epoch: int):
+        """Run one micro-batch as an anytime window; ``(scores, exhausted)``.
+
+        Runs on a per-flush *runner* thread under the flush watchdog.  The
+        ``epoch`` snapshot detects abandonment: if the watchdog gave up on
+        this flush it already settled the members and rebuilt the
+        execution state, so a late-waking runner (a *zombie*) must not
+        touch the service's shared plans/dispatcher/breaker — it bails out
+        with :class:`_FlushAbandoned` instead.
+        """
+        faults.check(faults.FLUSH_HANG)
+        if epoch != self._flush_epoch:
+            raise _FlushAbandoned()
+        n = len(xs)
+        if self._dispatcher is not None and self._dispatcher_key != key:
+            self._dispatcher.close()
+            self._dispatcher = None
+        if self._workers > 1 and self._breaker.allow():
+            try:
+                dispatcher = self._ensure_dispatcher(key)
+                scores, exhausted = dispatcher.run_budgeted(xs, engine_ms)
+            except PoolUnavailable as exc:
+                if epoch != self._flush_epoch:
+                    # The watchdog force-closed our pool out from under us;
+                    # that is abandonment, not a pool failure — recording
+                    # it would charge the breaker for the watchdog's kill.
+                    raise _FlushAbandoned() from None
+                self._breaker.record_failure()
+                note_serial_fallback("repro.serve.InferenceService", exc)
+                with self._stats_lock:
+                    self._stats.serial_fallbacks += 1
+                if self._dispatcher is not None:
+                    self._dispatcher.close()
+                    self._dispatcher = None
+            else:
+                self._breaker.record_success()
+                return scores, exhausted
+        faults.check(faults.KERNEL_EXCEPTION)
+        plan, xs = self._padded_plan(key, xs)
+        result = plan.run(xs, budget=Budget(ms=engine_ms))
+        return result.scores[:n], result.budget_exhausted
 
     def _pop_followers(self, digest) -> list:
         if digest is None:
@@ -607,8 +796,22 @@ class InferenceService:
             with self._inflight_lock:
                 self._inflight.setdefault(digest, []).extend(riders)
 
+    def _flush_budget_ms(self, requests) -> float | None:
+        """The flush's execution deadline: the tightest member budget."""
+        budgets = [f.budget_ms for _, f in requests if f.budget_ms is not None]
+        return min(budgets) if budgets else None
+
+    def _engine_budget_ms(self, budget_ms: float) -> float:
+        """The engine's slice of the flush deadline, degrade-adjusted."""
+        engine = budget_ms * _ENGINE_FRACTION / (1 << self._degrade_level)
+        return max(engine, _MIN_ENGINE_BUDGET_MS)
+
     def _flush(self, requests) -> None:
         faults.check(faults.SLOW_FLUSH)
+        budget_ms = self._flush_budget_ms(requests)
+        if budget_ms is not None:
+            self._flush_budgeted(requests, budget_ms)
+            return
         try:
             key = self._coding_key()
             xs = np.stack([x for (x, _), _ in requests])
@@ -618,17 +821,116 @@ class InferenceService:
             # them must be rejected too, not left hanging.
             self._reject_followers(requests, exc)
             raise
+        self._settle_flush(requests, key, scores)
+
+    def _flush_budgeted(self, requests, budget_ms: float) -> None:
+        """Execute one flush under the watchdog (see constructor docs).
+
+        The micro-batch runs on a dedicated runner thread with an engine
+        budget of a *fraction* of ``budget_ms`` (degrade-adjusted); the
+        dispatch thread doubles as the watchdog, joining the runner for
+        the full budget.  A runner that returns in time settles members
+        normally (partial results flagged, never cached).  A runner that
+        overruns — a hung worker, a wedged pool, an engine that cannot
+        honour its budget — is *abandoned*: the flush epoch advances (so
+        the zombie can never touch shared state again), the execution
+        state is force-rebuilt, the degrade ladder deepens, and every
+        member is settled with :class:`DeadlineExceeded` within one flush
+        deadline of dispatch.
+        """
+        key = self._coding_key()
+        xs = np.stack([x for (x, _), _ in requests])
+        engine_ms = self._engine_budget_ms(budget_ms)
+        epoch = self._flush_epoch
+        ticket = _FlushTicket()
+
+        def _runner():
+            try:
+                out = self._execute_budgeted(key, xs, engine_ms, epoch)
+            except BaseException as exc:  # noqa: BLE001 - forwarded via ticket
+                ticket.try_finish(None, exc)
+            else:
+                ticket.try_finish(out, None)
+
+        thread = threading.Thread(
+            target=_runner, name="repro-serve-flush", daemon=True
+        )
+        thread.start()
+        thread.join(budget_ms / 1000.0)
+        if ticket.try_abandon():
+            # Watchdog fired: the runner is hung past the flush deadline.
+            self._flush_epoch += 1  # fence the zombie out of shared state
+            self._recover_from_hang()
+            self._degrade_level = min(self._degrade_level + 1, _MAX_DEGRADE_LEVEL)
+            with self._stats_lock:
+                self._stats.watchdog_timeouts += 1
+                self._stats.degrade_level = self._degrade_level
+            exc = DeadlineExceeded(
+                f"flush watchdog abandoned a micro-batch still executing "
+                f"after its {budget_ms:.3f} ms budget; no partial result "
+                "was recoverable"
+            )
+            for (_, _digest), future in requests:
+                future._reject(exc)
+            self._reject_followers(requests, exc)
+            return
+        if isinstance(ticket.error, _FlushAbandoned):  # pragma: no cover
+            # Settled by a previous watchdog pass; nothing left to do.
+            return
+        if ticket.error is not None:
+            self._reject_followers(requests, ticket.error)
+            raise ticket.error
+        scores, exhausted = ticket.result
+        if self._degrade_level:
+            # A clean budgeted flush walks the degrade ladder back up.
+            self._degrade_level -= 1
+            with self._stats_lock:
+                self._stats.degrade_level = self._degrade_level
+        self._settle_flush(requests, key, scores, partial=exhausted)
+
+    def _recover_from_hang(self) -> None:
+        """Orphan every execution object a zombie flush might still touch.
+
+        The abandoned runner cannot be interrupted — it may be deep inside
+        a compiled plan or blocked on a wedged pool.  Instead of sharing
+        state with it, the service walks away: plans, the generation
+        simulator and the dispatcher are dropped (the dispatcher's pool
+        force-killed and its supervisor *closed*, so the zombie's next
+        pool touch raises instead of respawning workers), and the next
+        flush rebuilds everything fresh under the new epoch.
+        """
+        self._plans = {}
+        self._gen_sim = None
+        self._gen_key = None
+        dispatcher, self._dispatcher = self._dispatcher, None
+        self._dispatcher_key = None
+        if dispatcher is not None:
+            dispatcher.close(force=True)
+
+    def _settle_flush(
+        self, requests, key, scores, partial: bool = False
+    ) -> None:
+        """Resolve every member (and follower) of one executed flush."""
         now = time.monotonic()
         n = len(requests)
         self._stats.flushes += 1
         self._stats.flushed_samples += n
         self._stats.flush_sizes[n] = self._stats.flush_sizes.get(n, 0) + 1
+        margins = None
+        if self._flush_budget_ms(requests) is not None:
+            margins = confidence_margins(np.asarray(scores))
+        if partial:
+            with self._stats_lock:
+                self._stats.partial_results += n
         for i, ((x, digest), future) in enumerate(requests):
             row = np.array(scores[i], copy=True)
-            if self._cache.capacity > 0:
+            margin = None if margins is None else float(margins[i])
+            if self._cache.capacity > 0 and not partial:
                 # Digest under the key the flush actually executed with —
                 # a submit-time digest could cache scores computed after a
-                # concurrent reconfiguration under the old key.
+                # concurrent reconfiguration under the old key.  Partial
+                # (budget-truncated) scores are never cached: a later
+                # unbudgeted request must not replay a degraded answer.
                 self._cache.put(input_digest(x, key), row)
             future._resolve(
                 ServedResult(
@@ -637,6 +939,8 @@ class InferenceService:
                     latency_s=now - future.submitted_at,
                     cached=False,
                     batch_size=n,
+                    partial=partial,
+                    margin=margin,
                 )
             )
             # Followers attached up to this instant ride this flush; the
@@ -652,6 +956,8 @@ class InferenceService:
                         cached=False,
                         deduped=True,
                         batch_size=n,
+                        partial=partial,
+                        margin=margin,
                     )
                 )
 
@@ -679,7 +985,9 @@ class InferenceService:
             cache_misses=self._cache.misses,
             deadline_expired=self._batcher.expired,
             cancelled=self._batcher.cancelled_dropped,
+            cancelled_after_dispatch=self._batcher.cancelled_late,
             rejected_full=self._batcher.rejected_full,
+            degrade_level=self._degrade_level,
             breaker_state=(
                 self._breaker.state if self._workers > 1 else "disabled"
             ),
@@ -696,7 +1004,9 @@ class InferenceService:
         """
         breaker_state = self._breaker.state if self._workers > 1 else "disabled"
         parallel_active = self._workers > 1 and breaker_state == CLOSED
-        degraded = self._workers > 1 and not parallel_active
+        degraded = (self._workers > 1 and not parallel_active) or (
+            self._degrade_level > 0
+        )
         stats = self.stats()
         return ServiceHealth(
             status="degraded" if degraded else "ok",
@@ -709,6 +1019,8 @@ class InferenceService:
             deadline_expired=stats.deadline_expired,
             cancelled=stats.cancelled,
             rejected_full=stats.rejected_full,
+            watchdog_timeouts=stats.watchdog_timeouts,
+            degrade_level=stats.degrade_level,
         )
 
     def close(self) -> None:

@@ -1,5 +1,6 @@
 """Spiking-network simulation substrate: engine, events, schedules, neurons, monitors."""
 
+from repro.snn.budget import Budget, BudgetTimer
 from repro.snn.engine import Simulator
 from repro.snn.events import (
     DEFAULT_DENSITY_THRESHOLD,
@@ -18,7 +19,7 @@ from repro.snn.monitors import (
 from repro.snn.neurons import IFNeurons, NeuronDynamics, ReadoutAccumulator
 from repro.snn.parallel import run_parallel
 from repro.snn.plan import ExecutionPlan, Workspace
-from repro.snn.results import SimulationResult
+from repro.snn.results import AnytimeResult, SimulationResult, confidence_margins
 from repro.snn.schedule import (
     PhasedSchedule,
     StageWindow,
@@ -39,6 +40,10 @@ __all__ = [
     "spike_count",
     "spike_mask",
     "SimulationResult",
+    "AnytimeResult",
+    "confidence_margins",
+    "Budget",
+    "BudgetTimer",
     "Monitor",
     "SpikeCountMonitor",
     "SpikeTimeMonitor",

@@ -44,10 +44,22 @@ import numpy as np
 
 from repro.convert.converter import ConvertedNetwork, ConvertedStage
 from repro.snn import events as ev
+from repro.snn.budget import Budget, BudgetTimer
 from repro.snn.events import SpikePacket
-from repro.snn.results import SimulationResult
+from repro.snn.results import AnytimeResult, SimulationResult, confidence_margins
 
 __all__ = ["Simulator"]
+
+
+def _start_timer(budget, timer):
+    """Resolve the run's :class:`BudgetTimer` (shared timers pass through)."""
+    if timer is not None:
+        return timer
+    if budget is None:
+        return None
+    if not isinstance(budget, Budget):
+        raise TypeError(f"budget must be a Budget or None, got {budget!r}")
+    return budget.start()
 
 
 def _check_batch_size(batch_size) -> int:
@@ -285,11 +297,24 @@ class Simulator:
             if hook is not None:
                 hook(self, x, y)
 
-    def run(self, x: np.ndarray, y: np.ndarray | None = None) -> SimulationResult:
-        """Simulate a batch ``x`` (optionally scoring against labels ``y``)."""
+    def run(
+        self,
+        x: np.ndarray,
+        y: np.ndarray | None = None,
+        budget: Budget | None = None,
+    ) -> SimulationResult:
+        """Simulate a batch ``x`` (optionally scoring against labels ``y``).
+
+        ``budget`` (:class:`~repro.snn.budget.Budget`) bounds the run by
+        wall-clock time and/or executed steps and/or retires samples the
+        moment their confidence margin clears ``min_confidence``.  A
+        budgeted run returns an :class:`~repro.snn.results.AnytimeResult`
+        — the current argmax, per-sample margins and ``steps_executed`` —
+        whether or not the budget actually bound (docs/DESIGN.md §14).
+        """
         for monitor in self.monitors:
             monitor.on_run_start(self, x, y)
-        result = self._run(x, y)
+        result = self._run(x, y, budget=budget)
         for monitor in self.monitors:
             monitor.on_run_end(result)
         return result
@@ -352,8 +377,14 @@ class Simulator:
         return quiet
 
     def _run(
-        self, x: np.ndarray, y: np.ndarray | None, plan=None
+        self,
+        x: np.ndarray,
+        y: np.ndarray | None,
+        plan=None,
+        budget: Budget | None = None,
+        timer: BudgetTimer | None = None,
     ) -> SimulationResult:
+        timer = _start_timer(budget, timer)
         if x.shape[1:] != tuple(self.network.input_shape):
             raise ValueError(
                 f"input shape {x.shape[1:]} does not match network "
@@ -399,32 +430,61 @@ class Simulator:
         # every step — i.e. the classic per-step propagation.
         buffers = [_DriveBuffer() for _ in spiking_stages]
         readout_buffer = _DriveBuffer()
+        # Anytime budget (docs/DESIGN.md §14): a binding timer truncates the
+        # window between steps; min_confidence forces per-step readout
+        # flushes so margins are live.
+        budget_active = timer is not None and timer.binds
+        min_conf = timer.min_confidence if timer is not None else None
         # The readout potential is only read at the end — unless a monitor
-        # observes it per step (e.g. accuracy-vs-time curves).  Monitors
-        # without the observes_readout attribute are treated conservatively.
-        flush_readout_each_step = not self.event_driven or any(
-            getattr(monitor, "observes_readout", True) for monitor in self.monitors
+        # observes it per step (e.g. accuracy-vs-time curves) or confidence
+        # retirement needs the live margin.  Monitors without the
+        # observes_readout attribute are treated conservatively.
+        flush_readout_each_step = (
+            not self.event_driven
+            or min_conf is not None
+            or any(
+                getattr(monitor, "observes_readout", True)
+                for monitor in self.monitors
+            )
         )
         last_step = bound.total_steps - 1
 
         # Quiescence early-exit + sample retirement: off when a monitor needs
         # the full schedule or the readout keeps injecting bias until the
         # scheduled end; self-disables when the scheme cannot report.
+        no_full_run_monitor = not any(
+            getattr(monitor, "requires_full_run", True)
+            for monitor in self.monitors
+        )
         exit_enabled = (
             self.early_exit
             and bound.readout.rows_sealable()
-            and not any(
-                getattr(monitor, "requires_full_run", True)
-                for monitor in self.monitors
-            )
+            and no_full_run_monitor
+        )
+        # Confidence retirement rides the same seal/compact machinery but is
+        # deliberately lossy: a retired sample's score freezes at its current
+        # margin (a pending once_at bias is suppressed by the t+1 seal).
+        conf_enabled = (
+            min_conf is not None
+            and bound.readout.rows_sealable()
+            and no_full_run_monitor
         )
         exhausted_flags = [False] * len(bound.dynamics)
         done_flags = [False] * (len(bound.dynamics) + 1)
         active: np.ndarray | None = None  # original row of each live sample
         scores_out: np.ndarray | None = None
         executed = 0
+        truncated = False
 
         for t in range(bound.total_steps):
+            if budget_active and timer.expired(executed):
+                # Budget spent: deliver any deferred readout drive, then let
+                # the tail seal freeze the evidence gathered so far.
+                bound.readout.absorb(
+                    self._flush(readout_stage, readout_buffer, readout_plan)
+                )
+                truncated = True
+                break
             spikes = bound.encoder.step(t)
             if bound.encoder.constant:
                 # Analog current injection: never packed (it is not a spike
@@ -471,38 +531,52 @@ class Simulator:
                 monitor.on_step(t, step_spikes, bound.readout)
             executed = t + 1
 
-            if not exit_enabled or t == last_step:
+            if t == last_step or not (exit_enabled or conf_enabled):
                 continue
             batch = len(active) if active is not None else n
-            quiet = self._quiescence(
-                bound, buffers, t, batch, exhausted_flags, done_flags
-            )
+            quiet = None
+            if exit_enabled:
+                quiet = self._quiescence(
+                    bound, buffers, t, batch, exhausted_flags, done_flags
+                )
+                if quiet is None:
+                    exit_enabled = False
             if quiet is None:
-                exit_enabled = False
+                if not conf_enabled:
+                    continue
+                quiet = np.zeros(batch, dtype=bool)
+            if conf_enabled:
+                # Retire a sample once the accumulated spike evidence alone
+                # is decisive.  NOT the sealed-now view: a once_at readout
+                # bias floors every sample at the class prior's margin,
+                # which would retire everything the moment it lands —
+                # evidence must earn the exit.  The sealed score (and the
+                # reported margin) still includes the bias.
+                margins = confidence_margins(bound.readout.evidence_scores(t))
+                retire = quiet | (margins >= min_conf)
+            else:
+                retire = quiet
+            if not retire.any():
                 continue
-            if not quiet.any():
-                continue
-            if quiet.all():
-                # Every sample is decided: deliver any deferred readout
-                # drive and stop the clock (seal_rows settles pending bias).
-                bound.readout.absorb(
-                self._flush(readout_stage, readout_buffer, readout_plan)
-            )
-                break
-            # Retire the decided samples and compact everything per-sample.
+            # Deliver any deferred readout drive before sealing anything.
             bound.readout.absorb(
                 self._flush(readout_stage, readout_buffer, readout_plan)
             )
+            if retire.all():
+                # Every sample is decided: stop the clock and let the tail
+                # seal settle any pending bias uniformly.
+                break
+            # Retire the decided samples and compact everything per-sample.
             if scores_out is None:
                 scores_out = np.zeros(
                     (n,) + tuple(bound.readout.shape),
                     dtype=bound.readout.scores().dtype,
                 )
                 active = np.arange(n)
-            scores_out[active[quiet]] = bound.readout.seal_rows(
-                quiet, t, bound.total_steps
+            scores_out[active[retire]] = bound.readout.seal_rows(
+                retire, t, bound.total_steps
             )
-            keep = ~quiet
+            keep = ~retire
             active = active[keep]
             bound.encoder.compact(keep)
             for dyn in bound.dynamics:
@@ -515,6 +589,10 @@ class Simulator:
                 input_drive_cache = input_drive_cache[keep]
 
         last_t = executed - 1
+        # Budget truncation keeps the full-schedule seal: a still-pending
+        # once_at bias IS applied, so the partial answer is exactly the
+        # score the full run would produce if no further spike arrived (at
+        # zero evidence: the class prior the readout bias encodes).
         if scores_out is None:
             scores = bound.readout.seal_rows(
                 np.ones(n, dtype=bool), last_t, bound.total_steps
@@ -527,6 +605,18 @@ class Simulator:
         predictions = scores.argmax(axis=1)
         accuracy = float((predictions == y).mean()) if y is not None else None
         per_inference = {name: c / n for name, c in counts.items()}
+        if timer is not None:
+            return AnytimeResult(
+                scores=scores,
+                predictions=predictions,
+                accuracy=accuracy,
+                spike_counts=per_inference,
+                total_spikes=float(sum(per_inference.values())),
+                steps=executed,
+                decision_time=bound.decision_time,
+                margins=confidence_margins(scores),
+                budget_exhausted=truncated,
+            )
         return SimulationResult(
             scores=scores,
             predictions=predictions,
@@ -538,29 +628,42 @@ class Simulator:
         )
 
     def run_batched(
-        self, x: np.ndarray, y: np.ndarray | None = None, batch_size: int = 64
+        self,
+        x: np.ndarray,
+        y: np.ndarray | None = None,
+        batch_size: int = 64,
+        budget: Budget | None = None,
     ) -> SimulationResult:
         """Run :meth:`run` over mini-batches and merge the results.
 
         Keeps peak memory bounded for large test sets; monitors receive
         exactly one ``on_run_start`` for the whole run, an ``on_batch_start``
         per mini-batch, and one ``on_run_end`` carrying the *merged* result.
+
+        A ``budget`` starts *one* timer for the whole call: the wall-clock
+        axis spans every mini-batch (end-to-end latency) while ``max_steps``
+        bounds each window (per-sample compute).  Mini-batches after
+        wall-clock expiry execute zero steps — their all-zero scores are the
+        honest "no evidence yet" anytime answer.
         """
         batch_size = _check_batch_size(batch_size)
         if len(x) <= batch_size:
-            return self.run(x, y)
+            return self.run(x, y, budget=budget)
         for monitor in self.monitors:
             monitor.on_run_start(self, x, y)
+        timer = _start_timer(budget, None)
         all_scores = []
         merged_counts: dict[str, float] = {}
         total = 0
         executed = 0
+        exhausted = False
         for start in range(0, len(x), batch_size):
             xb = x[start : start + batch_size]
             yb = y[start : start + batch_size] if y is not None else None
-            res = self._run(xb, yb)
+            res = self._run(xb, yb, timer=timer)
             all_scores.append(res.scores)
             executed = max(executed, res.steps)
+            exhausted = exhausted or getattr(res, "budget_exhausted", False)
             weight = len(xb)
             total += weight
             for name, value in res.spike_counts.items():
@@ -578,6 +681,8 @@ class Simulator:
             steps=executed,
             decision_time=self.bound.decision_time,
         )
+        if timer is not None:
+            result = AnytimeResult.from_result(result, exhausted)
         for monitor in self.monitors:
             monitor.on_run_end(result)
         return result
@@ -671,8 +776,9 @@ class Simulator:
         y: np.ndarray | None = None,
         batch_size: int = 64,
         calibrate: bool = True,
+        budget: Budget | None = None,
     ) -> SimulationResult:
         """Run through a cached compiled plan (:meth:`compile` on first use)."""
         batch_size = _check_batch_size(batch_size)
         plan = self.compile(batch_size=batch_size, calibrate=calibrate)
-        return plan.run_batched(x, y, batch_size=batch_size)
+        return plan.run_batched(x, y, batch_size=batch_size, budget=budget)

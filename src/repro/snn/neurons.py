@@ -317,6 +317,33 @@ class ReadoutAccumulator:
             scores = scores + self.bias
         return scores
 
+    def peek_scores(self, t: int) -> np.ndarray:
+        """Scores as they would seal after step ``t`` (anytime preview).
+
+        The live potential plus a still-pending ``once_at`` bias — exactly
+        what :meth:`seal_rows` would return for every row right now: the
+        margin of the answer a sample would give if it stopped here.
+        """
+        if self.potential is None:
+            raise RuntimeError("reset() must be called before peek_scores()")
+        if self._has_bias and self.bias_policy == "once_at" and t < self.bias_time:
+            return self.potential + self.bias
+        return self.potential
+
+    def evidence_scores(self, t: int) -> np.ndarray:
+        """Accumulated spike evidence alone after step ``t`` (no bias).
+
+        The live potential with an already-injected ``once_at`` bias
+        removed.  Confidence retirement tests its margin: the constant
+        bias starts (or, once injected, floors) every sample at the class
+        prior's margin, so evidence must earn the early exit.
+        """
+        if self.potential is None:
+            raise RuntimeError("reset() must be called before evidence_scores()")
+        if self._has_bias and self.bias_policy == "once_at" and t >= self.bias_time:
+            return self.potential - self.bias
+        return self.potential
+
     def compact(self, keep: np.ndarray) -> None:
         """Drop retired samples: keep only rows where ``keep`` is True."""
         if self.potential is not None:

@@ -41,6 +41,7 @@ import repro.reliability.faults as faults
 from repro.reliability.errors import PoolUnavailable
 from repro.reliability.log import note_serial_fallback
 from repro.reliability.supervisor import SupervisedPool
+from repro.snn.budget import Budget
 from repro.snn.results import SimulationResult
 
 __all__ = [
@@ -165,16 +166,21 @@ def _run_shard(shard) -> SimulationResult:
     # injected kernel exception is a workload error and propagates verbatim.
     faults.check(faults.WORKER_CRASH)
     faults.check(faults.KERNEL_EXCEPTION)
-    scheme, xb, yb = shard
+    # Shards are (scheme, x, y) or (scheme, x, y, budget_ms): the serving
+    # dispatcher's budgeted flushes ride the fourth slot (docs/DESIGN.md
+    # §14) — the wall-clock countdown starts in the worker, bounding the
+    # execution itself rather than the queue time.
+    scheme, xb, yb, *rest = shard
+    budget = Budget(ms=float(rest[0])) if rest and rest[0] is not None else None
     compiled, plan_batch, calibrate = _WORKER_COMPILED
     if scheme is None:
         if compiled:
             # The worker's plan compiles once (cached on its simulator) and
             # is reused by every shard this process executes.
             return _WORKER_SIM.run_compiled(
-                xb, yb, batch_size=plan_batch, calibrate=calibrate
+                xb, yb, batch_size=plan_batch, calibrate=calibrate, budget=budget
             )
-        return _WORKER_SIM._run(xb, yb)
+        return _WORKER_SIM._run(xb, yb, budget=budget)
     # Stochastic schemes ship one instance per shard (independent random
     # streams); rebind against the worker's cached network.
     from repro.snn.engine import Simulator
@@ -192,8 +198,10 @@ def _run_shard(shard) -> SimulationResult:
         # A fresh scheme instance per shard cannot reuse a cached plan;
         # skip the calibration probe (the expensive part) and keep the
         # uncalibrated plan's bit-exact reference decisions.
-        return sim.run_compiled(xb, yb, batch_size=plan_batch, calibrate=False)
-    return sim._run(xb, yb)
+        return sim.run_compiled(
+            xb, yb, batch_size=plan_batch, calibrate=False, budget=budget
+        )
+    return sim._run(xb, yb, budget=budget)
 
 
 def merge_results(

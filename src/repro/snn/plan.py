@@ -44,8 +44,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.snn import events as ev
-from repro.snn.engine import Simulator, _DriveBuffer
-from repro.snn.results import SimulationResult
+from repro.snn.budget import Budget, BudgetTimer
+from repro.snn.engine import Simulator, _DriveBuffer, _start_timer
+from repro.snn.results import AnytimeResult, SimulationResult, confidence_margins
 
 __all__ = ["Workspace", "StagePlan", "ExecutionPlan", "compile_plan"]
 
@@ -287,7 +288,12 @@ class ExecutionPlan:
     # execution
     # ------------------------------------------------------------------ #
 
-    def run(self, x: np.ndarray, y: np.ndarray | None = None) -> SimulationResult:
+    def run(
+        self,
+        x: np.ndarray,
+        y: np.ndarray | None = None,
+        budget: Budget | None = None,
+    ) -> SimulationResult:
         """Simulate one batch through the compiled plan.
 
         Batch-size contract (the serving layer leans on this): any batch
@@ -298,6 +304,10 @@ class ExecutionPlan:
         the arenas would void the zero-allocation steady state and hide a
         mis-sized plan; use :meth:`run_batched` (which splits) or compile
         a larger plan instead.
+
+        ``budget`` bounds the run like ``Simulator.run(..., budget=...)``
+        (docs/DESIGN.md §14); a budgeted plan run returns an
+        :class:`~repro.snn.results.AnytimeResult`.
         """
         if len(x) > self.batch_size:
             raise ValueError(
@@ -308,15 +318,24 @@ class ExecutionPlan:
         sim = self.simulator
         for monitor in sim.monitors:
             monitor.on_run_start(sim, x, y)
-        result = self._run(x, y)
+        result = self._run(x, y, timer=_start_timer(budget, None))
         for monitor in sim.monitors:
             monitor.on_run_end(result)
         return result
 
     def run_batched(
-        self, x: np.ndarray, y: np.ndarray | None = None, batch_size: int | None = None
+        self,
+        x: np.ndarray,
+        y: np.ndarray | None = None,
+        batch_size: int | None = None,
+        budget: Budget | None = None,
     ) -> SimulationResult:
-        """Run mini-batches through the plan, reusing the arenas throughout."""
+        """Run mini-batches through the plan, reusing the arenas throughout.
+
+        As in ``Simulator.run_batched``, a ``budget`` starts one shared
+        timer: wall-clock spans all mini-batches, ``max_steps`` applies to
+        each window.
+        """
         from repro.snn.parallel import merge_results
 
         sim = self.simulator
@@ -331,26 +350,49 @@ class ExecutionPlan:
                 f"capacity {self.batch_size}; compile a larger plan"
             )
         if len(x) <= batch_size:
-            return self.run(x, y)
+            return self.run(x, y, budget=budget)
         for monitor in sim.monitors:
             monitor.on_run_start(sim, x, y)
+        timer = _start_timer(budget, None)
         shards, sizes = [], []
         for start in range(0, len(x), batch_size):
             xb = x[start : start + batch_size]
             yb = y[start : start + batch_size] if y is not None else None
-            shards.append(self._run(xb, yb))
+            shards.append(self._run(xb, yb, timer=timer))
             sizes.append(len(xb))
         result = merge_results(shards, sizes, y, self.bound.decision_time)
+        if timer is not None:
+            result = AnytimeResult.from_result(
+                result,
+                any(getattr(s, "budget_exhausted", False) for s in shards),
+            )
         for monitor in sim.monitors:
             monitor.on_run_end(result)
         return result
 
-    def _run(self, x: np.ndarray, y: np.ndarray | None) -> SimulationResult:
-        if self.phased and not self.simulator.monitors:
-            return self._run_phased(x, y)
-        return self.simulator._run(x, y, plan=self)
+    def _run(
+        self,
+        x: np.ndarray,
+        y: np.ndarray | None,
+        timer: BudgetTimer | None = None,
+    ) -> SimulationResult:
+        # min_confidence needs the per-sample retirement machinery — route
+        # those runs through the engine loop, which shares this plan's
+        # kernels and arenas via plan=self.
+        if (
+            self.phased
+            and not self.simulator.monitors
+            and (timer is None or timer.min_confidence is None)
+        ):
+            return self._run_phased(x, y, timer)
+        return self.simulator._run(x, y, plan=self, timer=timer)
 
-    def _run_phased(self, x: np.ndarray, y: np.ndarray | None) -> SimulationResult:
+    def _run_phased(
+        self,
+        x: np.ndarray,
+        y: np.ndarray | None,
+        timer: BudgetTimer | None = None,
+    ) -> SimulationResult:
         """The window-scheduled fast loop (TTFS / reverse coding).
 
         Touches only the stages whose schedule lets them act at each step
@@ -359,6 +401,12 @@ class ExecutionPlan:
         are exactly the reference engine's, so results are bit-identical to
         the uncompiled ``early_exit=False`` run (and loss-free versus the
         early-exit runtime).
+
+        A binding ``timer`` disables the bulk drains (a drain emits FUTURE
+        scheduled spikes as one packet, which would leak evidence past the
+        truncation point) and falls back to the time-faithful closed-form
+        per-step firing, checking the budget between steps exactly like the
+        engine loop.
         """
         sim = self.simulator
         bound = self.bound
@@ -405,17 +453,24 @@ class ExecutionPlan:
         # unique (at most one spike per neuron), so the receiver's merged
         # drive is bit-identical to per-step delivery.  Always true on the
         # baseline schedule and for the last stage; under early firing the
-        # overlap windows keep per-step (bucketed) delivery.
-        drain_ok = [
-            windows[i + 1].fire_start >= windows[i].fire_end
-            if i + 1 < num_stages
-            else True
-            for i in range(num_stages)
-        ]
+        # overlap windows keep per-step (bucketed) delivery.  A binding
+        # budget forbids drains outright: a drained packet carries spikes
+        # scheduled for FUTURE steps, which must not survive truncation.
+        budget_active = timer is not None and timer.binds
+        if budget_active:
+            drain_ok = [False] * num_stages
+        else:
+            drain_ok = [
+                windows[i + 1].fire_start >= windows[i].fire_end
+                if i + 1 < num_stages
+                else True
+                for i in range(num_stages)
+            ]
         encoder = bound.encoder
         enc_steps = enc_end
         if (
-            windows[0].fire_start >= enc_end
+            not budget_active
+            and windows[0].fire_start >= enc_end
             and getattr(encoder, "can_drain", None) is not None
             and encoder.can_drain()
         ):
@@ -426,7 +481,13 @@ class ExecutionPlan:
                 buffers[0].add(packet)
             enc_steps = 0  # every pixel spike is already in flight
 
+        executed = horizon
+        truncated = False
         for t in range(horizon):
+            if budget_active and timer.expired(t):
+                executed = t
+                truncated = True
+                break
             if t < enc_steps:
                 spikes, count = ev.ingest(encoder.step(t), pack_threshold)
                 if bound.counts_input_spikes:
@@ -494,19 +555,34 @@ class ExecutionPlan:
                     dyn.note_input_exhausted(t)
 
         readout.absorb(sim._flush(readout_stage, readout_buffer, self.readout_plan))
+        # Truncated runs keep the full-schedule seal: a pending once_at bias
+        # IS applied, matching the engine's anytime seal (the partial answer
+        # is the score the full run would give if no further spike arrived).
         scores = readout.seal_rows(
-            np.ones(n, dtype=bool), horizon - 1, bound.total_steps
+            np.ones(n, dtype=bool), executed - 1, bound.total_steps
         )
         predictions = scores.argmax(axis=1)
         accuracy = float((predictions == y).mean()) if y is not None else None
         per_inference = {name: c / n for name, c in counts.items()}
+        if timer is not None:
+            return AnytimeResult(
+                scores=scores,
+                predictions=predictions,
+                accuracy=accuracy,
+                spike_counts=per_inference,
+                total_spikes=float(sum(per_inference.values())),
+                steps=executed,
+                decision_time=bound.decision_time,
+                margins=confidence_margins(scores),
+                budget_exhausted=truncated,
+            )
         return SimulationResult(
             scores=scores,
             predictions=predictions,
             accuracy=accuracy,
             spike_counts=per_inference,
             total_spikes=float(sum(per_inference.values())),
-            steps=horizon,
+            steps=executed,
             decision_time=bound.decision_time,
         )
 

@@ -6,7 +6,21 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["SimulationResult"]
+__all__ = ["SimulationResult", "AnytimeResult", "confidence_margins"]
+
+
+def confidence_margins(scores: np.ndarray) -> np.ndarray:
+    """Per-sample top-2 score margin — the anytime confidence measure.
+
+    The margin between the best and runner-up class scores: how much
+    more evidence the current argmax has than any alternative.  Zero for
+    a sample that has accumulated nothing yet (all scores equal).
+    """
+    flat = scores.reshape(len(scores), -1)
+    if flat.shape[1] < 2:
+        return np.zeros(len(scores), dtype=flat.dtype)
+    top2 = np.partition(flat, flat.shape[1] - 2, axis=1)
+    return top2[:, -1] - top2[:, -2]
 
 
 @dataclass
@@ -51,3 +65,63 @@ class SimulationResult:
             f"accuracy={acc} latency={self.decision_time} steps "
             f"spikes/inference={self.total_spikes:.1f}"
         )
+
+
+@dataclass
+class AnytimeResult(SimulationResult):
+    """A :class:`SimulationResult` produced under a compute budget.
+
+    The readout accumulates evidence monotonically, so a run stopped
+    mid-window still answers: ``predictions`` is the argmax of the
+    evidence gathered so far and ``margins`` says how decided each
+    sample is.  Returned by every budgeted execution path
+    (``Simulator.run(..., budget=...)``, the ``"anytime"`` runtime
+    backend, compiled plans) — including when the budget never binds, so
+    callers can branch on the type without racing the clock.
+
+    Attributes
+    ----------
+    margins:
+        Per-sample confidence margin (:func:`confidence_margins` of
+        ``scores``): best minus runner-up class score at seal time.
+    budget_exhausted:
+        Whether the wall-clock/step budget truncated the window.
+        ``False`` for runs that completed (or early-exited loss-free)
+        inside the budget; samples retired by ``min_confidence`` alone
+        do not set it.
+    """
+
+    margins: np.ndarray | None = None
+    budget_exhausted: bool = False
+
+    @property
+    def steps_executed(self) -> int:
+        """Steps actually executed (alias of ``steps``, anytime vocabulary)."""
+        return self.steps
+
+    @classmethod
+    def from_result(
+        cls, result: SimulationResult, budget_exhausted: bool
+    ) -> "AnytimeResult":
+        """Wrap a merged/plain result, deriving margins from its scores."""
+        return cls(
+            scores=result.scores,
+            predictions=result.predictions,
+            accuracy=result.accuracy,
+            spike_counts=result.spike_counts,
+            total_spikes=result.total_spikes,
+            steps=result.steps,
+            decision_time=result.decision_time,
+            margins=confidence_margins(result.scores),
+            budget_exhausted=budget_exhausted,
+        )
+
+    def summary(self) -> str:
+        base = super().summary()
+        state = "exhausted" if self.budget_exhausted else "within budget"
+        margin = (
+            f" min-margin={float(self.margins.min()):.3f}"
+            if self.margins is not None and len(self.margins)
+            else ""
+        )
+        return f"{base} [{state} after {self.steps} step(s){margin}]"

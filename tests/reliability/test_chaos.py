@@ -105,6 +105,77 @@ def test_two_trip_recover_cycles(tiny_network, tiny_data):
     assert breaker.trips == 2
 
 
+def test_hung_flush_mid_service_recovers_within_two_deadlines(
+    tiny_network, tiny_data
+):
+    """The acceptance scenario for the flush watchdog: a sharded service
+    is serving happily when a dispatched flush hangs (``flush.hang``).
+    Every member of the hung flush must settle — partial result or
+    :class:`DeadlineExceeded` — within 2x the flush deadline, the worker
+    shard must be rebuilt, and subsequent requests must succeed with
+    bit-identical scores, the service reporting healthy again."""
+    from repro.reliability.errors import DeadlineExceeded
+
+    budget_ms = 250.0
+    x = tiny_data[2][:12]
+    ref = Simulator(tiny_network, TTFSCoding(window=12)).run(x)
+    with make_service(
+        tiny_network,
+        max_batch=4,
+        max_wait_ms=5.0,
+        workers=2,
+        dedupe=False,
+        retry=RetryPolicy(max_retries=1, backoff_s=0.01),
+    ) as svc:
+        # Phase 1: healthy budgeted serving (spawns the worker pool).
+        warm = [
+            svc.submit(sample, budget_ms=5000.0) for sample in x[:4]
+        ]
+        for i, future in enumerate(warm):
+            assert future.result(timeout=300.0).prediction == ref.predictions[i]
+        assert svc.health().ok
+        # Phase 2: the next dispatched flush hangs well past its budget.
+        with faults.inject(
+            FaultSpec(faults.FLUSH_HANG, times=1, delay_ms=4000.0)
+        ):
+            start = time.monotonic()
+            doomed = [svc.submit(sample, budget_ms=budget_ms) for sample in x[4:8]]
+            outcomes = []
+            for future in doomed:
+                try:
+                    result = future.result(timeout=300.0)
+                    outcomes.append("partial" if result.partial else "served")
+                except DeadlineExceeded:
+                    outcomes.append("deadline")
+            settled_ms = (time.monotonic() - start) * 1000.0
+            # Every member settled, within 2x the flush deadline — not the
+            # 4s the hang itself would have imposed.
+            assert len(outcomes) == 4
+            assert settled_ms < 2 * budget_ms, f"settled in {settled_ms:.0f}ms"
+            assert "deadline" in outcomes
+            health = svc.health()
+            assert health.watchdog_timeouts >= 1
+            assert not health.ok
+            # Phase 3: recovery on rebuilt state — the watchdog killed the
+            # old shard pool; these flushes bring up a fresh one.
+            after = [svc.submit(sample, budget_ms=5000.0) for sample in x[8:]]
+            for i, future in enumerate(after):
+                result = future.result(timeout=300.0)
+                assert result.prediction == ref.predictions[8 + i]
+                assert result.partial is False
+                # Budgeted execution skips deferred-drain merging (it must
+                # be interruptible per step), so parity with the batch
+                # engine is up to float reassociation, argmax exact.
+                np.testing.assert_allclose(
+                    result.scores, ref.scores[8 + i], atol=1e-12
+                )
+        health = svc.health()
+        assert health.ok, f"service did not recover: {health}"
+        assert health.parallel_active  # the shard pool is live again
+        assert health.watchdog_timeouts == 1
+        assert health.degrade_level == 0
+
+
 def test_slow_flush_with_deadlines_drops_only_stale_requests(
     tiny_network, tiny_data
 ):

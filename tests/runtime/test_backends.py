@@ -17,7 +17,13 @@ from repro.runtime import (
 
 class TestRegistry:
     def test_builtins_registered(self):
-        assert available_backends() == ["compiled", "parallel", "serial", "service"]
+        assert available_backends() == [
+            "anytime",
+            "compiled",
+            "parallel",
+            "serial",
+            "service",
+        ]
 
     def test_make_backend(self):
         assert make_backend("serial").name == "serial"

@@ -139,6 +139,65 @@ class TestDeadline:
         assert config.deadline_ms == 25.5
 
 
+class TestBudget:
+    def test_defaults_are_none(self):
+        config = RunConfig()
+        assert config.budget_ms is None
+        assert config.min_confidence is None
+
+    def test_normalized_to_float(self):
+        config = RunConfig(budget_ms=np.int64(50), min_confidence=1)
+        assert config.budget_ms == 50.0 and isinstance(config.budget_ms, float)
+        assert config.min_confidence == 1.0
+
+    @pytest.mark.parametrize("field", ["budget_ms", "min_confidence"])
+    @pytest.mark.parametrize(
+        "bad", [0, -1, True, False, "50", float("nan"), float("inf")]
+    )
+    def test_invalid_values_rejected(self, field, bad):
+        with pytest.raises(ValueError, match=field):
+            RunConfig(**{field: bad})
+
+    def test_selects_anytime_backend(self):
+        from repro.runtime import select_backend
+
+        assert select_backend(RunConfig(budget_ms=50.0), 100) == "anytime"
+        assert select_backend(RunConfig(min_confidence=0.3), 100) == "anytime"
+
+    def test_budget_with_deadline_is_not_anytime(self):
+        """deadline_ms + budget_ms is the *served* combination: selection
+        falls through so Runtime.run raises its clearer deadline error
+        instead of silently running an anytime batch."""
+        from repro.runtime import select_backend
+
+        config = RunConfig(budget_ms=50.0, deadline_ms=25.0)
+        assert select_backend(config, 100) != "anytime"
+
+    def test_budget_contradicts_parallel_workers(self):
+        with pytest.raises(ValueError, match="budget_ms/min_confidence"):
+            RunConfig(budget_ms=50.0, workers=4)
+
+    @pytest.mark.parametrize("backend", ["serial", "compiled"])
+    def test_batch_backends_reject_budget(self, backend):
+        with pytest.raises(ValueError, match=backend):
+            RunConfig(backend=backend, compiled=backend == "compiled", budget_ms=10)
+
+    def test_anytime_backend_requires_a_budget(self):
+        with pytest.raises(ValueError, match="anytime"):
+            RunConfig(backend="anytime")
+
+    def test_anytime_backend_rejects_deadline(self):
+        with pytest.raises(ValueError, match="deadline_ms"):
+            RunConfig(backend="anytime", budget_ms=10, deadline_ms=10)
+
+    def test_service_backend_rejects_min_confidence(self):
+        with pytest.raises(ValueError, match="min_confidence"):
+            RunConfig(backend="service", min_confidence=0.3)
+
+    def test_service_backend_accepts_budget(self):
+        assert RunConfig(backend="service", budget_ms=25.0).budget_ms == 25.0
+
+
 class TestOtherFields:
     @pytest.mark.parametrize("flag", ["compiled", "calibrate"])
     def test_flags_must_be_bool(self, flag):

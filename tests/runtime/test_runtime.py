@@ -154,3 +154,49 @@ class TestServiceSourcing:
         np.testing.assert_array_equal(
             np.array([r.prediction for r in results]), ref.predictions
         )
+
+
+class TestAnytimeBackend:
+    def test_budget_config_returns_anytime_result(self, tiny_network, tiny_data):
+        from repro.snn import AnytimeResult
+
+        model = T2FSNN(tiny_network, window=12)
+        x = tiny_data[2][:8]
+        ref = model.run(x)
+        result = model.run(x, config=RunConfig(budget_ms=60_000.0))
+        assert isinstance(result, AnytimeResult)
+        assert not result.budget_exhausted
+        np.testing.assert_array_equal(result.predictions, ref.predictions)
+        assert result.margins.shape == (8,)
+
+    def test_compiled_budget_routes_through_plan(self, tiny_network, tiny_data):
+        from repro.snn import AnytimeResult
+
+        model = T2FSNN(tiny_network, window=12)
+        x = tiny_data[2][:8]
+        config = RunConfig(compiled=True, budget_ms=60_000.0)
+        result = model.run(x, config=config)
+        assert isinstance(result, AnytimeResult)
+        assert not result.budget_exhausted
+
+    def test_min_confidence_config(self, tiny_network, tiny_data):
+        from repro.snn import AnytimeResult
+
+        model = T2FSNN(tiny_network, window=12)
+        x, y = tiny_data[2], tiny_data[3]
+        full = model.run(x, y)
+        result = model.run(x, y, config=RunConfig(min_confidence=0.3))
+        assert isinstance(result, AnytimeResult)
+        assert result.accuracy >= full.accuracy - 0.04
+
+    def test_serve_rejects_min_confidence(self, tiny_network):
+        model = T2FSNN(tiny_network, window=12)
+        with pytest.raises(ValueError, match="min_confidence"):
+            model.serve(config=RunConfig(min_confidence=0.3))
+
+    def test_serve_threads_budget_to_the_service(self, tiny_network):
+        model = T2FSNN(tiny_network, window=12)
+        with model.serve(
+            config=RunConfig(budget_ms=5_000.0), max_batch=4, cache_size=0
+        ) as service:
+            assert service._budget_ms == 5_000.0

@@ -1,0 +1,231 @@
+"""Anytime inference under compute budgets (docs/DESIGN.md §14).
+
+Partial-readout correctness: a run truncated at step ``k`` must answer
+exactly what a per-step score monitor would have recorded at step
+``k - 1`` *plus the still-pending readout bias* — the score the full run
+would report if no further spike arrived.  A budget that never binds
+must be invisible (bit parity with the unbudgeted run, every scheme).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.coding.burst import BurstCoding
+from repro.coding.phase import PhaseCoding
+from repro.coding.rate import RateCoding
+from repro.coding.ttfs import TTFSCoding
+from repro.snn import AnytimeResult, Budget, BudgetTimer, confidence_margins
+from repro.snn.engine import Simulator
+from repro.snn.monitors import Monitor
+from repro.snn.results import SimulationResult
+
+SCHEMES = {
+    "ttfs": (lambda: TTFSCoding(window=12), None),
+    "rate": (lambda: RateCoding(), 40),
+    "phase": (lambda: PhaseCoding(), 32),
+    "burst": (lambda: BurstCoding(), 32),
+}
+
+
+class ScoreCurveMonitor(Monitor):
+    """Record the sealed-now decision view after every step."""
+
+    observes_readout = True
+    requires_full_run = True
+
+    def __init__(self):
+        self.curve = []
+
+    def on_step(self, t, step_spikes, readout):
+        self.curve.append(np.array(readout.peek_scores(t), copy=True))
+
+
+class TestBudgetValidation:
+    def test_rejects_empty_budget(self):
+        with pytest.raises(ValueError, match="bounds nothing"):
+            Budget()
+
+    @pytest.mark.parametrize("field", ["ms", "max_steps", "min_confidence"])
+    @pytest.mark.parametrize("bad", [0, -1, float("nan"), float("inf")])
+    def test_rejects_non_positive_fields(self, field, bad):
+        with pytest.raises(ValueError, match=field):
+            Budget(**{field: bad})
+
+    def test_timer_counts_steps(self):
+        timer = BudgetTimer(Budget(max_steps=3))
+        assert not timer.expired(2)
+        assert timer.expired(3)
+
+    def test_run_rejects_non_budget(self, tiny_network):
+        sim = Simulator(tiny_network, TTFSCoding(window=12))
+        with pytest.raises(TypeError, match="Budget"):
+            sim.run(np.zeros((1, 1, 8, 8)), budget=5.0)
+
+
+class TestNonBindingParity:
+    @pytest.mark.parametrize("scheme_key", sorted(SCHEMES))
+    def test_generous_budget_is_bit_identical(
+        self, tiny_network, tiny_data, scheme_key
+    ):
+        """A budget that never binds must not change a single bit."""
+        factory, steps = SCHEMES[scheme_key]
+        x, y = tiny_data[2][:12], tiny_data[3][:12]
+        ref = Simulator(tiny_network, factory(), steps=steps).run(x, y)
+        got = Simulator(tiny_network, factory(), steps=steps).run(
+            x, y, budget=Budget(max_steps=10_000)
+        )
+        assert isinstance(got, AnytimeResult)
+        assert not got.budget_exhausted
+        assert got.steps_executed == ref.steps
+        np.testing.assert_array_equal(got.scores, ref.scores)
+
+    def test_unbudgeted_run_returns_plain_result(self, tiny_network, tiny_data):
+        result = Simulator(tiny_network, TTFSCoding(window=12)).run(
+            tiny_data[2][:4]
+        )
+        assert type(result) is SimulationResult
+
+
+class TestTruncatedReadout:
+    @pytest.mark.parametrize("scheme_key", sorted(SCHEMES))
+    def test_every_truncation_matches_the_score_curve(
+        self, tiny_network, tiny_data, scheme_key
+    ):
+        """Truncating at step k answers the curve's step k-1 record.
+
+        Equality is up to float reassociation (the monitor forces a
+        per-step readout flush; the budgeted event-driven run merges
+        deferred emissions), so: allclose on scores, exact argmax
+        wherever the reference margin is not degenerate.
+        """
+        factory, steps = SCHEMES[scheme_key]
+        x = tiny_data[2][:8]
+        monitor = ScoreCurveMonitor()
+        Simulator(tiny_network, factory(), steps=steps, monitors=[monitor]).run(x)
+        curve = monitor.curve
+        total = len(curve)
+        for k in range(1, total + 1, max(1, total // 6)):
+            got = Simulator(tiny_network, factory(), steps=steps).run(
+                x, budget=Budget(max_steps=k)
+            )
+            assert got.steps_executed == k
+            assert got.budget_exhausted == (k < total)
+            expected = curve[k - 1]
+            np.testing.assert_allclose(got.scores, expected, atol=1e-12)
+            margins = confidence_margins(expected)
+            decisive = margins > 1e-9
+            np.testing.assert_array_equal(
+                got.predictions[decisive], expected.argmax(axis=1)[decisive]
+            )
+            np.testing.assert_allclose(
+                got.margins, confidence_margins(got.scores), atol=0
+            )
+
+    def test_engine_and_plan_agree_bit_for_bit(self, tiny_network, tiny_data):
+        """The phased executor honours the same budget as the engine."""
+        x = tiny_data[2][:8]
+        for k in (1, 9, 20):
+            ref = Simulator(tiny_network, TTFSCoding(window=12)).run(
+                x, budget=Budget(max_steps=k)
+            )
+            plan = Simulator(tiny_network, TTFSCoding(window=12)).compile(
+                batch_size=8, calibrate=False
+            )
+            got = plan.run(x, budget=Budget(max_steps=k))
+            assert isinstance(got, AnytimeResult)
+            assert got.budget_exhausted == ref.budget_exhausted
+            np.testing.assert_array_equal(got.scores, ref.scores)
+
+    def test_zero_evidence_budget_answers_the_prior(self, tiny_network, tiny_data):
+        """A wall-clock budget spent before step one still yields an
+        honest answer: zero evidence plus the readout bias (the class
+        prior), never garbage or an exception."""
+        x = tiny_data[2][:4]
+        sim = Simulator(tiny_network, TTFSCoding(window=12))
+        result = sim.run(x, budget=Budget(ms=1e-4))
+        assert isinstance(result, AnytimeResult)
+        assert result.budget_exhausted
+        assert result.scores.shape == (4, 3)
+        assert np.isfinite(result.scores).all()
+        assert (result.margins >= 0).all()
+        # All rows sealed from identical (zero) evidence: same prior answer.
+        np.testing.assert_array_equal(
+            result.scores, np.broadcast_to(result.scores[0], result.scores.shape)
+        )
+
+
+class TestMinConfidence:
+    def test_retirement_preserves_accuracy_at_a_sane_threshold(
+        self, tiny_network, tiny_data
+    ):
+        x, y = tiny_data[2], tiny_data[3]
+        sim = Simulator(tiny_network, TTFSCoding(window=12))
+        full = sim.run(x, y)
+        anytime = Simulator(tiny_network, TTFSCoding(window=12)).run(
+            x, y, budget=Budget(min_confidence=0.3)
+        )
+        assert isinstance(anytime, AnytimeResult)
+        # Deliberately lossy: a 0.3 evidence margin may retire a handful
+        # of samples before a late spike would have flipped them.
+        assert anytime.accuracy >= full.accuracy - 0.04
+
+    def test_extreme_threshold_retires_nothing(self, tiny_network, tiny_data):
+        """A margin no sample reaches retires nothing: full-run parity up
+        to reassociation (confidence monitoring forces a per-step readout
+        flush, so emission merge order differs from the deferred path)."""
+        x = tiny_data[2][:16]
+        ref = Simulator(tiny_network, TTFSCoding(window=12)).run(x)
+        got = Simulator(tiny_network, TTFSCoding(window=12)).run(
+            x, budget=Budget(min_confidence=1e9)
+        )
+        assert not got.budget_exhausted
+        np.testing.assert_allclose(got.scores, ref.scores, atol=1e-12)
+        np.testing.assert_array_equal(got.predictions, ref.predictions)
+
+    def test_plan_routes_min_confidence_through_the_engine(
+        self, tiny_network, tiny_data
+    ):
+        x = tiny_data[2][:8]
+        plan = Simulator(tiny_network, TTFSCoding(window=12)).compile(
+            batch_size=8, calibrate=False
+        )
+        got = plan.run(x, budget=Budget(min_confidence=0.3))
+        ref = Simulator(tiny_network, TTFSCoding(window=12)).run(
+            x, budget=Budget(min_confidence=0.3)
+        )
+        np.testing.assert_array_equal(got.scores, ref.scores)
+
+
+class TestBatchedBudget:
+    def test_wall_clock_budget_spans_mini_batches(self, tiny_network, tiny_data):
+        """One timer governs the whole call: once the wall-clock budget is
+        spent, later mini-batches seal immediately instead of each
+        enjoying a fresh budget."""
+        x = tiny_data[2][:12]
+        sim = Simulator(tiny_network, TTFSCoding(window=12))
+        start = time.monotonic()
+        result = sim.run_batched(x, batch_size=3, budget=Budget(ms=1e-3))
+        elapsed_ms = (time.monotonic() - start) * 1000.0
+        assert isinstance(result, AnytimeResult)
+        assert result.budget_exhausted
+        assert len(result.scores) == 12
+        assert np.isfinite(result.scores).all()
+        # 4 mini-batches under a 1 microsecond-scale budget: nowhere near
+        # 4 full windows' worth of work.
+        assert elapsed_ms < 5_000
+
+    def test_non_binding_batched_budget_is_bit_identical(
+        self, tiny_network, tiny_data
+    ):
+        x, y = tiny_data[2][:12], tiny_data[3][:12]
+        ref = Simulator(tiny_network, TTFSCoding(window=12)).run_batched(
+            x, y, batch_size=5
+        )
+        got = Simulator(tiny_network, TTFSCoding(window=12)).run_batched(
+            x, y, batch_size=5, budget=Budget(max_steps=10_000)
+        )
+        assert isinstance(got, AnytimeResult)
+        assert not got.budget_exhausted
+        np.testing.assert_array_equal(got.scores, ref.scores)
