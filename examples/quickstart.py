@@ -29,6 +29,11 @@ service — DESIGN.md §12), so the call sites below differ only in config.
 Usage::
 
     python examples/quickstart.py
+
+The contracts this script leans on — frozen ``run``/``serve``
+signatures, dtype-pinned hot paths, injectable clocks, lock-guarded
+service stats — are mechanically enforced by the repo's own AST linter
+(``python -m repro.lint src tests --strict``, DESIGN.md §15).
 """
 
 from repro import convert, core, datasets, nn

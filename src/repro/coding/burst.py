@@ -62,7 +62,9 @@ class BurstIFNeurons(NeuronDynamics):
         self.theta0 = theta0
         # Geometric weight table: the hot loop gathers g^k instead of
         # evaluating a float power per neuron per step.
-        self._burst_weights = (gamma ** np.arange(max_burst + 1)).astype(self.dtype)
+        self._burst_weights = (
+            gamma ** np.arange(max_burst + 1, dtype=np.int64)
+        ).astype(self.dtype)
         self._k: np.ndarray | None = None
         self._k_base: np.ndarray | None = None
 

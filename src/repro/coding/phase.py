@@ -44,7 +44,7 @@ class PhaseInputEncoder(InputEncoder):
             raise ValueError(f"period must be >= 1, got {period}")
         self.period = period
         self.dtype = np.dtype(dtype)
-        self._weights = phase_weight(np.arange(period), period)
+        self._weights = phase_weight(np.arange(period, dtype=np.int64), period)
         self._bits: np.ndarray | None = None
         self._bits_base: np.ndarray | None = None
         self._row_live: np.ndarray | None = None
@@ -122,7 +122,7 @@ class PhaseIFNeurons(NeuronDynamics):
         self.theta0 = theta0
         # Precomputed oscillator weights: the inner loop does a table lookup
         # instead of a power evaluation per step.
-        self._weights = phase_weight(np.arange(period), period) * theta0
+        self._weights = phase_weight(np.arange(period, dtype=np.int64), period) * theta0
 
     def step(self, drive: np.ndarray | None, t: int) -> np.ndarray | None:
         u = self._require_state()

@@ -100,7 +100,9 @@ class _FiringSchedule:
         # gathered once: bucket slices reuse views of this array instead of
         # np.full-ing a fresh weight vector every step.
         self.weights = weights[fire_dt]
-        self.bounds = np.searchsorted(fire_dt, np.arange(len(weights) + 1))
+        self.bounds = np.searchsorted(
+            fire_dt, np.arange(len(weights) + 1, dtype=np.int64)
+        )
         row_last = np.full(flat.shape[0], -1, dtype=np.int64)
         # fire_dt is sorted ascending, so per row the last scatter wins with
         # exactly its maximum offset — far cheaper than np.maximum.at.

@@ -23,7 +23,7 @@ from repro.convert.normalize import fold_batchnorm, normalize_model
 from repro.convert.stats import ActivationStats, collect_activation_stats
 from repro.nn.activations import Identity, ReLU
 from repro.nn.batchnorm import BatchNorm2D
-from repro.nn.layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, Layer, MaxPool2D
+from repro.nn.layers import AvgPool2D, Conv2D, Dense, Dropout, Layer, MaxPool2D
 from repro.nn.network import Sequential
 
 __all__ = ["ConvertedStage", "ConvertedNetwork", "convert_to_snn"]

@@ -22,7 +22,6 @@ import copy
 import numpy as np
 
 from repro.convert.stats import ActivationStats, collect_activation_stats
-from repro.nn.activations import ReLU
 from repro.nn.batchnorm import BatchNorm2D
 from repro.nn.layers import Conv2D, Dense, Parameter
 from repro.nn.network import Sequential

@@ -31,8 +31,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.convert.converter import ConvertedNetwork
 from repro.nn.layers import Conv2D, Dense
 

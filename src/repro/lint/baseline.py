@@ -1,0 +1,82 @@
+"""Baseline handling: adopt the linter without fixing the world first.
+
+The committed ``lint-baseline.json`` records pre-existing findings as
+counted, line-independent keys (``rule``/``path``/``message``).  A lint
+run splits its findings into *known* (covered by the baseline budget for
+their key) and *new* (everything else); ``--strict`` fails only on new
+findings.  Regenerate with ``python -m repro.lint <paths> --write-baseline``
+after deliberately accepting current findings — shrinking the baseline is
+always safe, growing it is a review decision.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.model import Finding
+
+__all__ = ["load_baseline", "write_baseline", "split_new"]
+
+_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Load a baseline file into a ``Counter`` of finding keys.
+
+    Raises ``ValueError`` on a malformed file — a corrupt baseline must
+    not silently admit every finding as "known".
+    """
+    raw = Path(path).read_text()
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"baseline {path} must be an object with 'findings'")
+    counts: Counter = Counter()
+    for entry in data["findings"]:
+        try:
+            key = (entry["rule"], entry["path"], entry["message"])
+            count = int(entry.get("count", 1))
+        except (TypeError, KeyError) as exc:
+            raise ValueError(f"malformed baseline entry {entry!r}") from exc
+        if count < 1:
+            raise ValueError(f"baseline entry {entry!r} has count < 1")
+        counts[key] += count
+    return counts
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, counted keys)."""
+    counts = Counter(f.baseline_key for f in findings)
+    entries = [
+        {"rule": rule, "path": fpath, "message": message, "count": count}
+        for (rule, fpath, message), count in sorted(counts.items())
+    ]
+    payload = {"version": _VERSION, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def split_new(
+    findings: list[Finding], baseline: Counter | None
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into ``(new, known)`` against a baseline budget.
+
+    Each baseline key admits up to its recorded count of findings (in
+    source order); findings beyond the budget — or with no baseline entry
+    at all — are *new*.
+    """
+    if not baseline:
+        return list(findings), []
+    budget = Counter(baseline)
+    new: list[Finding] = []
+    known: list[Finding] = []
+    for finding in findings:
+        if budget[finding.baseline_key] > 0:
+            budget[finding.baseline_key] -= 1
+            known.append(finding)
+        else:
+            new.append(finding)
+    return new, known

@@ -1,0 +1,119 @@
+"""Command line for ``python -m repro.lint``.
+
+Exit codes: 0 — clean (or advisory mode, which always reports but never
+fails); 1 — ``--strict`` and at least one non-baselined finding; 2 —
+usage error (bad path, unknown rule id, malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.baseline import load_baseline, split_new, write_baseline
+from repro.lint.engine import lint_paths
+from repro.lint.registry import make_rules, rule_descriptions
+
+__all__ = ["main", "build_parser"]
+
+_DEFAULT_PATHS = ["src", "tests"]
+_DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant checker for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=_DEFAULT_PATHS,
+        help=f"files or directories to lint (default: {' '.join(_DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on findings not covered by the baseline",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=_DEFAULT_BASELINE,
+        help=f"baseline file (default: {_DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file; every finding counts as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept current findings: rewrite the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, name, description in rule_descriptions():
+            print(f"{rule_id}  {name:<22} {description}")
+        return 0
+
+    select = None
+    if args.select:
+        select = [rid.strip() for rid in args.select.split(",") if rid.strip()]
+    try:
+        rules = make_rules(select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        findings = lint_paths(args.paths, rules)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(args.baseline, findings)
+        print(
+            f"wrote {args.baseline}: {len(findings)} finding(s) across "
+            f"{len({f.path for f in findings})} file(s)"
+        )
+        return 0
+
+    baseline: Counter | None = None
+    if not args.no_baseline and Path(args.baseline).is_file():
+        try:
+            baseline = load_baseline(args.baseline)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    new, known = split_new(findings, baseline)
+    for finding in new:
+        print(finding.format())
+    if known:
+        print(f"({len(known)} baselined finding(s) suppressed)")
+    if new:
+        noun = "finding" if len(new) == 1 else "findings"
+        print(f"{len(new)} new {noun}")
+        if args.strict:
+            return 1
+    return 0

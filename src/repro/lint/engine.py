@@ -1,0 +1,93 @@
+"""The lint engine: file discovery, rule dispatch, suppression filtering.
+
+One :class:`~repro.lint.model.FileContext` is built per file (one parse,
+one comment scan) and every selected rule runs against it; findings on a
+line carrying ``# repro-lint: disable=RPLxxx`` (or ``disable=all``) are
+dropped.  Unparsable files produce a single synthetic ``RPL000`` syntax
+finding instead of crashing the run — a broken file must fail the lint
+job, not the linter.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.lint.model import FileContext, Finding
+from repro.lint.registry import Rule, make_rules
+
+__all__ = ["lint_text", "lint_file", "lint_paths", "iter_python_files"]
+
+#: Directory names never descended into during file discovery.
+_SKIP_DIRS = {".git", "__pycache__", ".mypy_cache", ".ruff_cache", "build", "dist"}
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(child.parts):
+                    seen.setdefault(child, None)
+        elif path.suffix == ".py":
+            seen.setdefault(path, None)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    return sorted(seen)
+
+
+def _run_rules(ctx: FileContext, rules: Iterable[Rule]) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(ctx))
+    findings = [f for f in findings if not ctx.is_suppressed(f)]
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def lint_text(
+    source: str, path: str = "<string>", rules: Iterable[Rule] | None = None
+) -> list[Finding]:
+    """Lint a source string as if it lived at ``path``.
+
+    The path matters: rules scope themselves by package (``repro/snn``,
+    ``repro/serve``, ...), so fixture tests pass paths like
+    ``src/repro/snn/example.py`` to land in a rule's jurisdiction.
+    """
+    if rules is None:
+        rules = make_rules()
+    try:
+        ctx = FileContext.from_source(source, path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="RPL000",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    return _run_rules(ctx, rules)
+
+
+def lint_file(path: str | Path, rules: Iterable[Rule] | None = None) -> list[Finding]:
+    """Lint one file from disk."""
+    source = Path(path).read_text(encoding="utf-8")
+    return lint_text(source, str(path), rules)
+
+
+def lint_paths(
+    paths: Iterable[str | Path], rules: Iterable[Rule] | None = None
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    if rules is None:
+        rules = make_rules()
+    else:
+        rules = list(rules)
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path, rules))
+    return findings

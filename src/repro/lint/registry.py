@@ -1,0 +1,92 @@
+"""Rule registry: the linter's plugin seam.
+
+Mirrors :mod:`repro.coding.registry` and :mod:`repro.runtime.backends`:
+rules register a factory under their id, third parties add their own with
+:func:`register_rule` (id format ``ABCnnn`` — project rules use the
+``RPL`` prefix), and the engine instantiates the selected set per run.
+A rule is anything satisfying the :class:`Rule` protocol: an ``id``, a
+``name``, a one-line ``description``, and ``check(ctx)`` yielding
+:class:`~repro.lint.model.Finding` s for one
+:class:`~repro.lint.model.FileContext`.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+from typing import Protocol, runtime_checkable
+
+from repro.lint.model import FileContext, Finding
+
+__all__ = [
+    "Rule",
+    "RULE_FACTORIES",
+    "register_rule",
+    "make_rules",
+    "available_rules",
+    "rule_descriptions",
+]
+
+_RULE_ID_RE = re.compile(r"^[A-Z]{2,8}\d{3}$")
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """What a lint rule must provide."""
+
+    id: str
+    name: str
+    description: str
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]: ...
+
+
+RULE_FACTORIES: dict[str, type] = {}
+
+
+def register_rule(rule_cls: type, overwrite: bool = False) -> type:
+    """Register a rule class under its ``id``; usable as a decorator.
+
+    Registering an existing id raises unless ``overwrite=True`` (so a
+    typo cannot silently shadow a built-in rule).
+    """
+    rule_id = getattr(rule_cls, "id", "")
+    if not isinstance(rule_id, str) or not _RULE_ID_RE.match(rule_id):
+        raise ValueError(
+            f"rule id must match {_RULE_ID_RE.pattern!r} (e.g. 'RPL001'), "
+            f"got {rule_id!r} on {rule_cls!r}"
+        )
+    if not overwrite and rule_id in RULE_FACTORIES:
+        raise ValueError(
+            f"rule {rule_id!r} is already registered; pass overwrite=True "
+            "to replace it"
+        )
+    RULE_FACTORIES[rule_id] = rule_cls
+    return rule_cls
+
+
+def make_rules(select: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate the selected rules (all registered rules by default)."""
+    if select is None:
+        ids = available_rules()
+    else:
+        ids = list(select)
+        unknown = [rid for rid in ids if rid not in RULE_FACTORIES]
+        if unknown:
+            raise ValueError(
+                f"unknown rule ids {unknown}; choose from {available_rules()}"
+            )
+    return [RULE_FACTORIES[rid]() for rid in ids]
+
+
+def available_rules() -> list[str]:
+    """Sorted registered rule ids."""
+    return sorted(RULE_FACTORIES)
+
+
+def rule_descriptions() -> list[tuple[str, str, str]]:
+    """``(id, name, description)`` for every registered rule, sorted."""
+    return [
+        (rid, RULE_FACTORIES[rid].name, RULE_FACTORIES[rid].description)
+        for rid in available_rules()
+    ]

@@ -1,0 +1,19 @@
+"""Built-in lint rules; importing this package registers all of them."""
+
+from repro.lint.rules.clock import WallClockRule
+from repro.lint.rules.dtype import DtypeDisciplineRule
+from repro.lint.rules.exports import ExportHygieneRule
+from repro.lint.rules.facade import FrozenFacadeRule
+from repro.lint.rules.faultpoints import FaultPointRule
+from repro.lint.rules.locks import LockDisciplineRule
+from repro.lint.rules.raises import ExceptionPolicyRule
+
+__all__ = [
+    "DtypeDisciplineRule",
+    "WallClockRule",
+    "LockDisciplineRule",
+    "FaultPointRule",
+    "FrozenFacadeRule",
+    "ExportHygieneRule",
+    "ExceptionPolicyRule",
+]

@@ -1,0 +1,85 @@
+"""RPL001 — dtype discipline in hot-path packages.
+
+The float32 dtype policy (DESIGN.md §9) is what the energy/latency
+numbers rest on: one dtype-less ``np.zeros`` in a hot path silently
+promotes every downstream kernel to float64 and doubles memory traffic.
+Allocations in the hot-path packages (``snn``, ``serve``, ``core``,
+``coding``) must therefore pass an explicit ``dtype`` — keyword or the
+documented positional slot — so a reviewer never has to guess what
+precision an arena buffer carries.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.model import FileContext, Finding
+from repro.lint.registry import register_rule
+
+__all__ = ["DtypeDisciplineRule", "HOT_PACKAGES"]
+
+#: Packages whose allocations are on the inference hot path.
+HOT_PACKAGES = ("snn", "serve", "core", "coding")
+
+#: Allocator -> number of positional args that includes the dtype slot
+#: (``np.zeros(shape, dtype)`` = 2, ``np.full(shape, fill, dtype)`` = 3,
+#: ``np.arange(start, stop, step, dtype)`` = 4).
+_DTYPE_POSITION = {"zeros": 2, "empty": 2, "ones": 2, "full": 3, "arange": 4}
+
+_NUMPY_ALIASES = ("np", "numpy")
+
+
+def _missing_dtype(call: ast.Call) -> str | None:
+    """The allocator name when ``call`` is a dtype-less numpy allocation."""
+    func = call.func
+    if not (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in _NUMPY_ALIASES
+        and func.attr in _DTYPE_POSITION
+    ):
+        return None
+    for kw in call.keywords:
+        if kw.arg == "dtype":
+            return None
+        if kw.arg is None:  # **kwargs — cannot prove dtype is absent
+            return None
+    plain_args = [a for a in call.args if not isinstance(a, ast.Starred)]
+    if len(plain_args) != len(call.args):  # *args — cannot prove either
+        return None
+    if len(plain_args) >= _DTYPE_POSITION[func.attr]:
+        return None
+    return func.attr
+
+
+@register_rule
+class DtypeDisciplineRule:
+    id = "RPL001"
+    name = "dtype-discipline"
+    description = (
+        "numpy allocations in hot-path packages (snn/serve/core/coding) "
+        "must pass an explicit dtype (float32 policy, DESIGN.md §9)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_packages(*HOT_PACKAGES):
+            return
+        package = ctx.repro_package
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            allocator = _missing_dtype(node)
+            if allocator is None:
+                continue
+            yield Finding(
+                rule=self.id,
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"np.{allocator}() without an explicit dtype in hot-path "
+                    f"package '{package}'; pass dtype= (float32 policy, "
+                    "DESIGN.md §9)"
+                ),
+            )

@@ -1,0 +1,132 @@
+"""RPL006 — ``__all__`` hygiene.
+
+``__all__`` is the codebase's public-API declaration (every module ships
+one); it rots in two directions.  A name listed but no longer defined
+breaks ``from module import *`` and misdocuments the API; a public def
+that never made it into ``__all__`` is an accidental semi-public symbol.
+Both are findings.  Modules without an ``__all__`` (tests, scripts) are
+out of scope, as are modules using ``import *`` (their namespace is not
+statically known).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.model import FileContext, Finding
+from repro.lint.registry import register_rule
+
+__all__ = ["ExportHygieneRule"]
+
+
+def _literal_all(tree: ast.Module) -> tuple[list[tuple[str, ast.expr]], int] | None:
+    """``__all__`` entries (name, node) and the assignment line, if literal."""
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+        ):
+            continue
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return None
+        entries = []
+        for elt in value.elts:
+            if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+                return None
+            entries.append((elt.value, elt))
+        return entries, stmt.lineno
+    return None
+
+
+def _module_names(tree: ast.Module) -> tuple[set[str], dict[str, ast.stmt]]:
+    """``(all defined top-level names, public def/class name -> node)``.
+
+    Descends into module-level ``if``/``try``/``with`` blocks (conditional
+    imports, TYPE_CHECKING guards) but not into functions or classes.
+    """
+    defined: set[str] = set()
+    public_defs: dict[str, ast.stmt] = {}
+    stack: list[ast.stmt] = list(tree.body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            defined.add(stmt.name)
+            if not stmt.name.startswith("_"):
+                public_defs.setdefault(stmt.name, stmt)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name):
+                        defined.add(node.id)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(stmt.target, ast.Name):
+                defined.add(stmt.target.id)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                defined.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                defined.add(alias.asname or alias.name)
+        elif isinstance(stmt, (ast.If, ast.Try, ast.With, ast.For, ast.While)):
+            for field in ("body", "orelse", "finalbody", "handlers"):
+                for child in getattr(stmt, field, []):
+                    if isinstance(child, ast.ExceptHandler):
+                        stack.extend(child.body)
+                    else:
+                        stack.append(child)
+    return defined, public_defs
+
+
+@register_rule
+class ExportHygieneRule:
+    id = "RPL006"
+    name = "export-hygiene"
+    description = (
+        "__all__ names must exist; public module-level defs must be listed "
+        "in __all__ (or made private)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        parsed = _literal_all(ctx.tree)
+        if parsed is None:
+            return
+        entries, _ = parsed
+        has_star = any(
+            isinstance(stmt, ast.ImportFrom)
+            and any(alias.name == "*" for alias in stmt.names)
+            for stmt in ctx.tree.body
+        )
+        if has_star:
+            return
+        defined, public_defs = _module_names(ctx.tree)
+        for name, node in entries:
+            if name not in defined:
+                yield Finding(
+                    rule=self.id,
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"__all__ lists {name!r} but the module does not "
+                        "define it"
+                    ),
+                )
+        exported = {name for name, _ in entries}
+        for name, stmt in sorted(public_defs.items()):
+            if name not in exported:
+                yield Finding(
+                    rule=self.id,
+                    path=ctx.path,
+                    line=stmt.lineno,
+                    col=stmt.col_offset,
+                    message=(
+                        f"public definition {name!r} is missing from __all__; "
+                        "export it or rename it with a leading underscore"
+                    ),
+                )

@@ -1,0 +1,92 @@
+"""RPL005 — the ``T2FSNN.run``/``serve`` facades are frozen.
+
+PR 5 collapsed the run()/serve() flag soup into ``RunConfig`` + the
+backend registry, and the ROADMAP pins the invariant: *new execution
+modes land as ``repro.runtime`` backends (``register_backend`` +
+``RunConfig(backend=...)``), not as new ``T2FSNN.run`` keywords*
+(DESIGN.md §12).  This rule freezes the two facade signatures — any
+parameter outside the recorded set is a finding, so the next
+"just one more kwarg" gets caught before review.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.model import FileContext, Finding
+from repro.lint.registry import register_rule
+
+__all__ = ["FrozenFacadeRule", "FROZEN_SIGNATURES"]
+
+#: method -> (allowed parameter names, kwargs-catch-all allowed?).
+#: ``T2FSNN.run(self, x, y=None, *, config=None)`` and
+#: ``T2FSNN.serve(self, max_batch, capacities, max_wait_ms, cache_size,
+#: *, config=None, **service_kwargs)`` — ``service_kwargs`` passes
+#: through to InferenceService, which is not a facade.
+FROZEN_SIGNATURES: dict[str, tuple[frozenset[str], bool]] = {
+    "run": (frozenset({"self", "x", "y", "config"}), False),
+    "serve": (
+        frozenset(
+            {"self", "max_batch", "capacities", "max_wait_ms", "cache_size", "config"}
+        ),
+        True,
+    ),
+}
+
+_FACADE_CLASS = "T2FSNN"
+
+
+@register_rule
+class FrozenFacadeRule:
+    id = "RPL005"
+    name = "frozen-facade"
+    description = (
+        "T2FSNN.run/serve signatures must not grow keywords; new execution "
+        "modes are repro.runtime backends (register_backend, DESIGN.md §12)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and node.name == _FACADE_CLASS:
+                for stmt in node.body:
+                    if (
+                        isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and stmt.name in FROZEN_SIGNATURES
+                    ):
+                        yield from self._check_signature(ctx, stmt)
+
+    def _check_signature(
+        self, ctx: FileContext, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        allowed, varkw_ok = FROZEN_SIGNATURES[func.name]
+        args = func.args
+        named = args.posonlyargs + args.args + args.kwonlyargs
+        for arg in named:
+            if arg.arg not in allowed:
+                yield self._finding(
+                    ctx, arg, func.name, f"new parameter {arg.arg!r}"
+                )
+        if args.vararg is not None:
+            yield self._finding(
+                ctx, args.vararg, func.name, f"new *{args.vararg.arg} catch-all"
+            )
+        if args.kwarg is not None and not varkw_ok:
+            yield self._finding(
+                ctx, args.kwarg, func.name, f"new **{args.kwarg.arg} catch-all"
+            )
+
+    def _finding(
+        self, ctx: FileContext, arg: ast.arg, method: str, what: str
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=ctx.path,
+            line=arg.lineno,
+            col=arg.col_offset,
+            message=(
+                f"{what} on frozen facade {_FACADE_CLASS}.{method}(); new "
+                "execution modes land as repro.runtime backends "
+                "(register_backend + RunConfig(backend=...), DESIGN.md §12)"
+            ),
+        )

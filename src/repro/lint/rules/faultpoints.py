@@ -1,0 +1,133 @@
+"""RPL004 — fault-point names must be members of ``FAULT_POINTS``.
+
+The chaos suite's guarantees are only as good as the fault-point names:
+``faults.check("worker.crash")`` with a typo'd point is dead code that
+*silently* never fires, and a ``FaultSpec`` arming a nonexistent point
+is a chaos scenario that tests nothing.  This rule pins every literal
+point passed to ``faults.check(...)`` / ``FaultSpec(point=...)`` — and
+every constant-style reference like ``faults.WORKER_CRASH`` — to the
+``FAULT_POINTS`` registry in :mod:`repro.reliability.faults`.  It is the
+reason fault-point names can be trusted in chaos scenarios (see
+``tests/reliability/test_fault_points_sync.py`` for the inverse check:
+every declared point is actually consulted somewhere in ``src/``).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.model import FileContext, Finding
+from repro.lint.registry import register_rule
+
+__all__ = ["FaultPointRule", "fault_points", "point_constants", "consulted_points"]
+
+
+def fault_points() -> tuple[str, ...]:
+    """The registry of legal fault-point names (imported lazily)."""
+    from repro.reliability.faults import FAULT_POINTS
+
+    return tuple(FAULT_POINTS)
+
+
+def point_constants() -> dict[str, str]:
+    """Constant name -> point string (``WORKER_CRASH`` -> ``worker.crash``)."""
+    import repro.reliability.faults as faults
+
+    points = set(faults.FAULT_POINTS)
+    return {
+        name: value
+        for name in dir(faults)
+        if name.isupper() and isinstance(value := getattr(faults, name), str)
+        and value in points
+    }
+
+
+def _point_exprs(tree: ast.AST) -> Iterator[tuple[ast.AST, ast.expr]]:
+    """Yield ``(call, point_expr)`` for every fault-point consultation."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name == "check" and isinstance(func, ast.Attribute):
+            # Only attribute form (faults.check) — a bare check() could be
+            # anything; the attribute form is the codebase convention.
+            if node.args:
+                yield node, node.args[0]
+        elif name == "FaultSpec":
+            point = None
+            if node.args:
+                point = node.args[0]
+            for kw in node.keywords:
+                if kw.arg == "point":
+                    point = kw.value
+            if point is not None:
+                yield node, point
+
+
+def _resolve(expr: ast.expr, constants: dict[str, str]) -> tuple[str | None, str | None]:
+    """``(point, problem)`` for one point expression.
+
+    Literal strings resolve directly; UPPERCASE names/attributes resolve
+    through the constant table (unknown UPPERCASE names are findings —
+    they look like registry constants but are not).  Anything else (a
+    runtime variable) is out of static reach and skipped.
+    """
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value, None
+    name = None
+    if isinstance(expr, ast.Attribute):
+        name = expr.attr
+    elif isinstance(expr, ast.Name):
+        name = expr.id
+    if name is not None and name.isupper():
+        if name in constants:
+            return constants[name], None
+        return None, f"unknown fault-point constant {name!r}"
+    return None, None
+
+
+def consulted_points(tree: ast.AST) -> set[str]:
+    """Every statically resolvable fault point consulted in ``tree``."""
+    constants = point_constants()
+    points = set()
+    for _, expr in _point_exprs(tree):
+        point, _ = _resolve(expr, constants)
+        if point is not None:
+            points.add(point)
+    return points
+
+
+@register_rule
+class FaultPointRule:
+    id = "RPL004"
+    name = "fault-point-literals"
+    description = (
+        "faults.check(...)/FaultSpec(point=...) names must be members of "
+        "repro.reliability.faults.FAULT_POINTS"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        points = set(fault_points())
+        constants = point_constants()
+        for call, expr in _point_exprs(ctx.tree):
+            point, problem = _resolve(expr, constants)
+            if problem is None and (point is None or point in points):
+                continue
+            detail = problem or (
+                f"fault point {point!r} is not in FAULT_POINTS "
+                f"{sorted(points)}"
+            )
+            yield Finding(
+                rule=self.id,
+                path=ctx.path,
+                line=expr.lineno,
+                col=expr.col_offset,
+                message=(
+                    f"{detail}; chaos scenarios can only trust declared "
+                    "points (repro.reliability.faults)"
+                ),
+            )

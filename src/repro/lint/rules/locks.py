@@ -1,0 +1,215 @@
+"""RPL003 — lock discipline (a race-detector-lite for annotated state).
+
+The serving layer's thread-safety story is a *protocol*, not a property
+the runtime enforces: certain attributes are only touched under a lock.
+This rule makes the protocol machine-checked.  An attribute is declared
+lock-protected either with a marker comment on its assignment::
+
+    self._pending: list = []  # guarded-by: _lock, _wake
+
+(multiple names = any of those ``with self.<name>:`` blocks satisfies
+the guard — e.g. a ``threading.Condition`` wrapping the same lock), or
+with a per-class registry::
+
+    class Queue:
+        GUARDED_BY = {"_pending": ("_lock",), "_closed": "_lock"}
+
+Every ``self.<attr>`` read or write of a declared attribute must then
+sit inside a ``with self.<guard>:`` block.  Exemptions built into the
+rule (the protocol's own conventions):
+
+* ``__init__`` / ``__post_init__`` / ``__new__`` / ``__del__`` — the
+  object is not shared during construction/destruction;
+* methods whose name ends in ``_locked`` — documented as "caller holds
+  the lock" (e.g. ``MicroBatcher._cull_locked``);
+* bodies of functions nested inside a ``with`` block do **not** inherit
+  the guard — they may run on another thread after the lock is gone.
+
+Anything else is a finding; deliberate unlocked access (single-writer
+counters, settled-once flags published by an Event) takes an inline
+``# repro-lint: disable=RPL003`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.lint.model import FileContext, Finding
+from repro.lint.registry import register_rule
+
+__all__ = ["LockDisciplineRule"]
+
+_MARKER_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_]\w*(?:\s*,\s*[A-Za-z_]\w*)*)")
+
+_EXEMPT_METHODS = frozenset({"__init__", "__post_init__", "__new__", "__del__"})
+
+_REGISTRY_NAMES = frozenset({"GUARDED_BY"})
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _marker_guards(ctx: FileContext, node: ast.stmt) -> tuple[str, ...] | None:
+    """Guards from a ``# guarded-by:`` comment on any of the node's lines."""
+    end = getattr(node, "end_lineno", None) or node.lineno
+    for line in range(node.lineno, end + 1):
+        comment = ctx.comments.get(line)
+        if comment is None:
+            continue
+        match = _MARKER_RE.search(comment)
+        if match is not None:
+            return tuple(g.strip() for g in match.group(1).split(","))
+    return None
+
+
+def _registry_guards(stmt: ast.stmt) -> dict[str, tuple[str, ...]]:
+    """Guards from a class-level ``GUARDED_BY = {...}`` dict literal."""
+    if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+        return {}
+    target = stmt.targets[0]
+    if not (isinstance(target, ast.Name) and target.id in _REGISTRY_NAMES):
+        return {}
+    value = stmt.value
+    if not isinstance(value, ast.Dict):
+        return {}
+    guarded: dict[str, tuple[str, ...]] = {}
+    for key, val in zip(value.keys, value.values):
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            continue
+        if isinstance(val, ast.Constant) and isinstance(val.value, str):
+            guarded[key.value] = (val.value,)
+        elif isinstance(val, (ast.Tuple, ast.List)):
+            names = tuple(
+                e.value
+                for e in val.elts
+                if isinstance(e, ast.Constant) and isinstance(e.value, str)
+            )
+            if names:
+                guarded[key.value] = names
+    return guarded
+
+
+def _collect_guarded(ctx: FileContext, cls: ast.ClassDef) -> dict[str, tuple[str, ...]]:
+    """Attr -> acceptable guard names for one class (markers + registry)."""
+    guarded: dict[str, tuple[str, ...]] = {}
+    for stmt in cls.body:
+        guarded.update(_registry_guards(stmt))
+    # Marker comments can sit on any self.<attr> assignment in any method
+    # (conventionally __init__); do not descend into nested classes.
+    for node in _walk_skipping_classes(cls):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        guards = _marker_guards(ctx, node)
+        if guards is None:
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            attr = _self_attr(target)
+            if attr is not None:
+                guarded[attr] = guards
+    return guarded
+
+
+def _walk_skipping_classes(cls: ast.ClassDef) -> Iterator[ast.AST]:
+    """Walk a class subtree without entering nested class definitions."""
+    stack: list[ast.AST] = list(cls.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.ClassDef):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _with_guards(node: ast.With | ast.AsyncWith) -> frozenset[str]:
+    names = set()
+    for item in node.items:
+        attr = _self_attr(item.context_expr)
+        if attr is not None:
+            names.add(attr)
+    return frozenset(names)
+
+
+@register_rule
+class LockDisciplineRule:
+    id = "RPL003"
+    name = "lock-discipline"
+    description = (
+        "attributes annotated '# guarded-by: <lock>' (or via a GUARDED_BY "
+        "class registry) may only be accessed inside 'with self.<lock>:'"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef) -> Iterator[Finding]:
+        guarded = _collect_guarded(ctx, cls)
+        if not guarded:
+            return
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name in _EXEMPT_METHODS or stmt.name.endswith("_locked"):
+                continue
+            for part in stmt.body:
+                yield from self._visit(ctx, cls, stmt, part, guarded, frozenset())
+
+    def _visit(
+        self,
+        ctx: FileContext,
+        cls: ast.ClassDef,
+        method: ast.AST,
+        node: ast.AST,
+        guarded: dict[str, tuple[str, ...]],
+        held: frozenset[str],
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.ClassDef):
+            return  # nested classes are checked independently
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held | _with_guards(node)
+            for item in node.items:
+                yield from self._visit(
+                    ctx, cls, method, item.context_expr, guarded, held
+                )
+                if item.optional_vars is not None:
+                    yield from self._visit(
+                        ctx, cls, method, item.optional_vars, guarded, held
+                    )
+            for child in node.body:
+                yield from self._visit(ctx, cls, method, child, guarded, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A nested function may outlive the with block (run on another
+            # thread); its body starts with no guards held.
+            for child in ast.iter_child_nodes(node):
+                yield from self._visit(ctx, cls, method, child, guarded, frozenset())
+            return
+        attr = _self_attr(node)
+        if attr is not None and attr in guarded:
+            allowed = guarded[attr]
+            if not held.intersection(allowed):
+                want = " or ".join(f"self.{g}" for g in allowed)
+                yield Finding(
+                    rule=self.id,
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"{cls.name}.{getattr(method, 'name', '?')}: self.{attr} "
+                        f"is guarded-by {want} but is accessed outside a "
+                        f"'with {want}:' block"
+                    ),
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(ctx, cls, method, child, guarded, held)

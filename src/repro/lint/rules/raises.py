@@ -1,0 +1,96 @@
+"""RPL007 — exception policy in the reliability and serving layers.
+
+Callers of ``repro.reliability``/``repro.serve`` program against the
+documented failure taxonomy (:mod:`repro.reliability.errors`): an
+``except ReliabilityError`` must catch every infrastructure outcome, and
+argument validation stays on stdlib ``ValueError``/``TypeError``.  A
+``raise RuntimeError`` in these packages silently escapes both nets.
+This rule restricts ``raise`` sites to the errors.py hierarchy, the two
+validation builtins, and exception classes defined in the same file
+(internal control-flow signals like ``_FlushAbandoned``).  Re-raises and
+raising a caught variable are out of static reach and allowed;
+deliberate exceptions (e.g. the fault harness impersonating an
+``OSError``) take an inline disable with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.model import FileContext, Finding
+from repro.lint.registry import register_rule
+
+__all__ = ["ExceptionPolicyRule"]
+
+#: Package directories the policy applies to.
+_SCOPED_PACKAGES = ("reliability", "serve")
+
+#: stdlib exceptions legal for argument validation.
+_VALIDATION_BUILTINS = frozenset({"ValueError", "TypeError"})
+
+
+def _errors_hierarchy() -> frozenset[str]:
+    """Exported names of repro.reliability.errors (imported lazily)."""
+    from repro.reliability import errors
+
+    return frozenset(errors.__all__)
+
+
+def _raised_name(node: ast.Raise) -> tuple[str | None, bool]:
+    """``(class-style name, is_constant_style)`` for a raise site.
+
+    ``raise X(...)`` and ``raise X`` resolve to ``X`` when it looks like
+    a class (CapWord); ``raise exc`` (a lowercase variable) and bare
+    ``raise`` return ``(None, False)`` — not statically checkable.
+    """
+    exc = node.exc
+    if exc is None:
+        return None, False
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    name = None
+    if isinstance(exc, ast.Name):
+        name = exc.id
+    elif isinstance(exc, ast.Attribute):
+        name = exc.attr
+    if name is None or not name[:1].isupper():
+        return None, False
+    return name, True
+
+
+@register_rule
+class ExceptionPolicyRule:
+    id = "RPL007"
+    name = "exception-policy"
+    description = (
+        "raise sites in reliability/ and serve/ must use the "
+        "repro.reliability.errors hierarchy (or ValueError/TypeError for "
+        "argument validation)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not (ctx.in_src and ctx.in_packages(*_SCOPED_PACKAGES)):
+            return
+        local_classes = {
+            node.name for node in ast.walk(ctx.tree) if isinstance(node, ast.ClassDef)
+        }
+        allowed = _errors_hierarchy() | _VALIDATION_BUILTINS | local_classes
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            name, checkable = _raised_name(node)
+            if not checkable or name in allowed:
+                continue
+            yield Finding(
+                rule=self.id,
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"raise {name} in {ctx.repro_package}/ violates the "
+                    "exception policy: use the repro.reliability.errors "
+                    "hierarchy (or ValueError/TypeError for argument "
+                    "validation)"
+                ),
+            )

@@ -10,8 +10,6 @@ nonlinearity is ReLU — the constraints required by the DNN->SNN conversion.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.nn.activations import ReLU
 from repro.nn.batchnorm import BatchNorm2D
 from repro.nn.layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten

@@ -32,6 +32,7 @@ from repro.reliability.errors import (
     PoolUnavailable,
     QueueFull,
     ReliabilityError,
+    ServiceClosed,
 )
 from repro.reliability.faults import FaultPlan, FaultSpec
 from repro.reliability.log import LOGGER, note_serial_fallback, reset_fallback_warnings
@@ -47,6 +48,7 @@ __all__ = [
     "PoolUnavailable",
     "DeadlineExceeded",
     "QueueFull",
+    "ServiceClosed",
     "InjectedFault",
     "LOGGER",
     "note_serial_fallback",

@@ -61,9 +61,9 @@ class CircuitBreaker:
         self.reset_after_s = float(reset_after_s)
         self._clock = clock
         self._lock = threading.Lock()
-        self._state = CLOSED
-        self._failures = 0
-        self._opened_at = 0.0
+        self._state = CLOSED  # guarded-by: _lock
+        self._failures = 0  # guarded-by: _lock
+        self._opened_at = 0.0  # guarded-by: _lock
         self.trips = 0  # closed/half-open -> open transitions
         self.recoveries = 0  # half-open -> closed transitions
 

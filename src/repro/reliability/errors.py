@@ -23,6 +23,7 @@ __all__ = [
     "PoolUnavailable",
     "DeadlineExceeded",
     "QueueFull",
+    "ServiceClosed",
     "InjectedFault",
 ]
 
@@ -58,6 +59,15 @@ class QueueFull(ReliabilityError):
     Raised synchronously from ``submit()`` so backpressure reaches the
     caller immediately instead of queueing work that will miss every
     deadline anyway.
+    """
+
+
+class ServiceClosed(ReliabilityError):
+    """Submission after ``close()``: the service/batcher accepts no work.
+
+    Still a :class:`RuntimeError` (via :class:`ReliabilityError`), so
+    callers that predate the taxonomy and catch ``RuntimeError`` keep
+    working.
     """
 
 

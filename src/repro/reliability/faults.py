@@ -229,7 +229,9 @@ def install(plan: FaultPlan) -> FaultPlan:
     """Arm ``plan`` and make it the process's active plan."""
     global _ACTIVE
     if _ACTIVE is not None:
-        raise RuntimeError(
+        # Harness misuse guard, not a reliability outcome: nothing in the
+        # serving stack should ever catch (or see) this.
+        raise RuntimeError(  # repro-lint: disable=RPL007
             "a fault plan is already installed; uninstall() it first"
         )
     _ACTIVE = plan.arm()
@@ -290,5 +292,7 @@ def check(point: str) -> None:
         time.sleep(spec.delay_ms / 1000.0)
         return
     if point == POOL_SPAWN:
-        raise OSError(f"injected fault at {point!r}")
+        # Deliberately impersonates the infrastructure error a real failed
+        # spawn produces, so supervisor retry paths are exercised verbatim.
+        raise OSError(f"injected fault at {point!r}")  # repro-lint: disable=RPL007
     raise InjectedFault(f"injected fault at {point!r}")

@@ -30,12 +30,16 @@ latency-budgeted runtimes plug in here without touching ``T2FSNN``.
 from __future__ import annotations
 
 from collections.abc import Callable
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.runtime.config import RunConfig
 from repro.snn.results import SimulationResult
+
+if TYPE_CHECKING:
+    from repro.runtime.runtime import Runtime
+    from repro.serve.service import InferenceService
 
 __all__ = [
     "Backend",
@@ -65,7 +69,11 @@ class Backend(Protocol):
     name: str
 
     def execute(
-        self, runtime, config: RunConfig, x: np.ndarray, y: np.ndarray | None = None
+        self,
+        runtime: Runtime,
+        config: RunConfig,
+        x: np.ndarray,
+        y: np.ndarray | None = None,
     ) -> SimulationResult: ...
 
     def close(self) -> None: ...
@@ -91,7 +99,7 @@ def register_backend(
     BACKEND_FACTORIES[name] = factory
 
 
-def make_backend(name: str, **kwargs) -> Backend:
+def make_backend(name: str, **kwargs: Any) -> Backend:
     """Instantiate a backend by name.
 
     >>> make_backend("serial").name
@@ -143,7 +151,13 @@ class SerialBackend:
 
     name = "serial"
 
-    def execute(self, runtime, config, x, y=None) -> SimulationResult:
+    def execute(
+        self,
+        runtime: Runtime,
+        config: RunConfig,
+        x: np.ndarray,
+        y: np.ndarray | None = None,
+    ) -> SimulationResult:
         sim = runtime.simulator(
             monitors=config.monitors, steps=config.steps, dtype=config.dtype
         )
@@ -168,7 +182,13 @@ class CompiledBackend:
 
     name = "compiled"
 
-    def execute(self, runtime, config, x, y=None) -> SimulationResult:
+    def execute(
+        self,
+        runtime: Runtime,
+        config: RunConfig,
+        x: np.ndarray,
+        y: np.ndarray | None = None,
+    ) -> SimulationResult:
         if config.monitors:
             sim = runtime.simulator(
                 monitors=config.monitors, steps=config.steps, dtype=config.dtype
@@ -193,7 +213,13 @@ class ParallelBackend:
 
     name = "parallel"
 
-    def execute(self, runtime, config, x, y=None) -> SimulationResult:
+    def execute(
+        self,
+        runtime: Runtime,
+        config: RunConfig,
+        x: np.ndarray,
+        y: np.ndarray | None = None,
+    ) -> SimulationResult:
         sim = runtime.simulator(steps=config.steps, dtype=config.dtype)
         return sim.run_parallel(
             x,
@@ -221,7 +247,13 @@ class AnytimeBackend:
 
     name = "anytime"
 
-    def execute(self, runtime, config, x, y=None) -> SimulationResult:
+    def execute(
+        self,
+        runtime: Runtime,
+        config: RunConfig,
+        x: np.ndarray,
+        y: np.ndarray | None = None,
+    ) -> SimulationResult:
         from repro.snn.budget import Budget
 
         budget = Budget(ms=config.budget_ms, min_confidence=config.min_confidence)
@@ -260,7 +292,9 @@ class ServiceBackend:
 
     name = "service"
 
-    def open(self, runtime, config: RunConfig, **service_kwargs):
+    def open(
+        self, runtime: Runtime, config: RunConfig, **service_kwargs: Any
+    ) -> InferenceService:
         """A persistent :class:`InferenceService` for ``runtime``'s model."""
         from repro.serve.service import InferenceService
 

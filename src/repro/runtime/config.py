@@ -38,7 +38,7 @@ DEFAULT_BATCH_SIZE = 64
 _FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
 
-def _validate_optional_positive_int(name: str, value) -> int | None:
+def _validate_optional_positive_int(name: str, value: object) -> int | None:
     if value is None:
         return None
     if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
@@ -123,7 +123,7 @@ class RunConfig:
     budget_ms: float | None = None
     min_confidence: float | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "monitors", tuple(self.monitors))
         object.__setattr__(
             self,

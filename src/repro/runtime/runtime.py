@@ -28,6 +28,8 @@ invalidation rule.
 from __future__ import annotations
 
 import weakref
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -35,6 +37,9 @@ from repro.runtime.backends import Backend, make_backend, select_backend
 from repro.runtime.config import RunConfig
 from repro.snn.engine import Simulator
 from repro.snn.results import SimulationResult
+
+if TYPE_CHECKING:
+    from repro.serve.service import InferenceService
 
 __all__ = ["Runtime"]
 
@@ -48,7 +53,7 @@ class Runtime:
     :class:`~repro.core.t2fsnn.T2FSNN`.
     """
 
-    def __init__(self, model):
+    def __init__(self, model: Any) -> None:
         self.model = model
         self._backends: dict[str, Backend] = {}
         # Compiled-run cache, moved here from T2FSNN: plans live on a
@@ -56,7 +61,7 @@ class Runtime:
         # Invalidated whenever the coding key changes (optimize_kernels,
         # early_firing toggles, network swap/astype/bump_version).
         self._compiled_sim: Simulator | None = None
-        self._compiled_key = None
+        self._compiled_key: tuple | None = None
         self._dtype_networks: dict = {}
         self._services: weakref.WeakSet = weakref.WeakSet()
         self._closed = False
@@ -65,14 +70,14 @@ class Runtime:
     # coding keys and simulators
     # ------------------------------------------------------------------ #
 
-    def _network_token(self, network) -> tuple:
+    def _network_token(self, network: Any) -> tuple:
         return (
             network.identity_token()
             if hasattr(network, "identity_token")
             else (id(network),)
         )
 
-    def network_for(self, dtype=None):
+    def network_for(self, dtype: Any = None) -> Any:
         """The model's network, or a cached ``astype`` copy for ``dtype``.
 
         Variant networks are keyed by the *source* network's identity
@@ -91,7 +96,7 @@ class Runtime:
             self._dtype_networks = {key: cached}
         return cached
 
-    def coding_key(self, dtype=None) -> tuple:
+    def coding_key(self, dtype: Any = None) -> tuple:
         """Fingerprint of the model's current coding configuration.
 
         Embeds the (possibly dtype-variant) network's identity token plus
@@ -109,13 +114,20 @@ class Runtime:
             model.theta0,
         )
 
-    def simulator(self, monitors=(), steps: int | None = None, dtype=None) -> Simulator:
+    def simulator(
+        self,
+        monitors: Sequence = (),
+        steps: int | None = None,
+        dtype: Any = None,
+    ) -> Simulator:
         """A fresh :class:`~repro.snn.engine.Simulator` for the model."""
         return Simulator(
             self.network_for(dtype), self.model.coding(), steps=steps, monitors=monitors
         )
 
-    def compiled_simulator(self, steps: int | None = None, dtype=None) -> Simulator:
+    def compiled_simulator(
+        self, steps: int | None = None, dtype: Any = None
+    ) -> Simulator:
         """The cached monitor-free simulator compiled runs execute on.
 
         Constructed lazily — a cache hit builds no simulator at all (the
@@ -163,7 +175,9 @@ class Runtime:
             )
         return self.backend(name).execute(self, config, x, y)
 
-    def serve(self, config: RunConfig | None = None, **service_kwargs):
+    def serve(
+        self, config: RunConfig | None = None, **service_kwargs: Any
+    ) -> InferenceService:
         """An online :class:`~repro.serve.service.InferenceService`.
 
         Built through the registry's ``"service"`` backend;
@@ -244,7 +258,7 @@ class Runtime:
     def __enter__(self) -> "Runtime":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

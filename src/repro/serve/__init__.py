@@ -19,7 +19,7 @@ decision available at a fixed schedule depth).  See docs/DESIGN.md §11.
 Entry point: ``T2FSNN.serve()`` or ``InferenceService(simulator)``.
 """
 
-from repro.reliability.errors import DeadlineExceeded, QueueFull
+from repro.reliability.errors import DeadlineExceeded, QueueFull, ServiceClosed
 from repro.serve.batcher import MicroBatcher, ServedFuture
 from repro.serve.cache import ResultCache, input_digest
 from repro.serve.dispatch import PoolUnavailable, ShardedDispatcher
@@ -42,5 +42,6 @@ __all__ = [
     "PoolUnavailable",
     "DeadlineExceeded",
     "QueueFull",
+    "ServiceClosed",
     "ShardedDispatcher",
 ]

@@ -46,7 +46,7 @@ import threading
 import time
 from concurrent.futures import CancelledError
 
-from repro.reliability.errors import DeadlineExceeded, QueueFull
+from repro.reliability.errors import DeadlineExceeded, QueueFull, ServiceClosed
 
 __all__ = ["ServedFuture", "MicroBatcher"]
 
@@ -87,8 +87,8 @@ class ServedFuture:
         self._lock = threading.Lock()
         self._value = None
         self._error: BaseException | None = None
-        self._cancelled = False
-        self._dispatched = False
+        self._cancelled = False  # guarded-by: _lock
+        self._dispatched = False  # guarded-by: _lock
         self._late_cancel_cb = None
         self.submitted_at: float = 0.0
         self.deadline_at: float | None = None
@@ -100,7 +100,9 @@ class ServedFuture:
 
     def cancelled(self) -> bool:
         """True if the future was settled by :meth:`cancel`."""
-        return self._cancelled
+        # Settled-once flag: written only before _event.set(), whose
+        # happens-before edge publishes it to any post-done() reader.
+        return self._cancelled  # repro-lint: disable=RPL003
 
     def expired(self, now: float | None = None) -> bool:
         """True if the deadline has passed and the future is unsettled."""
@@ -152,7 +154,11 @@ class ServedFuture:
     def result(self, timeout: float | None = None):
         """Block for the outcome; raises ``TimeoutError`` after ``timeout``."""
         if not self._event.wait(timeout):
-            raise TimeoutError(f"request not served within {timeout} s")
+            # Documented concurrent.futures-style contract: a result() wait
+            # expiring is the caller's timeout, not a service failure.
+            raise TimeoutError(  # repro-lint: disable=RPL007
+                f"request not served within {timeout} s"
+            )
         if self._error is not None:
             raise self._error
         return self._value
@@ -220,8 +226,10 @@ class MicroBatcher:
         self._on_drop = on_drop
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
-        self._pending: list = []
-        self._closed = False
+        # _wake is a Condition over _lock, so holding either is the same
+        # mutual exclusion; the markers accept both spellings.
+        self._pending: list = []  # guarded-by: _lock, _wake
+        self._closed = False  # guarded-by: _lock, _wake
         # Drop counters (dispatch-thread writers except rejected_full,
         # which submit() increments under the lock, and cancelled_late,
         # incremented from the cancelling caller's thread).
@@ -244,7 +252,7 @@ class MicroBatcher:
         """
         with self._wake:
             if self._closed:
-                raise RuntimeError("MicroBatcher is closed")
+                raise ServiceClosed("MicroBatcher is closed")
             if (
                 self.max_pending is not None
                 and len(self._pending) >= self.max_pending

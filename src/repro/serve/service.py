@@ -70,7 +70,12 @@ import numpy as np
 
 import repro.reliability.faults as faults
 from repro.reliability.breaker import CLOSED, CircuitBreaker
-from repro.reliability.errors import DeadlineExceeded, PoolUnavailable, QueueFull
+from repro.reliability.errors import (
+    DeadlineExceeded,
+    PoolUnavailable,
+    QueueFull,
+    ServiceClosed,
+)
 from repro.reliability.log import note_serial_fallback
 from repro.reliability.supervisor import RetryPolicy
 from repro.serve.batcher import MicroBatcher, ServedFuture
@@ -217,7 +222,7 @@ class _FlushTicket:
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._state = "pending"
+        self._state = "pending"  # guarded-by: _lock
         self.result = None
         self.error: BaseException | None = None
 
@@ -379,9 +384,10 @@ class InferenceService:
         self._calibrate = bool(calibrate)
         self._steps = steps
         self._cache = ResultCache(cache_size)
-        self._stats = ServiceStats()
-        # submit() increments counters from arbitrary caller threads; every
-        # other counter is dispatch-thread-only (single writer).
+        # submit() increments counters from arbitrary caller threads while
+        # the dispatch thread updates flush counters, so every touch takes
+        # the stats lock.
+        self._stats = ServiceStats()  # guarded-by: _stats_lock
         self._stats_lock = threading.Lock()
         self._plans: dict = {}
         self._gen_key = None
@@ -391,7 +397,7 @@ class InferenceService:
         # Guarded by its own lock (submit runs on caller threads, resolution
         # on the dispatch thread).
         self._dedupe = bool(dedupe)
-        self._inflight: dict[bytes, list[ServedFuture]] = {}
+        self._inflight: dict[bytes, list[ServedFuture]] = {}  # guarded-by: _inflight_lock
         self._inflight_lock = threading.Lock()
 
         scheme = source.scheme if self._runtime is None else None
@@ -468,7 +474,7 @@ class InferenceService:
         the queue is saturated.
         """
         if self._closed:
-            raise RuntimeError("InferenceService is closed")
+            raise ServiceClosed("InferenceService is closed")
         if deadline_ms is None:
             deadline_ms = self._default_deadline_ms
         elif not (
@@ -614,7 +620,8 @@ class InferenceService:
                 batch_size=capacity, steps=self._steps, calibrate=self._calibrate
             )
             self._plans[plan_key] = plan
-            self._stats.plans_compiled += 1
+            with self._stats_lock:
+                self._stats.plans_compiled += 1
         return plan
 
     def _capacity_for(self, n: int) -> int:
@@ -699,7 +706,8 @@ class InferenceService:
         if n < capacity:
             padded = np.zeros((capacity, *self.input_shape), dtype=xs.dtype)
             padded[:n] = xs
-            self._stats.padded_samples += capacity - n
+            with self._stats_lock:
+                self._stats.padded_samples += capacity - n
             xs = padded
         return plan, xs
 
@@ -913,15 +921,15 @@ class InferenceService:
         """Resolve every member (and follower) of one executed flush."""
         now = time.monotonic()
         n = len(requests)
-        self._stats.flushes += 1
-        self._stats.flushed_samples += n
-        self._stats.flush_sizes[n] = self._stats.flush_sizes.get(n, 0) + 1
+        with self._stats_lock:
+            self._stats.flushes += 1
+            self._stats.flushed_samples += n
+            self._stats.flush_sizes[n] = self._stats.flush_sizes.get(n, 0) + 1
+            if partial:
+                self._stats.partial_results += n
         margins = None
         if self._flush_budget_ms(requests) is not None:
             margins = confidence_margins(np.asarray(scores))
-        if partial:
-            with self._stats_lock:
-                self._stats.partial_results += n
         for i, ((x, digest), future) in enumerate(requests):
             row = np.array(scores[i], copy=True)
             margin = None if margins is None else float(margins[i])
@@ -979,20 +987,21 @@ class InferenceService:
         drop counts from the batcher, and the breaker state from the
         breaker (each the single source of truth).
         """
-        return replace(
-            self._stats,
-            cache_hits=self._cache.hits,
-            cache_misses=self._cache.misses,
-            deadline_expired=self._batcher.expired,
-            cancelled=self._batcher.cancelled_dropped,
-            cancelled_after_dispatch=self._batcher.cancelled_late,
-            rejected_full=self._batcher.rejected_full,
-            degrade_level=self._degrade_level,
-            breaker_state=(
-                self._breaker.state if self._workers > 1 else "disabled"
-            ),
-            flush_sizes=dict(self._stats.flush_sizes),
-        )
+        with self._stats_lock:
+            return replace(
+                self._stats,
+                cache_hits=self._cache.hits,
+                cache_misses=self._cache.misses,
+                deadline_expired=self._batcher.expired,
+                cancelled=self._batcher.cancelled_dropped,
+                cancelled_after_dispatch=self._batcher.cancelled_late,
+                rejected_full=self._batcher.rejected_full,
+                degrade_level=self._degrade_level,
+                breaker_state=(
+                    self._breaker.state if self._workers > 1 else "disabled"
+                ),
+                flush_sizes=dict(self._stats.flush_sizes),
+            )
 
     def health(self) -> ServiceHealth:
         """Liveness/degradation snapshot for operators and probes.

@@ -40,6 +40,7 @@ each (per-sample compute is per-window, latency is end-to-end).
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
@@ -47,7 +48,9 @@ import numpy as np
 __all__ = ["Budget", "BudgetTimer"]
 
 
-def _check_positive(name: str, value, integral: bool = False):
+def _check_positive(
+    name: str, value: object, integral: bool = False
+) -> float | int | None:
     if value is None:
         return None
     if isinstance(value, bool):
@@ -94,7 +97,7 @@ class Budget:
     max_steps: int | None = None
     min_confidence: float | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "ms", _check_positive("ms", self.ms))
         object.__setattr__(
             self, "max_steps", _check_positive("max_steps", self.max_steps, True)
@@ -110,7 +113,7 @@ class Budget:
                 "min_confidence"
             )
 
-    def start(self, clock=time.monotonic) -> "BudgetTimer":
+    def start(self, clock: Callable[[], float] = time.monotonic) -> "BudgetTimer":
         """Begin the countdown; ``clock`` is injectable for tests."""
         return BudgetTimer(self, clock)
 
@@ -120,7 +123,9 @@ class BudgetTimer:
 
     __slots__ = ("budget", "_clock", "_deadline")
 
-    def __init__(self, budget: Budget, clock=time.monotonic):
+    def __init__(
+        self, budget: Budget, clock: Callable[[], float] = time.monotonic
+    ) -> None:
         self.budget = budget
         self._clock = clock
         self._deadline = (

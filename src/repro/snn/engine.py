@@ -572,7 +572,7 @@ class Simulator:
                     (n,) + tuple(bound.readout.shape),
                     dtype=bound.readout.scores().dtype,
                 )
-                active = np.arange(n)
+                active = np.arange(n, dtype=np.int64)
             scores_out[active[retire]] = bound.readout.seal_rows(
                 retire, t, bound.total_steps
             )

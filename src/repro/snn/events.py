@@ -49,6 +49,7 @@ __all__ = [
     "spike_count",
     "spike_mask",
     "apply_stage_events",
+    "apply_op_events",
 ]
 
 #: Below this fraction of active neurons the sparse path beats the dense
@@ -327,8 +328,8 @@ def _conv_event_pairs(
     kh, kw, stride, pad = op.kernel_h, op.kernel_w, op.stride, op.pad
     cidx, rem = np.divmod(packet.idx, h * w)
     yy, xx = np.divmod(rem, w)
-    dy = np.repeat(np.arange(kh), kw)[:, None]
-    dx = np.tile(np.arange(kw), kh)[:, None]
+    dy = np.repeat(np.arange(kh, dtype=np.int64), kw)[:, None]
+    dx = np.tile(np.arange(kw, dtype=np.int64), kh)[:, None]
     oy = yy[None, :] + pad - dy
     ox = xx[None, :] + pad - dx
     if stride > 1:

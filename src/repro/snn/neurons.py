@@ -34,7 +34,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["NeuronDynamics", "IFNeurons", "ReadoutAccumulator"]
+__all__ = [
+    "NeuronDynamics",
+    "IFNeurons",
+    "ReadoutAccumulator",
+    "arena_zeros",
+    "arena_compact",
+]
 
 
 def _bias_is_nonzero(bias) -> bool:

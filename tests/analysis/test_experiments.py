@@ -1,6 +1,5 @@
 """Experiment harness on a micro configuration (fast end-to-end checks)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.experiments import (

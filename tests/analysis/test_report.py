@@ -3,7 +3,7 @@ using the cached micro system from test_experiments)."""
 
 import pytest
 
-from repro.analysis.report import Report, ReportSection, build_report, generate_report
+from repro.analysis.report import Report, ReportSection, build_report
 from repro.analysis.experiments import prepare_system
 
 from tests.analysis.test_experiments import MICRO

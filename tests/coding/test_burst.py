@@ -1,6 +1,5 @@
 """Burst coding: geometric burst weights and value transmission."""
 
-import numpy as np
 import pytest
 
 from repro.coding.burst import BurstCoding, BurstIFNeurons

@@ -1,6 +1,5 @@
 """DNN->SNN structural conversion."""
 
-import numpy as np
 import pytest
 
 from repro.convert.converter import convert_to_snn
@@ -8,7 +7,6 @@ from repro.nn.activations import ReLU
 from repro.nn.layers import AvgPool2D, Conv2D, Dense, Dropout, Flatten, MaxPool2D
 from repro.nn.network import Sequential
 
-from tests.conftest import build_tiny_model
 
 
 class TestStageGrouping:

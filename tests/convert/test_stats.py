@@ -1,6 +1,5 @@
 """Activation statistics collection."""
 
-import numpy as np
 import pytest
 
 from repro.convert.stats import collect_activation_stats

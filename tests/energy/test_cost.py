@@ -1,6 +1,5 @@
 """Operation-count analysis (Table III)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.paper import PAPER_TABLE3

@@ -1,0 +1,313 @@
+"""Per-rule fixtures: every rule must fire on its violation and stay
+silent on the compliant twin (and outside its jurisdiction)."""
+
+from __future__ import annotations
+
+from repro.lint import lint_text, make_rules
+
+
+def run_rule(rule_id: str, source: str, path: str) -> list:
+    return lint_text(source, path=path, rules=make_rules([rule_id]))
+
+
+HOT = "src/repro/snn/example.py"
+COLD = "src/repro/nn/example.py"
+
+
+class TestDtypeDiscipline:
+    def test_fires_on_missing_dtype_in_hot_package(self):
+        findings = run_rule("RPL001", "import numpy as np\nz = np.zeros(4)\n", HOT)
+        assert [f.rule for f in findings] == ["RPL001"]
+        assert "dtype" in findings[0].message
+
+    def test_silent_with_keyword_dtype(self):
+        src = "import numpy as np\nz = np.zeros(4, dtype=np.float32)\n"
+        assert run_rule("RPL001", src, HOT) == []
+
+    def test_silent_with_positional_dtype(self):
+        src = "import numpy as np\nz = np.zeros(4, np.float32)\n"
+        assert run_rule("RPL001", src, HOT) == []
+
+    def test_silent_outside_hot_packages(self):
+        src = "import numpy as np\nz = np.zeros(4)\n"
+        assert run_rule("RPL001", src, COLD) == []
+
+    def test_silent_on_kwargs_passthrough(self):
+        src = "import numpy as np\n\ndef make(**kw):\n    return np.zeros(4, **kw)\n"
+        assert run_rule("RPL001", src, HOT) == []
+
+    def test_fires_on_full_without_dtype(self):
+        src = "import numpy as np\nz = np.full(4, -1.0)\n"
+        assert [f.rule for f in run_rule("RPL001", src, HOT)] == ["RPL001"]
+
+
+class TestWallClock:
+    def test_fires_outside_clock_seams(self):
+        src = "import time\n\ndef now():\n    return time.monotonic()\n"
+        findings = run_rule("RPL002", src, HOT)
+        assert [f.rule for f in findings] == ["RPL002"]
+
+    def test_silent_in_clock_seam(self):
+        src = "import time\n\ndef now():\n    return time.monotonic()\n"
+        assert run_rule("RPL002", src, "src/repro/snn/budget.py") == []
+
+    def test_silent_in_tests(self):
+        src = "import time\nT0 = time.monotonic()\n"
+        assert run_rule("RPL002", src, "tests/snn/test_example.py") == []
+
+    def test_fires_on_from_import(self):
+        src = "from time import monotonic\n"
+        assert [f.rule for f in run_rule("RPL002", src, HOT)] == ["RPL002"]
+
+    def test_silent_on_time_sleep(self):
+        src = "import time\ntime.sleep(0.1)\n"
+        assert run_rule("RPL002", src, HOT) == []
+
+
+_LOCKED_TEMPLATE = """\
+import threading
+
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []  # guarded-by: _lock
+
+    def locked_use(self):
+        with self._lock:
+            return len(self._items)
+
+    def unlocked_use(self):
+        return len(self._items)
+
+    def _drain_locked(self):
+        return self._items.pop()
+"""
+
+
+class TestLockDiscipline:
+    def test_fires_only_on_unlocked_access(self):
+        findings = run_rule("RPL003", _LOCKED_TEMPLATE, HOT)
+        assert len(findings) == 1
+        assert "unlocked_use" in findings[0].message
+        assert findings[0].line == 14
+
+    def test_init_and_locked_suffix_exempt(self):
+        messages = " ".join(
+            f.message for f in run_rule("RPL003", _LOCKED_TEMPLATE, HOT)
+        )
+        assert "__init__" not in messages
+        assert "_drain_locked" not in messages
+
+    def test_registry_form(self):
+        src = """\
+import threading
+
+
+class Box:
+    GUARDED_BY = {"_items": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def bad(self):
+        return self._items
+"""
+        findings = run_rule("RPL003", src, HOT)
+        assert len(findings) == 1 and findings[0].line == 12
+
+    def test_alternative_guards(self):
+        src = """\
+import threading
+
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._items = []  # guarded-by: _lock, _wake
+
+    def via_wake(self):
+        with self._wake:
+            return len(self._items)
+"""
+        assert run_rule("RPL003", src, HOT) == []
+
+    def test_nested_function_does_not_inherit_guard(self):
+        src = """\
+import threading
+
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []  # guarded-by: _lock
+
+    def schedule(self):
+        with self._lock:
+            def later():
+                return len(self._items)
+            return later
+"""
+        findings = run_rule("RPL003", src, HOT)
+        assert len(findings) == 1 and findings[0].line == 12
+
+    def test_inline_disable(self):
+        src = _LOCKED_TEMPLATE.replace(
+            "return len(self._items)\n\n    def _drain_locked",
+            "return len(self._items)  # repro-lint: disable=RPL003\n\n"
+            "    def _drain_locked",
+        )
+        assert run_rule("RPL003", src, HOT) == []
+
+
+class TestFaultPoints:
+    def test_fires_on_unknown_literal(self):
+        src = "from repro.reliability import faults\nfaults.check('no.such.point')\n"
+        findings = run_rule("RPL004", src, "tests/reliability/test_x.py")
+        assert [f.rule for f in findings] == ["RPL004"]
+
+    def test_silent_on_declared_literal(self):
+        src = "from repro.reliability import faults\nfaults.check('worker.crash')\n"
+        assert run_rule("RPL004", src, "tests/reliability/test_x.py") == []
+
+    def test_fires_on_unknown_faultspec_point(self):
+        src = (
+            "from repro.reliability.faults import FaultSpec\n"
+            "spec = FaultSpec(point='bogus.point')\n"
+        )
+        assert len(run_rule("RPL004", src, "tests/reliability/test_x.py")) == 1
+
+    def test_silent_on_known_constant(self):
+        src = (
+            "from repro.reliability import faults\n"
+            "faults.check(faults.KERNEL_EXCEPTION)\n"
+        )
+        assert run_rule("RPL004", src, "src/repro/serve/x.py") == []
+
+    def test_fires_on_unknown_constant(self):
+        src = (
+            "from repro.reliability import faults\n"
+            "faults.check(faults.NO_SUCH_POINT)\n"
+        )
+        assert len(run_rule("RPL004", src, "src/repro/serve/x.py")) == 1
+
+    def test_runtime_variables_skipped(self):
+        src = (
+            "from repro.reliability import faults\n"
+            "def probe(point):\n    faults.check(point)\n"
+        )
+        assert run_rule("RPL004", src, "src/repro/serve/x.py") == []
+
+
+_FACADE_OK = """\
+class T2FSNN:
+    def run(self, x, y=None, *, config=None):
+        pass
+
+    def serve(self, max_batch=16, capacities=None, max_wait_ms=2.0,
+              cache_size=256, *, config=None, **service_kwargs):
+        pass
+"""
+
+
+class TestFrozenFacade:
+    def test_silent_on_current_signatures(self):
+        assert run_rule("RPL005", _FACADE_OK, "src/repro/core/t2fsnn.py") == []
+
+    def test_fires_on_new_run_keyword(self):
+        src = _FACADE_OK.replace("y=None, *", "y=None, fancy_mode=False, *")
+        findings = run_rule("RPL005", src, "src/repro/core/t2fsnn.py")
+        assert len(findings) == 1
+        assert "fancy_mode" in findings[0].message
+        assert "register_backend" in findings[0].message
+
+    def test_fires_on_new_kwonly_keyword(self):
+        src = _FACADE_OK.replace("*, config=None):", "*, config=None, turbo=False):")
+        findings = run_rule("RPL005", src, "src/repro/core/t2fsnn.py")
+        assert len(findings) == 1 and "turbo" in findings[0].message
+
+    def test_fires_on_run_growing_kwargs(self):
+        src = _FACADE_OK.replace("config=None):", "config=None, **extra):")
+        findings = run_rule("RPL005", src, "src/repro/core/t2fsnn.py")
+        assert len(findings) == 1 and "**extra" in findings[0].message
+
+    def test_removals_are_not_flagged(self):
+        src = "class T2FSNN:\n    def run(self, x, *, config=None):\n        pass\n"
+        assert run_rule("RPL005", src, "src/repro/core/t2fsnn.py") == []
+
+    def test_other_classes_ignored(self):
+        src = "class Engine:\n    def run(self, x, anything=1):\n        pass\n"
+        assert run_rule("RPL005", src, "src/repro/core/t2fsnn.py") == []
+
+
+class TestExportHygiene:
+    def test_fires_on_phantom_export(self):
+        src = "__all__ = ['exists', 'phantom']\n\ndef exists():\n    pass\n"
+        findings = run_rule("RPL006", src, HOT)
+        assert len(findings) == 1 and "'phantom'" in findings[0].message
+
+    def test_fires_on_unlisted_public_def(self):
+        src = "__all__ = ['listed']\n\ndef listed():\n    pass\n\ndef stray():\n    pass\n"
+        findings = run_rule("RPL006", src, HOT)
+        assert len(findings) == 1 and "'stray'" in findings[0].message
+
+    def test_silent_on_consistent_module(self):
+        src = (
+            "__all__ = ['listed', 'CONST']\nCONST = 1\n\n"
+            "def listed():\n    pass\n\ndef _private():\n    pass\n"
+        )
+        assert run_rule("RPL006", src, HOT) == []
+
+    def test_silent_without_dunder_all(self):
+        src = "def anything():\n    pass\n"
+        assert run_rule("RPL006", src, HOT) == []
+
+    def test_imported_names_satisfy_all(self):
+        src = "from os.path import join\n__all__ = ['join']\n"
+        assert run_rule("RPL006", src, HOT) == []
+
+    def test_conditional_defs_are_seen(self):
+        src = (
+            "__all__ = ['impl']\n\ntry:\n    import numpy\n\n"
+            "    def impl():\n        pass\nexcept ImportError:\n"
+            "    def impl():\n        pass\n"
+        )
+        assert run_rule("RPL006", src, HOT) == []
+
+
+class TestExceptionPolicy:
+    def test_fires_on_runtime_error_in_serve(self):
+        src = "def f():\n    raise RuntimeError('nope')\n"
+        findings = run_rule("RPL007", src, "src/repro/serve/x.py")
+        assert [f.rule for f in findings] == ["RPL007"]
+
+    def test_silent_on_errors_hierarchy(self):
+        src = (
+            "from repro.reliability.errors import ServiceClosed\n\n"
+            "def f():\n    raise ServiceClosed('closed')\n"
+        )
+        assert run_rule("RPL007", src, "src/repro/serve/x.py") == []
+
+    def test_silent_on_validation_builtins(self):
+        src = "def f(n):\n    if n < 0:\n        raise ValueError(n)\n"
+        assert run_rule("RPL007", src, "src/repro/reliability/x.py") == []
+
+    def test_silent_on_locally_defined_exception(self):
+        src = (
+            "class _Signal(Exception):\n    pass\n\n"
+            "def f():\n    raise _Signal()\n"
+        )
+        assert run_rule("RPL007", src, "src/repro/serve/x.py") == []
+
+    def test_reraise_and_variables_skipped(self):
+        src = (
+            "def f(exc):\n    try:\n        raise exc\n"
+            "    except Exception:\n        raise\n"
+        )
+        assert run_rule("RPL007", src, "src/repro/serve/x.py") == []
+
+    def test_out_of_scope_packages_ignored(self):
+        src = "def f():\n    raise RuntimeError('fine elsewhere')\n"
+        assert run_rule("RPL007", src, "src/repro/runtime/x.py") == []

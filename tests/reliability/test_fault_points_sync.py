@@ -1,0 +1,44 @@
+"""FAULT_POINTS and the points consulted in ``src/`` must stay in sync.
+
+RPL004 guarantees one direction (no consultation of an undeclared point);
+this test closes the loop: every *declared* point is actually consulted
+somewhere in ``src/``, so a chaos scenario arming any ``FAULT_POINTS``
+member is exercising live code, never a stale registry entry.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.lint.rules.faultpoints import consulted_points, fault_points
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _all_consulted() -> set[str]:
+    consulted: set[str] = set()
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        consulted |= consulted_points(tree)
+    return consulted
+
+
+def test_every_declared_point_is_consulted_in_src():
+    declared = set(fault_points())
+    consulted = _all_consulted()
+    stale = declared - consulted
+    assert not stale, (
+        f"FAULT_POINTS declares {sorted(stale)} but nothing in src/ consults "
+        "them; remove the dead entries or wire the fault point in"
+    )
+
+
+def test_every_consulted_point_is_declared():
+    declared = set(fault_points())
+    consulted = _all_consulted()
+    undeclared = consulted - declared
+    assert not undeclared, (
+        f"src/ consults {sorted(undeclared)} which FAULT_POINTS does not "
+        "declare; RPL004 should have caught this"
+    )

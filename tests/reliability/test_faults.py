@@ -32,16 +32,19 @@ class TestFaultSpec:
 
 
 class TestFaultPlan:
+    # These harness unit tests exercise the plan machinery (budgets,
+    # seeding, pickling), which is point-agnostic — the abstract point
+    # "p" is deliberate, hence the RPL004 disables.
     def test_duplicate_point_rejected(self):
         with pytest.raises(ValueError, match="duplicate"):
-            FaultPlan([FaultSpec("p"), FaultSpec("p")])
+            FaultPlan([FaultSpec("p"), FaultSpec("p")])  # repro-lint: disable=RPL004
 
     def test_non_spec_rejected(self):
         with pytest.raises(TypeError, match="FaultSpec"):
             FaultPlan(["worker.crash"])
 
     def test_token_budget_claims(self):
-        plan = FaultPlan([FaultSpec("p", times=2)]).arm()
+        plan = FaultPlan([FaultSpec("p", times=2)]).arm()  # repro-lint: disable=RPL004
         try:
             assert plan.remaining("p") == 2
             assert plan.consult("p") is not None
@@ -54,7 +57,9 @@ class TestFaultPlan:
         assert not plan.armed
 
     def test_after_skips_consultations(self):
-        plan = FaultPlan([FaultSpec("p", times=1, after=2)]).arm()
+        plan = FaultPlan(
+            [FaultSpec("p", times=1, after=2)]  # repro-lint: disable=RPL004
+        ).arm()
         try:
             assert plan.consult("p") is None
             assert plan.consult("p") is None
@@ -65,7 +70,7 @@ class TestFaultPlan:
     def test_seeded_probability_is_deterministic(self):
         def pattern(seed):
             plan = FaultPlan(
-                [FaultSpec("p", times=100, probability=0.5)], seed=seed
+                [FaultSpec("p", times=100, probability=0.5)], seed=seed  # repro-lint: disable=RPL004
             ).arm()
             try:
                 return [plan.consult("p") is not None for _ in range(40)]
@@ -80,7 +85,7 @@ class TestFaultPlan:
     def test_plan_pickles_with_shared_budget(self):
         """A pickled copy (what rides the pool payload) consumes the SAME
         token budget as the original — cross-process determinism."""
-        plan = FaultPlan([FaultSpec("p", times=1)]).arm()
+        plan = FaultPlan([FaultSpec("p", times=1)]).arm()  # repro-lint: disable=RPL004
         try:
             clone = pickle.loads(pickle.dumps(plan))
             assert clone.consult("p") is not None
@@ -126,7 +131,7 @@ class TestModuleLifecycle:
             faults.check(faults.KERNEL_EXCEPTION)  # no spec -> clean
 
     def test_adopt_activates_without_rearming(self):
-        plan = FaultPlan([FaultSpec("p", times=1)]).arm()
+        plan = FaultPlan([FaultSpec("p", times=1)]).arm()  # repro-lint: disable=RPL004
         try:
             faults.adopt(plan)
             assert faults.active() is plan
