@@ -15,11 +15,19 @@ schedule) in two phases:
   (submit -> result) is reported as p50/p99 alongside the sustained rate —
   the paper's per-request latency story, measured end to end.
 
-Results merge into ``BENCH_engine.json`` under the ``"service"`` key
-(engine rows are preserved), tracking the serving trajectory across PRs.
-The CI ``service-smoke`` job runs this at ``--scale ci`` and gates on the
-service-vs-compiled throughput *ratio* against the committed JSON, so
-runner hardware cancels out (same scheme as the compiled-plan gate).
+A third, separately runnable **http** section (``--section http``) drives
+the same Poisson stream through the full network edge — raw sockets into
+``repro.serve.http`` hosting the asyncio bridge — once with the fixed
+``max_wait_ms`` flush wait and once with the adaptive-wait controller, and
+reports client-observed latency, the HTTP overhead over the service-side
+latency, and the p99/p50 tail ratio the adaptive controller is meant to
+tame.
+
+Results merge into ``BENCH_engine.json`` under the ``"service"`` and
+``"http"`` keys (engine rows are preserved), tracking the serving
+trajectory across PRs.  The CI ``service-smoke``/``http-smoke`` jobs run
+this at ``--scale ci`` and gate on *ratios* (service-vs-compiled
+throughput, adaptive p99/p50) so runner hardware cancels out.
 
 Runnable directly: ``python benchmarks/bench_service_latency.py --scale ci``.
 """
@@ -27,6 +35,7 @@ Runnable directly: ``python benchmarks/bench_service_latency.py --scale ci``.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
 import threading
@@ -45,6 +54,13 @@ RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
 #: runners — the tracked number lives in BENCH_engine.json.
 MIN_SERVICE_RATIO = float(os.environ.get("REPRO_BENCH_MIN_SERVICE_RATIO", "0.9"))
 
+#: Tail-latency ceiling for the HTTP section: the adaptive-wait run's
+#: p99/p50 ratio must not exceed the committed fixed-wait "service"
+#: Poisson tail (255.3ms p99 / 117.74ms p50 ~= 2.17) — the adaptive
+#: controller exists to stop sparse streams paying the full flush wait,
+#: so its tail must be no worse than the fixed-wait story it replaces.
+MAX_HTTP_TAIL_RATIO = float(os.environ.get("REPRO_BENCH_MAX_HTTP_TAIL_RATIO", "2.17"))
+
 SCALES = {
     # utilisation is the Poisson offered rate as a fraction of the compiled
     # plan's full-batch throughput; the open-loop stream runs 2x samples so
@@ -57,6 +73,7 @@ SCALES = {
         samples=64,
         clients=4,
         utilisation=0.5,
+        http_utilisation=0.3,
         repeats=3,
     ),
     "paper": dict(
@@ -66,6 +83,7 @@ SCALES = {
         samples=64,
         clients=8,
         utilisation=0.5,
+        http_utilisation=0.3,
         repeats=3,
     ),
 }
@@ -183,6 +201,153 @@ def _poisson_phase(service, x, rate_per_s: float, seed: int = 42) -> dict:
     }
 
 
+async def _http_predict(port: int, sample: np.ndarray) -> tuple[int, dict]:
+    """One ``POST /predict`` round trip over a raw asyncio socket."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        payload = json.dumps({"x": sample.tolist()}).encode("utf-8")
+        writer.write(
+            b"POST /predict HTTP/1.1\r\nhost: 127.0.0.1\r\n"
+            + f"content-length: {len(payload)}\r\n\r\n".encode("ascii")
+            + payload
+        )
+        await writer.drain()
+        raw = await reader.read(-1)  # connection: close -> read to EOF
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b"\r\n", 1)[0].split()[1])
+    return status, json.loads(body)
+
+
+async def _http_poisson(service, x, rate_per_s: float, seed: int = 42):
+    """Open-loop Poisson arrivals through the full HTTP stack.
+
+    Each request is its own TCP connection (the server's one-shot
+    transport), timed client-side so the measurement includes connect,
+    JSON encode/decode and the asyncio bridge — the end-to-end number a
+    network client would actually see.
+    """
+    from repro.serve.aio import AsyncInferenceService
+    from repro.serve.http import HttpServer, PredictApp
+
+    aio = AsyncInferenceService(service)
+    results: list = [None] * len(x)
+
+    async def one(i: int, port: int) -> None:
+        t0 = time.perf_counter()
+        status, body = await _http_predict(port, x[i])
+        elapsed = time.perf_counter() - t0
+        assert status == 200, body
+        results[i] = (elapsed, body)
+
+    async with HttpServer(PredictApp(aio), port=0) as server:
+        rng = np.random.default_rng(seed)
+        arrivals = np.cumsum(rng.exponential(1.0 / rate_per_s, size=len(x)))
+        tasks = []
+        t0 = time.perf_counter()
+        for i in range(len(x)):
+            lag = arrivals[i] - (time.perf_counter() - t0)
+            if lag > 0:
+                await asyncio.sleep(lag)
+            tasks.append(asyncio.ensure_future(one(i, server.port)))
+        await asyncio.gather(*tasks)
+        wall = time.perf_counter() - t0
+    return results, wall
+
+
+def run_http_benchmark(write_json: bool = True) -> dict:
+    """Poisson over HTTP, fixed vs adaptive flush wait; merge as ``http``.
+
+    Both runs share one offered rate (a fraction of the compiled rate
+    measured in the same process) and one arrival schedule (same seed), so
+    the only difference between the two sections is the wait controller.
+    """
+    network, x, cfg = build_system()
+    plan = _warm_compiled_plan(network, x, cfg)
+    compiled_rate = max(
+        _compiled_rate_once(plan, x, cfg) for _ in range(cfg["repeats"])
+    )
+    # The edge adds JSON + TCP per request, so the open-loop stream runs at
+    # a lower utilisation than the in-process Poisson phase — offered rate
+    # must stay below the edge's sustainable rate or the queue just ramps.
+    rate = cfg["http_utilisation"] * compiled_rate
+    stream = np.concatenate([x, x])  # amortise the ramp; cache is off
+    ref = plan.run_batched(x, batch_size=cfg["batch"])
+    expected = np.tile(ref.predictions, 2)
+
+    sections = {}
+    for label, overrides in (
+        ("fixed_wait", {}),
+        ("adaptive_wait", dict(adaptive_wait=True)),
+    ):
+        with _make_service(network, cfg, **overrides) as service:
+            service.predict_many(x[: cfg["batch"]], timeout=300.0)
+            # Discarded Poisson warmup: settles the plan-size ladder and
+            # seeds the adaptive controller's arrival EWMA, so the measured
+            # stream sees steady-state behaviour instead of the ramp.
+            asyncio.run(_http_poisson(service, x[: 3 * cfg["batch"]], rate, seed=7))
+            results, wall = asyncio.run(_http_poisson(service, stream, rate))
+            mean_flush = service.stats().mean_flush_size
+        client_ms = np.array([r[0] for r in results]) * 1e3
+        service_ms = np.array([r[1]["latency_ms"] for r in results])
+        predictions = np.array([r[1]["prediction"] for r in results])
+        assert (predictions == expected).all(), "http: prediction parity"
+        p50 = float(np.percentile(client_ms, 50))
+        p99 = float(np.percentile(client_ms, 99))
+        sections[label] = {
+            "samples": len(stream),
+            "offered_rate_per_s": round(rate, 1),
+            "samples_per_sec": round(len(stream) / wall, 1),
+            "p50_ms": round(p50, 2),
+            "p99_ms": round(p99, 2),
+            "mean_ms": round(float(client_ms.mean()), 2),
+            "tail_ratio_p99_p50": round(p99 / p50, 3),
+            "http_overhead_p50_ms": round(
+                float(np.percentile(client_ms - service_ms, 50)), 2
+            ),
+            "mean_flush_size": round(mean_flush, 2),
+        }
+
+    payload = {
+        "network": f"vgg7(width={cfg['width']})",
+        "scale": os.environ.get("REPRO_SCALE", "ci"),
+        "cpu_count": os.cpu_count(),
+        "compiled_samples_per_sec": round(compiled_rate, 1),
+        **sections,
+    }
+    if write_json:
+        merged = {}
+        if RESULT_PATH.exists():
+            merged = json.loads(RESULT_PATH.read_text())
+        merged["http"] = payload
+        RESULT_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+    return payload
+
+
+def check_http_payload(payload: dict) -> None:
+    """Apply the adaptive-tail ceiling and print the summary lines."""
+    for label in ("fixed_wait", "adaptive_wait"):
+        row = payload[label]
+        print(
+            f"[http {label} @ {row['offered_rate_per_s']}/s] "
+            f"served={row['samples_per_sec']}/s p50={row['p50_ms']}ms "
+            f"p99={row['p99_ms']}ms (tail {row['tail_ratio_p99_p50']}x, "
+            f"overhead p50 {row['http_overhead_p50_ms']}ms, "
+            f"mean flush {row['mean_flush_size']})"
+        )
+    tail = payload["adaptive_wait"]["tail_ratio_p99_p50"]
+    assert tail <= MAX_HTTP_TAIL_RATIO, (
+        f"adaptive-wait p99/p50 over HTTP must stay <= {MAX_HTTP_TAIL_RATIO} "
+        f"(the committed fixed-wait service tail), got {tail}"
+    )
+    assert payload["adaptive_wait"]["p99_ms"] > 0.0  # actually measured
+
+
 def run_benchmark(write_json: bool = True) -> dict:
     """Measure both phases and merge the ``service`` section into the JSON.
 
@@ -272,17 +437,33 @@ def test_service_latency():
     check_payload(payload)
 
 
+@pytest.mark.benchmark(group="service")
+def test_http_latency():
+    payload = run_http_benchmark()
+    check_http_payload(payload)
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", choices=sorted(SCALES), default=None)
+    parser.add_argument(
+        "--section",
+        choices=["service", "http", "all"],
+        default="all",
+        help="which benchmark sections to run",
+    )
     parser.add_argument(
         "--no-write", action="store_true", help="skip writing BENCH_engine.json"
     )
     args = parser.parse_args()
     if args.scale is not None:
         os.environ["REPRO_SCALE"] = args.scale
-    payload = run_benchmark(write_json=not args.no_write)
-    check_payload(payload)
+    if args.section in ("service", "all"):
+        payload = run_benchmark(write_json=not args.no_write)
+        check_payload(payload)
+    if args.section in ("http", "all"):
+        payload = run_http_benchmark(write_json=not args.no_write)
+        check_http_payload(payload)
     print(f"\nwrote {RESULT_PATH}" if not args.no_write else "\n(dry run)")
 
 

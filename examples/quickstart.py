@@ -20,7 +20,10 @@ Runs in under a minute on CPU.  Pipeline:
    (circuit-breaker state, drop counters — DESIGN.md §13);
 9. anytime inference under compute budgets — ``RunConfig(budget_ms=...)``
    seals a truncated run into an honest partial answer, and the serving
-   flush watchdog abandons a hung micro-batch and recovers (DESIGN.md §14).
+   flush watchdog abandons a hung micro-batch and recovers (DESIGN.md §14);
+10. the network edge — ``await`` predictions from asyncio coroutines
+    (priorities, adaptive flush wait) and serve them over HTTP with the
+    stdlib-only server (DESIGN.md §16).
 
 Every execution mode is one ``repro.runtime.RunConfig`` away: the model
 dispatches through a registry of backends (serial / compiled / parallel /
@@ -204,6 +207,58 @@ def main() -> None:
         health = service.health()
         print(f"recovered: prediction={recovered.prediction} "
               f"margin={recovered.margin:.3f} status={health.status}")
+
+    print("\n== 10. the network edge: asyncio and HTTP (DESIGN.md §16) ==")
+    # AsyncInferenceService bridges the threaded service onto the event
+    # loop: coroutines `await` predictions, the loop never blocks, and
+    # `priority=` reorders the flush queue (lower = more urgent).  With
+    # adaptive_wait=True the flush wait stretches to the observed arrival
+    # rate instead of taxing every request with a fixed max_wait_ms.
+    import asyncio
+    import json as _json
+
+    from repro.serve.aio import AsyncInferenceService
+    from repro.serve.http import HttpServer, PredictApp
+
+    async def edge_demo() -> None:
+        service = snn.serve(
+            max_batch=32, max_wait_ms=2.0, cache_size=0, adaptive_wait=True
+        )
+        async with AsyncInferenceService(service) as aio:
+            results = await asyncio.gather(
+                *(aio.predict(x, priority=-i) for i, x in enumerate(x_test[:8]))
+            )
+            got = [r.prediction for r in results]
+            assert got == list(serial.predictions[:8])
+            print(f"awaited 8 concurrent predictions: {got}")
+
+            # The same service over HTTP — stdlib server, ephemeral port.
+            # Against a long-lived `python -m repro.serve.http` these are:
+            #     curl -s localhost:8080/health
+            #     curl -s localhost:8080/metrics          # Prometheus text
+            #     curl -s -X POST localhost:8080/predict \
+            #          -d '{"x": [[...]], "priority": -5, "deadline_ms": 250}'
+            async with HttpServer(PredictApp(aio), port=0) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                body = _json.dumps({"x": x_test[0].tolist()}).encode()
+                writer.write(
+                    b"POST /predict HTTP/1.1\r\n"
+                    + f"content-length: {len(body)}\r\n\r\n".encode()
+                    + body
+                )
+                await writer.drain()
+                raw = await reader.read(-1)
+                writer.close()
+                answer = _json.loads(raw.partition(b"\r\n\r\n")[2])
+                assert answer["prediction"] == serial.predictions[0]
+                print(f"HTTP POST /predict on :{server.port} -> "
+                      f"prediction={answer['prediction']} "
+                      f"latency={answer['latency_ms']:.1f}ms")
+        service.close()
+
+    asyncio.run(edge_demo())
 
 
 if __name__ == "__main__":

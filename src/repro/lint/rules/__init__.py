@@ -1,5 +1,6 @@
 """Built-in lint rules; importing this package registers all of them."""
 
+from repro.lint.rules.blocking import BlockingCallRule
 from repro.lint.rules.clock import WallClockRule
 from repro.lint.rules.dtype import DtypeDisciplineRule
 from repro.lint.rules.exports import ExportHygieneRule
@@ -16,4 +17,5 @@ __all__ = [
     "FrozenFacadeRule",
     "ExportHygieneRule",
     "ExceptionPolicyRule",
+    "BlockingCallRule",
 ]

@@ -1,0 +1,131 @@
+"""RPL008 — no blocking calls inside ``async def`` bodies in serve/.
+
+The asyncio tier (:mod:`repro.serve.aio`, :mod:`repro.serve.http`) runs
+every request on one event loop; a single blocking call — ``time.sleep``,
+``ServedFuture.result``, a lock ``acquire``, synchronous socket or file
+I/O — stalls *all* in-flight requests, not just its own.  The bridge
+exists precisely so coroutines never wait on thread-world primitives
+(done callbacks hop outcomes onto the loop), and this rule keeps it that
+way mechanically.
+
+Scope is ``src/repro/serve/``; only the coroutine's own body is checked:
+
+* **awaited** calls are exempt — ``await loop.run_in_executor(...)`` is
+  the sanctioned escape hatch, and awaiting *is* yielding;
+* nested ``def`` / ``lambda`` bodies are exempt — callbacks registered
+  from a coroutine execute on whichever thread fires them, where
+  blocking primitives are legal (that is the bridge's whole mechanism).
+
+The blocklist is deliberately conservative (provably-blocking names
+only): ``.join`` is absent because ``str.join`` dominates real code, and
+``.read``/``.readline`` because the asyncio stream methods of the same
+name are awaitable coroutines.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.model import FileContext, Finding
+from repro.lint.registry import register_rule
+
+__all__ = ["BlockingCallRule"]
+
+#: ``module.function`` calls that always block the calling thread.
+_BLOCKING_MODULE_CALLS = frozenset(
+    {
+        ("time", "sleep"),
+        ("socket", "socket"),
+        ("socket", "create_connection"),
+        ("subprocess", "run"),
+        ("subprocess", "call"),
+        ("subprocess", "check_call"),
+        ("subprocess", "check_output"),
+        ("subprocess", "Popen"),
+    }
+)
+
+#: Method names that block on the thread-world objects this package
+#: touches (futures, locks, events, raw sockets).  Name-based: a static
+#: checker cannot type the receiver, and these names do not collide with
+#: anything a coroutine should call synchronously.
+_BLOCKING_METHODS = frozenset(
+    {"result", "recv", "recv_into", "accept", "connect", "sendall", "acquire", "wait"}
+)
+
+#: Builtins that perform synchronous I/O.
+_BLOCKING_BUILTINS = frozenset({"open", "input"})
+
+
+def _blocking_label(call: ast.Call) -> str | None:
+    """A human-readable name when ``call`` is a known blocking call."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id in _BLOCKING_BUILTINS:
+            return f"{func.id}()"
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    if (
+        isinstance(func.value, ast.Name)
+        and (func.value.id, func.attr) in _BLOCKING_MODULE_CALLS
+    ):
+        return f"{func.value.id}.{func.attr}()"
+    if func.attr in _BLOCKING_METHODS:
+        return f".{func.attr}()"
+    return None
+
+
+def _iter_sync_calls(fn: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+    """Non-awaited Call nodes in ``fn``'s own body.
+
+    Skips nested function/lambda bodies (checked — or deliberately not —
+    on their own terms) and unwraps ``await call(...)`` so the awaited
+    call is exempt while its *argument* expressions are still visited.
+    """
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Await) and isinstance(node.value, ast.Call):
+            stack.extend(ast.iter_child_nodes(node.value))
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register_rule
+class BlockingCallRule:
+    id = "RPL008"
+    name = "no-blocking-in-async"
+    description = (
+        "async def bodies in serve/ must not call blocking primitives "
+        "(time.sleep, Future.result, lock acquire/wait, sync socket/file "
+        "I/O); await, run_in_executor or bridge via repro.serve.aio"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not (ctx.in_src and ctx.in_packages("serve")):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for call in _iter_sync_calls(node):
+                label = _blocking_label(call)
+                if label is None:
+                    continue
+                yield Finding(
+                    rule=self.id,
+                    path=ctx.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        f"blocking call {label} inside async def "
+                        f"{node.name!r} stalls the event loop; await an "
+                        "async equivalent, run_in_executor it, or bridge "
+                        "through repro.serve.aio"
+                    ),
+                )

@@ -25,6 +25,7 @@ __all__ = [
     "QueueFull",
     "ServiceClosed",
     "InjectedFault",
+    "http_status",
 ]
 
 
@@ -73,3 +74,33 @@ class ServiceClosed(ReliabilityError):
 
 class InjectedFault(RuntimeError):
     """A deliberate failure raised by the fault-injection harness."""
+
+
+def http_status(exc: BaseException) -> int:
+    """The HTTP status code a served-request failure maps to.
+
+    The taxonomy above is the single source of truth for the network
+    edge (:mod:`repro.serve.http`): admission refusals are retryable
+    client-side (**429** ``QueueFull``), lifecycle and infrastructure
+    failures are service-side (**503** ``ServiceClosed`` /
+    ``PoolUnavailable``), deadline expiry is the gateway-timeout family
+    (**504** ``DeadlineExceeded``), malformed requests are the caller's
+    fault (**400** ``ValueError`` / ``TypeError``), and a request
+    cancelled by its own client reports nginx's non-standard **499**.
+    Anything else is an internal error (**500**).
+    """
+    if isinstance(exc, QueueFull):
+        return 429
+    if isinstance(exc, (ServiceClosed, PoolUnavailable)):
+        return 503
+    if isinstance(exc, DeadlineExceeded):
+        return 504
+    if isinstance(exc, (ValueError, TypeError)):
+        return 400
+    # Local import: the batcher re-exports concurrent.futures' cancelled
+    # error type; reliability must not import serve at module load.
+    from concurrent.futures import CancelledError
+
+    if isinstance(exc, CancelledError):
+        return 499
+    return 500

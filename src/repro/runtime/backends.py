@@ -295,7 +295,15 @@ class ServiceBackend:
     def open(
         self, runtime: Runtime, config: RunConfig, **service_kwargs: Any
     ) -> InferenceService:
-        """A persistent :class:`InferenceService` for ``runtime``'s model."""
+        """A persistent :class:`InferenceService` for ``runtime``'s model.
+
+        ``service_kwargs`` pass through untouched, so every service knob
+        — including the network-edge ones (``adaptive_wait``,
+        ``wait_ceiling_ms``, ``max_pending``; DESIGN.md §16) — is
+        reachable from ``T2FSNN.serve()`` / ``Runtime.serve()``.
+        Per-request ``priority`` is a ``submit()``-time argument, not a
+        construction knob.
+        """
         from repro.serve.service import InferenceService
 
         if config.deadline_ms is not None:

@@ -182,6 +182,7 @@ class Runtime:
 
         Built through the registry's ``"service"`` backend;
         ``service_kwargs`` (``max_batch``, ``capacities``, ``max_wait_ms``,
+        ``adaptive_wait``, ``wait_ceiling_ms``, ``max_pending``,
         ``cache_size``, ...) pass straight to the service constructor —
         micro-batch sizing is governed by ``max_batch``/``capacities``, not
         ``config.batch_size``.  Config options the service cannot honour

@@ -14,12 +14,20 @@ decision available at a fixed schedule depth).  See docs/DESIGN.md §11.
 * :class:`~repro.serve.cache.ResultCache` — digest-keyed LRU replay of
   repeated inputs;
 * :mod:`~repro.serve.dispatch` — serial or persistent-pool sharded
-  execution of flushed micro-batches.
+  execution of flushed micro-batches;
+* :class:`~repro.serve.aio.AsyncInferenceService` — asyncio adapter
+  (``await aio.predict(x)``) bridging served futures onto the event loop;
+* :mod:`~repro.serve.http` — dependency-free HTTP edge
+  (``python -m repro.serve.http``): /predict, /health, /metrics with
+  admission control and taxonomy-mapped status codes (DESIGN.md §16).
 
 Entry point: ``T2FSNN.serve()`` or ``InferenceService(simulator)``.
+The HTTP layer is imported lazily (``repro.serve.http``), keeping the
+in-process serving path free of the network modules.
 """
 
 from repro.reliability.errors import DeadlineExceeded, QueueFull, ServiceClosed
+from repro.serve.aio import AsyncInferenceService
 from repro.serve.batcher import MicroBatcher, ServedFuture
 from repro.serve.cache import ResultCache, input_digest
 from repro.serve.dispatch import PoolUnavailable, ShardedDispatcher
@@ -31,6 +39,7 @@ from repro.serve.service import (
 )
 
 __all__ = [
+    "AsyncInferenceService",
     "InferenceService",
     "ServedResult",
     "ServiceStats",

@@ -1,0 +1,241 @@
+"""Asyncio adapter over :class:`~repro.serve.service.InferenceService`.
+
+The serving stack is thread-and-futures: ``submit()`` returns a
+:class:`~repro.serve.batcher.ServedFuture` whose ``result()`` *blocks* —
+poison for an event loop.  :class:`AsyncInferenceService` bridges the two
+worlds without a thread per request: ``submit()`` registers a done
+callback on the served future, and the settling thread (the service's
+dispatch thread, or a cancelling caller) hops the outcome onto the event
+loop with ``loop.call_soon_threadsafe``.  The loop never waits on a lock
+or an event; thousands of requests can be in flight off one coroutine.
+
+Cancellation propagates **both ways**: cancelling the asyncio future
+cancels the underlying served request (withdrawing it from the
+micro-batch queue if it has not dispatched — no compute is spent), and a
+served request cancelled or rejected out from under the loop settles the
+asyncio future accordingly.  Settlement is first-wins on both sides, so
+the caller observes exactly one outcome.
+
+Per-request knobs pass straight through: ``priority`` (lower = more
+urgent flush assembly), ``deadline_ms`` (queue-admission bound) and
+``budget_ms`` (execution bound) — see DESIGN.md §13/§14/§16.
+
+Lifecycle: construct from anything ``InferenceService`` accepts (model /
+runtime / simulator — the adapter then *owns* the service and closes it),
+or wrap an existing service (the adapter leaves shutdown to whoever built
+it).  ``async with`` scopes the owned case::
+
+    async with AsyncInferenceService(model, max_batch=8) as aio:
+        result = await aio.predict(x)
+        results = await aio.predict_many(batch)
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.reliability.errors import ServiceClosed
+from repro.serve.batcher import ServedFuture
+from repro.serve.service import (
+    InferenceService,
+    ServedResult,
+    ServiceHealth,
+    ServiceStats,
+)
+
+__all__ = ["AsyncInferenceService"]
+
+
+def _bridge(served: ServedFuture, loop: asyncio.AbstractEventLoop) -> asyncio.Future:
+    """An asyncio future settled by ``served``, with cancel back-propagation.
+
+    The served future's done callback runs on whichever thread settles it
+    and must not touch the (non-thread-safe) asyncio future directly —
+    it schedules the transfer onto ``loop``.  A loop shut down before the
+    transfer lands drops the outcome silently (there is no caller left to
+    observe it).
+    """
+    af = loop.create_future()
+
+    def _settle_on_loop(s: ServedFuture) -> None:
+        # Event-loop thread.  The asyncio side may have been cancelled
+        # (or the bridge raced a duplicate settlement) — first wins.
+        if af.done():
+            return
+        if s.cancelled():
+            af.cancel()
+            return
+        try:
+            value = s.result(0.0)  # settled: returns/raises immediately
+        except BaseException as exc:  # noqa: BLE001 - forwarded to awaiter
+            af.set_exception(exc)
+        else:
+            af.set_result(value)
+
+    def _on_served_done(s: ServedFuture) -> None:
+        # Settling thread (dispatch / canceller).  A closed loop raises
+        # RuntimeError; swallow it — see the docstring.
+        try:
+            loop.call_soon_threadsafe(_settle_on_loop, s)
+        except RuntimeError:  # pragma: no cover - loop torn down mid-flight
+            pass
+
+    def _on_asyncio_done(f: asyncio.Future) -> None:
+        # Event-loop thread.  An awaiter that gave up withdraws the
+        # request from the micro-batch queue; post-dispatch this is a
+        # no-op (compute is committed) and the flush outcome is dropped
+        # by the af.done() guard above.
+        if f.cancelled():
+            served.cancel()
+
+    af.add_done_callback(_on_asyncio_done)
+    served.add_done_callback(_on_served_done)
+    return af
+
+
+class AsyncInferenceService:
+    """Event-loop facade over one :class:`InferenceService`.
+
+    Parameters
+    ----------
+    source:
+        Either an existing :class:`InferenceService` to wrap (the caller
+        keeps ownership and must close it), or anything the service
+        constructor accepts — a :class:`~repro.core.t2fsnn.T2FSNN` model,
+        a :class:`~repro.runtime.runtime.Runtime` or a
+        :class:`~repro.snn.engine.Simulator` — in which case the adapter
+        builds the service from ``service_kwargs`` and owns its shutdown.
+    service_kwargs:
+        Forwarded to :class:`InferenceService` when building one
+        (``max_batch``, ``max_wait_ms``, ``adaptive_wait``,
+        ``max_pending``, ...).  Rejected when ``source`` is already a
+        service — the service is configured, re-configuring it here would
+        be dead code.
+
+    All coroutine methods must run on the loop the first ``submit`` /
+    ``predict`` call sees; the adapter is single-loop like every asyncio
+    primitive.
+    """
+
+    def __init__(self, source, **service_kwargs):
+        if isinstance(source, InferenceService):
+            if service_kwargs:
+                raise ValueError(
+                    "service_kwargs configure a service the adapter builds; "
+                    f"wrapping an existing InferenceService they are dead: "
+                    f"{sorted(service_kwargs)}"
+                )
+            self._service = source
+            self._owned = False
+        else:
+            self._service = InferenceService(source, **service_kwargs)
+            self._owned = True
+        self._closed = False
+
+    @property
+    def service(self) -> InferenceService:
+        """The underlying thread-world service (stats, health, tuning)."""
+        return self._service
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def submit(
+        self,
+        x,
+        deadline_ms: float | None = None,
+        budget_ms: float | None = None,
+        priority: int = 0,
+    ) -> asyncio.Future:
+        """Enqueue one sample; returns an awaitable :class:`asyncio.Future`.
+
+        Must be called from a running event loop.  Admission errors
+        (:class:`~repro.reliability.errors.QueueFull`, validation) raise
+        synchronously, exactly like the thread API; everything after
+        admission arrives through the future.  Cancelling the returned
+        future withdraws the request from the queue pre-dispatch.
+        """
+        loop = asyncio.get_running_loop()
+        if self._closed:
+            raise ServiceClosed("AsyncInferenceService is closed")
+        served = self._service.submit(
+            x, deadline_ms=deadline_ms, budget_ms=budget_ms, priority=priority
+        )
+        return _bridge(served, loop)
+
+    async def predict(
+        self,
+        x,
+        deadline_ms: float | None = None,
+        budget_ms: float | None = None,
+        priority: int = 0,
+    ) -> ServedResult:
+        """Submit one sample and await its result."""
+        return await self.submit(
+            x, deadline_ms=deadline_ms, budget_ms=budget_ms, priority=priority
+        )
+
+    async def predict_many(
+        self,
+        x,
+        deadline_ms: float | None = None,
+        budget_ms: float | None = None,
+        priority: int = 0,
+    ) -> list[ServedResult]:
+        """Submit a batch concurrently and gather the results in order.
+
+        All samples are admitted before the first await, so they can
+        coalesce into the same micro-batches.  If admission fails partway
+        (queue full, bad shape), the already-admitted requests are
+        cancelled — no orphaned compute — and the error propagates.
+        """
+        futures: list[asyncio.Future] = []
+        try:
+            for sample in x:
+                futures.append(
+                    self.submit(
+                        sample,
+                        deadline_ms=deadline_ms,
+                        budget_ms=budget_ms,
+                        priority=priority,
+                    )
+                )
+        except BaseException:
+            for f in futures:
+                f.cancel()
+            raise
+        return list(await asyncio.gather(*futures))
+
+    def stats(self) -> ServiceStats:
+        """Snapshot of the underlying service's counters."""
+        return self._service.stats()
+
+    def health(self) -> ServiceHealth:
+        """Point-in-time health snapshot of the underlying service."""
+        return self._service.health()
+
+    async def close(self) -> None:
+        """Stop accepting work; shut down the service if the adapter owns it.
+
+        ``InferenceService.close`` drains the backlog and joins the
+        dispatch thread — blocking work, run in the default executor so
+        the loop keeps turning while the service flushes.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._owned:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self._service.close)
+
+    async def __aenter__(self) -> "AsyncInferenceService":
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        owned = "owned" if self._owned else "wrapped"
+        return f"AsyncInferenceService({self._service!r}, {owned}, {state})"

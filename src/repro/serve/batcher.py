@@ -1,4 +1,4 @@
-"""Micro-batching for online inference (docs/DESIGN.md §11, §13).
+"""Micro-batching for online inference (docs/DESIGN.md §11, §13, §16).
 
 Requests arrive one sample at a time; compiled execution plans want
 arena-sized batches.  The :class:`MicroBatcher` bridges the two: submitted
@@ -8,6 +8,23 @@ pending sample has waited ``max_wait_ms`` — whichever comes first.  The
 flush callback (the service's plan executor) resolves each request's
 :class:`ServedFuture`; a callback exception rejects every request in the
 flush instead of wedging the callers.
+
+Priorities (§16): every future carries an integer ``priority`` (lower =
+more urgent, default ``0``).  Flush assembly is priority-ordered: when
+more entries are pending than one micro-batch holds, the ``max_batch``
+most urgent (ties broken oldest-first) flush now and the rest wait for
+the next batch.  Because priority ordering — and dedup-follower promotion
+— mean the queue is *not* oldest-first, the dispatch thread's wake-up and
+flush decisions take the minimum over **all** pending entries' wait
+deadlines rather than assuming the head of the queue is the oldest.
+
+Adaptive batching (§16): with ``adaptive_wait=True`` the batcher tracks
+an EWMA of request inter-arrival time and stretches the flush wait when
+traffic is dense enough that waiting buys a *fuller* (cheaper-per-sample)
+micro-batch: the effective wait becomes the expected time to fill the
+batch, clamped to ``[max_wait_ms, wait_ceiling_ms]``.  Sparse traffic
+(expected fill time beyond the ceiling) keeps the configured base wait,
+so a lone request is never held hostage to a batch that will not fill.
 
 Reliability semantics (§13):
 
@@ -62,6 +79,12 @@ class ServedFuture:
     stamped by the service from ``submit(deadline_ms=...)``;
     ``budget_ms`` (``None`` = unbudgeted) is the execution budget the
     service's flush watchdog enforces once the request dispatches.
+    ``priority`` (int, lower = more urgent, default ``0``) orders flush
+    assembly when the pending queue overflows one micro-batch.
+
+    Non-blocking observers register with :meth:`add_done_callback`
+    (how the asyncio adapter bridges settlement onto the event loop
+    without a thread per request — :mod:`repro.serve.aio`).
 
     Settlement is first-wins: whichever of resolve / reject / cancel
     lands first decides the outcome; later attempts are no-ops (they
@@ -77,9 +100,11 @@ class ServedFuture:
         "_cancelled",
         "_dispatched",
         "_late_cancel_cb",
+        "_callbacks",
         "submitted_at",
         "deadline_at",
         "budget_ms",
+        "priority",
     )
 
     def __init__(self):
@@ -90,9 +115,11 @@ class ServedFuture:
         self._cancelled = False  # guarded-by: _lock
         self._dispatched = False  # guarded-by: _lock
         self._late_cancel_cb = None
+        self._callbacks: list | None = None  # guarded-by: _lock
         self.submitted_at: float = 0.0
         self.deadline_at: float | None = None
         self.budget_ms: float | None = None
+        self.priority: int = 0
 
     def done(self) -> bool:
         """True once a result, an error or a cancellation has been set."""
@@ -109,6 +136,34 @@ class ServedFuture:
         if self.deadline_at is None or self._event.is_set():
             return False
         return (time.monotonic() if now is None else now) >= self.deadline_at
+
+    def add_done_callback(self, fn) -> None:
+        """Call ``fn(self)`` once the future settles; immediately if done.
+
+        The callback runs on whichever thread settles the future (the
+        dispatch thread, a cancelling caller, or — for an already-settled
+        future — the registering thread), always *outside* the future's
+        lock.  Callback exceptions are swallowed: an observer must not be
+        able to wedge settlement.  This is the non-blocking alternative to
+        :meth:`result` that :mod:`repro.serve.aio` uses to hand outcomes
+        to the event loop.
+        """
+        with self._lock:
+            if not self._event.is_set():
+                if self._callbacks is None:
+                    self._callbacks = []
+                self._callbacks.append(fn)
+                return
+        self._fire_callbacks([fn])
+
+    def _fire_callbacks(self, callbacks) -> None:
+        if not callbacks:
+            return
+        for fn in callbacks:
+            try:
+                fn(self)
+            except Exception:  # pragma: no cover - observer must not wedge us
+                pass
 
     def mark_dispatched(self, late_cancel_cb=None) -> None:
         """Stamp the moment the micro-batch is handed to the flush.
@@ -133,17 +188,20 @@ class ServedFuture:
         Post-dispatch attempts are reported to the batcher's late-cancel
         observer, outside the future's lock.
         """
-        cb = None
         with self._lock:
             if self._event.is_set():
                 return False
             if self._dispatched:
-                cb = self._late_cancel_cb
+                cb, callbacks, settled = self._late_cancel_cb, None, False
             else:
                 self._cancelled = True
                 self._error = CancelledError("request cancelled by caller")
                 self._event.set()
-                return True
+                callbacks, self._callbacks = self._callbacks, None
+                cb, settled = None, True
+        if settled:
+            self._fire_callbacks(callbacks)
+            return True
         if cb is not None:
             try:
                 cb(self)
@@ -170,13 +228,27 @@ class ServedFuture:
             self._value = value
             self._error = error
             self._event.set()
-            return True
+            callbacks, self._callbacks = self._callbacks, None
+        self._fire_callbacks(callbacks)
+        return True
 
     def _resolve(self, value) -> bool:
         return self._settle(value, None)
 
     def _reject(self, error: BaseException) -> bool:
         return self._settle(None, error)
+
+
+#: EWMA smoothing factor for the measured request inter-arrival gap
+#: (``adaptive_wait=True``): ~the last dozen arrivals dominate, so the
+#: controller tracks load shifts within a few flushes without chasing
+#: single-request jitter.
+_EWMA_ALPHA = 0.2
+
+#: Default ``wait_ceiling_ms`` as a multiple of ``max_wait_ms``: the
+#: adaptive controller may stretch the flush wait this far when arrivals
+#: are dense enough to fill bigger batches (e.g. 2 ms base -> 25 ms cap).
+_ADAPTIVE_CEILING_FACTOR = 12.5
 
 
 class MicroBatcher:
@@ -186,15 +258,16 @@ class MicroBatcher:
     ----------
     flush_fn:
         ``flush_fn(requests)`` executes one micro-batch; ``requests`` is a
-        list of ``(payload, future)`` pairs (at most ``max_batch`` of them,
-        oldest first).  It must resolve every future; if it raises, the
-        batcher rejects all of the flush's futures with the exception and
-        keeps serving.
+        list of ``(payload, future)`` pairs (at most ``max_batch`` of
+        them, most urgent first — priority ascending, ties oldest-first).
+        It must resolve every future; if it raises, the batcher rejects
+        all of the flush's futures with the exception and keeps serving.
     max_batch:
         Flush as soon as this many samples are pending.
     max_wait_ms:
         Flush when the oldest pending sample has waited this long, even if
         the batch is not full — the service's latency/throughput knob.
+        With ``adaptive_wait`` this is the *base* (and floor) wait.
     max_pending:
         Bound on the pending queue (``None`` = unbounded).  ``submit``
         raises :class:`QueueFull` when the bound is hit.
@@ -203,6 +276,15 @@ class MicroBatcher:
         before flushing — ``exc`` is the :class:`DeadlineExceeded` the
         future was rejected with, or ``None`` for cancellations.  Called
         from the dispatch thread with no batcher lock held.
+    adaptive_wait:
+        Stretch the flush wait with measured arrival rate (module
+        docstring): when the EWMA of inter-arrival gaps says the batch
+        can plausibly fill within ``wait_ceiling_ms``, wait
+        ``(max_batch - 1) * gap`` (clamped to the ceiling) instead of the
+        base ``max_wait_ms``; sparse traffic keeps the base wait.
+    wait_ceiling_ms:
+        Upper bound on the adaptive wait (``None`` = ``12.5 *
+        max_wait_ms``).  Must be >= ``max_wait_ms``.
     """
 
     def __init__(
@@ -212,6 +294,8 @@ class MicroBatcher:
         max_wait_ms: float,
         max_pending: int | None = None,
         on_drop=None,
+        adaptive_wait: bool = False,
+        wait_ceiling_ms: float | None = None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -223,6 +307,15 @@ class MicroBatcher:
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_ms) / 1000.0
         self.max_pending = None if max_pending is None else int(max_pending)
+        self.adaptive_wait = bool(adaptive_wait)
+        if wait_ceiling_ms is None:
+            wait_ceiling_ms = _ADAPTIVE_CEILING_FACTOR * float(max_wait_ms)
+        elif wait_ceiling_ms < max_wait_ms:
+            raise ValueError(
+                f"wait_ceiling_ms must be >= max_wait_ms ({max_wait_ms}), "
+                f"got {wait_ceiling_ms}"
+            )
+        self.wait_ceiling_s = float(wait_ceiling_ms) / 1000.0
         self._on_drop = on_drop
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
@@ -230,6 +323,10 @@ class MicroBatcher:
         # mutual exclusion; the markers accept both spellings.
         self._pending: list = []  # guarded-by: _lock, _wake
         self._closed = False  # guarded-by: _lock, _wake
+        # Arrival-rate tracking for the adaptive controller (submit-side
+        # writers under the lock; the dispatch thread reads both).
+        self._ewma_gap_s: float | None = None  # guarded-by: _lock, _wake
+        self._last_arrival: float | None = None  # guarded-by: _lock, _wake
         # Drop counters (dispatch-thread writers except rejected_full,
         # which submit() increments under the lock, and cancelled_late,
         # incremented from the cancelling caller's thread).
@@ -262,8 +359,19 @@ class MicroBatcher:
                     f"pending queue is full ({self.max_pending} entries); "
                     "retry later or raise max_pending"
                 )
+            now = time.monotonic()
+            if self.adaptive_wait:
+                if self._last_arrival is not None:
+                    gap = now - self._last_arrival
+                    self._ewma_gap_s = (
+                        gap
+                        if self._ewma_gap_s is None
+                        else _EWMA_ALPHA * gap
+                        + (1.0 - _EWMA_ALPHA) * self._ewma_gap_s
+                    )
+                self._last_arrival = now
             if not future.submitted_at:
-                future.submitted_at = time.monotonic()
+                future.submitted_at = now
             self._pending.append((payload, future))
             self._wake.notify_all()
         return future
@@ -272,6 +380,39 @@ class MicroBatcher:
     def pending(self) -> int:
         with self._lock:
             return len(self._pending)
+
+    def _current_wait_s_locked(self) -> float:
+        """The effective flush wait right now (lock held).
+
+        Fixed ``max_wait_s`` unless ``adaptive_wait`` has seen at least
+        two arrivals.  Adaptive: if the expected time between arrivals
+        says a second request will plausibly land within the ceiling,
+        wait long enough to fill the batch — ``(max_batch - 1) * gap`` —
+        clamped to ``[max_wait_s, wait_ceiling_s]``; otherwise traffic is
+        too sparse for batching to pay and the base wait stands.
+        """
+        gap = self._ewma_gap_s
+        if not self.adaptive_wait or gap is None:
+            return self.max_wait_s
+        if 2.0 * gap > self.wait_ceiling_s:
+            return self.max_wait_s
+        fill_s = (self.max_batch - 1) * gap
+        return min(max(fill_s, self.max_wait_s), self.wait_ceiling_s)
+
+    @property
+    def current_wait_ms(self) -> float:
+        """The effective flush wait (ms) the dispatch thread uses now."""
+        with self._lock:
+            return self._current_wait_s_locked() * 1000.0
+
+    @property
+    def arrival_rate_per_s(self) -> float:
+        """EWMA-smoothed request arrival rate (0.0 before two arrivals)."""
+        with self._lock:
+            gap = self._ewma_gap_s
+        if gap is None:
+            return 0.0
+        return 1.0 / max(gap, 1e-9)
 
     def close(self, timeout: float | None = 10.0) -> None:
         """Stop accepting submissions, flush the backlog, join the thread."""
@@ -337,6 +478,24 @@ class MicroBatcher:
                 pass
         dropped.clear()
 
+    def _select_batch_locked(self) -> list:
+        """Extract the next micro-batch from the queue (lock held).
+
+        Priority ascending, ties oldest-first: the ``max_batch`` most
+        urgent entries flush now, the rest keep their queue positions.
+        """
+        pending = self._pending
+        if len(pending) <= 1:
+            self._pending = []
+            return pending
+        order = sorted(
+            range(len(pending)),
+            key=lambda i: (pending[i][1].priority, pending[i][1].submitted_at, i),
+        )
+        chosen = set(order[: self.max_batch])
+        self._pending = [e for i, e in enumerate(pending) if i not in chosen]
+        return [pending[i] for i in order[: self.max_batch]]
+
     def _dispatch_loop(self) -> None:
         while True:
             dropped: list = []
@@ -352,9 +511,11 @@ class MicroBatcher:
                     now = time.monotonic()
                     wake_at = None
                     if self._pending:
-                        wake_at = (
-                            self._pending[0][1].submitted_at + self.max_wait_s
-                        )
+                        # Minimum over *all* pending entries: priority
+                        # ordering and follower promotion mean the head of
+                        # the queue is not necessarily the oldest request.
+                        oldest = min(f.submitted_at for _, f in self._pending)
+                        wake_at = oldest + self._current_wait_s_locked()
                         if wake_at <= now:
                             flush = True
                             break
@@ -379,9 +540,7 @@ class MicroBatcher:
                         self._wake.wait()
                     else:
                         self._wake.wait(max(0.0, wake_at - now))
-                batch = self._pending[: self.max_batch] if flush else []
-                if flush:
-                    del self._pending[: self.max_batch]
+                batch = self._select_batch_locked() if flush else []
                 closed = self._closed
             # Dispatch commits the batch's compute: from here a cancel()
             # can no longer withdraw a member (it is counted instead).

@@ -1,0 +1,477 @@
+"""Dependency-free HTTP edge for the inference service (DESIGN.md §16).
+
+Two layers, both pure stdlib:
+
+* :class:`PredictApp` — an ASGI-style application (``await app(scope,
+  receive, send)``) over an :class:`~repro.serve.aio.AsyncInferenceService`.
+  Any ASGI server can host it; the bundled one is below.
+* :class:`HttpServer` — a minimal ``asyncio.start_server`` HTTP/1.1
+  host for the app (request line + headers + ``Content-Length`` body,
+  one request per connection).  Zero third-party dependencies — the
+  whole network edge ships with the repo.
+
+Routes::
+
+    POST /predict        {"x": [[...]], "deadline_ms"?, "budget_ms"?, "priority"?}
+    POST /predict_many   {"x": [sample, ...], ...same optional knobs}
+    GET  /health         ServiceHealth.as_dict() (200 ok / 503 degraded)
+    GET  /metrics        ServiceStats + ServiceHealth, Prometheus text
+                         (JSON with "Accept: application/json")
+
+Scores travel as JSON numbers: ``json.dumps`` serialises float64 via
+``repr`` (shortest round-tripping form) and ``json.loads`` parses back
+to Python floats, so an HTTP prediction is **bit-identical** to calling
+``InferenceService.predict`` in-process — the parity tests assert it.
+
+Failures map to status codes through the reliability taxonomy's single
+source of truth, :func:`repro.reliability.errors.http_status`: queue
+saturation under ``max_pending`` is **429** (admission control — retry
+later), a closed service or broken pool **503**, deadline expiry
+**504**, malformed requests **400**.
+
+Run the demo server (untrained LeNet, TTFS coding, adaptive batching)::
+
+    python -m repro.serve.http --port 8080 --adaptive-wait
+    curl -s localhost:8080/health
+    curl -s -X POST localhost:8080/predict -d '{"x": [[...16x16...]]}'
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+import numpy as np
+
+from repro.reliability.errors import http_status
+from repro.serve.aio import AsyncInferenceService
+from repro.serve.service import InferenceService, ServedResult
+
+__all__ = ["PredictApp", "HttpServer", "make_demo_service", "main"]
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    499: "Client Closed Request",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class _HttpError(Exception):
+    """Internal routing/parse failure carrying its HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _json_bytes(obj) -> bytes:
+    return json.dumps(obj).encode("utf-8")
+
+
+def _result_dict(result: ServedResult) -> dict:
+    """JSON-ready view of one served result (scores exact via repr)."""
+    return {
+        "prediction": result.prediction,
+        "scores": result.scores.tolist(),
+        "latency_ms": result.latency_s * 1000.0,
+        "cached": result.cached,
+        "deduped": result.deduped,
+        "batch_size": result.batch_size,
+        "partial": result.partial,
+        "margin": result.margin,
+    }
+
+
+def _prom_lines(prefix: str, data: dict) -> list[str]:
+    """Prometheus-style exposition of one flat ``as_dict`` export.
+
+    Numbers become gauges, bools 0/1, dict-valued fields labelled series
+    (``prefix_name{key="4"} 3``), strings label-valued markers
+    (``prefix_name{value="closed"} 1``) — every field appears, whatever
+    its type, so the export can never silently drop a counter.
+    """
+    lines = []
+    for name, value in sorted(data.items()):
+        if isinstance(value, bool):
+            lines.append(f"{prefix}_{name} {int(value)}")
+        elif isinstance(value, (int, float)):
+            lines.append(f"{prefix}_{name} {value}")
+        elif isinstance(value, dict):
+            for key, entry in sorted(value.items()):
+                lines.append(f'{prefix}_{name}{{key="{key}"}} {entry}')
+        else:
+            lines.append(f'{prefix}_{name}{{value="{value}"}} 1')
+    return lines
+
+
+async def _read_body(receive) -> bytes:
+    chunks = []
+    while True:
+        message = await receive()
+        if message["type"] != "http.request":
+            break
+        chunks.append(message.get("body", b""))
+        if not message.get("more_body"):
+            break
+    return b"".join(chunks)
+
+
+class PredictApp:
+    """ASGI-style application exposing one async inference service.
+
+    ``app(scope, receive, send)`` follows the ASGI HTTP shape — enough of
+    it to host under any compliant server — but depends only on the
+    stdlib.  Handlers never block the loop: predictions go through the
+    :mod:`repro.serve.aio` bridge, admission errors surface synchronously
+    from ``submit`` and are mapped to status codes here.
+    """
+
+    def __init__(self, aio: AsyncInferenceService):
+        self.aio = aio
+
+    async def __call__(self, scope, receive, send) -> None:
+        if scope.get("type") != "http":
+            raise ValueError(f"PredictApp only speaks HTTP, got {scope.get('type')!r}")
+        try:
+            status, body, ctype = await self._route(scope, receive)
+        except _HttpError as exc:
+            status, ctype = exc.status, b"application/json"
+            body = _json_bytes({"error": exc.message, "status": exc.status})
+        except BaseException as exc:  # noqa: BLE001 - edge maps, never crashes
+            status = http_status(exc)
+            ctype = b"application/json"
+            body = _json_bytes(
+                {"error": str(exc), "type": type(exc).__name__, "status": status}
+            )
+        await send(
+            {
+                "type": "http.response.start",
+                "status": status,
+                "headers": [
+                    (b"content-type", ctype),
+                    (b"content-length", str(len(body)).encode("ascii")),
+                ],
+            }
+        )
+        await send({"type": "http.response.body", "body": body})
+
+    async def _route(self, scope, receive) -> tuple[int, bytes, bytes]:
+        method, path = scope.get("method", ""), scope.get("path", "")
+        if path == "/predict":
+            self._require(method, "POST")
+            return await self._predict(receive, many=False)
+        if path == "/predict_many":
+            self._require(method, "POST")
+            return await self._predict(receive, many=True)
+        if path == "/health":
+            self._require(method, "GET")
+            return self._health()
+        if path == "/metrics":
+            self._require(method, "GET")
+            return self._metrics(scope)
+        raise _HttpError(404, f"no route for {path!r}")
+
+    def _require(self, method: str, expected: str) -> None:
+        if method != expected:
+            raise _HttpError(405, f"use {expected}, not {method}")
+
+    async def _parse(self, receive) -> dict:
+        body = await _read_body(receive)
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        return payload
+
+    def _knobs(self, payload: dict) -> dict:
+        return {
+            "deadline_ms": payload.get("deadline_ms"),
+            "budget_ms": payload.get("budget_ms"),
+            "priority": payload.get("priority", 0),
+        }
+
+    async def _predict(self, receive, many: bool) -> tuple[int, bytes, bytes]:
+        payload = await self._parse(receive)
+        if "x" not in payload:
+            raise _HttpError(400, 'missing required field "x"')
+        try:
+            x = np.asarray(payload["x"], dtype=np.float64)
+        except (ValueError, TypeError) as exc:
+            raise _HttpError(400, f'"x" is not a numeric array: {exc}') from exc
+        knobs = self._knobs(payload)
+        if many:
+            results = await self.aio.predict_many(x, **knobs)
+            out = {"results": [_result_dict(r) for r in results], "count": len(results)}
+        else:
+            out = _result_dict(await self.aio.predict(x, **knobs))
+        return 200, _json_bytes(out), b"application/json"
+
+    def _health(self) -> tuple[int, bytes, bytes]:
+        health = self.aio.health().as_dict()
+        return (
+            200 if health["ok"] else 503,
+            _json_bytes(health),
+            b"application/json",
+        )
+
+    def _metrics(self, scope) -> tuple[int, bytes, bytes]:
+        stats = self.aio.stats().as_dict()
+        health = self.aio.health().as_dict()
+        accept = b""
+        for name, value in scope.get("headers", ()):
+            if name == b"accept":
+                accept = value
+        if b"application/json" in accept:
+            body = _json_bytes({"stats": stats, "health": health})
+            return 200, body, b"application/json"
+        lines = _prom_lines("repro_service", stats) + _prom_lines(
+            "repro_health", health
+        )
+        text = "\n".join(lines) + "\n"
+        return 200, text.encode("utf-8"), b"text/plain; version=0.0.4"
+
+
+class HttpServer:
+    """Minimal asyncio HTTP/1.1 host for an ASGI-style app.
+
+    One request per connection (``Connection: close``) — the demo/CI
+    transport, not a keep-alive reverse-proxy replacement.  ``port=0``
+    binds an ephemeral port; :attr:`port` reports the bound one after
+    :meth:`start`.
+    """
+
+    def __init__(self, app, host: str = "127.0.0.1", port: int = 8080):
+        self.app = app
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise ValueError("call start() before serve_forever()")
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "HttpServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            try:
+                parsed = await self._read_request(reader)
+            except _HttpError as exc:
+                await self._write_raw_error(writer, exc)
+                return
+            if parsed is None:
+                return
+            scope, body = parsed
+            await self._run_app(scope, body, writer)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - client gone
+                pass
+
+    async def _read_request(self, reader):
+        """Parse one request; ``(scope, body)``, or ``None`` on EOF."""
+        try:
+            line = await reader.readline()
+            if not line:
+                return None
+            parts = line.decode("latin-1").rstrip("\r\n").split(" ")
+            if len(parts) != 3:
+                raise _HttpError(400, f"malformed request line: {line!r}")
+            method, target, _version = parts
+            headers: list[tuple[bytes, bytes]] = []
+            length = 0
+            while True:
+                hline = await reader.readline()
+                if hline in (b"\r\n", b"\n", b""):
+                    break
+                name, sep, value = hline.decode("latin-1").partition(":")
+                if not sep:
+                    raise _HttpError(400, f"malformed header line: {hline!r}")
+                name = name.strip().lower()
+                value = value.strip()
+                headers.append((name.encode("latin-1"), value.encode("latin-1")))
+                if name == "content-length":
+                    try:
+                        length = int(value)
+                    except ValueError as exc:
+                        raise _HttpError(
+                            400, f"bad Content-Length: {value!r}"
+                        ) from exc
+            if length < 0 or length > _MAX_BODY_BYTES:
+                raise _HttpError(413, f"body of {length} bytes refused")
+            body = await reader.readexactly(length) if length else b""
+        except asyncio.IncompleteReadError as exc:
+            raise _HttpError(400, "request body ended early") from exc
+        path, _, query = target.partition("?")
+        scope = {
+            "type": "http",
+            "http_version": "1.1",
+            "method": method.upper(),
+            "path": path,
+            "query_string": query.encode("latin-1"),
+            "headers": headers,
+        }
+        return scope, body
+
+    async def _run_app(self, scope, body: bytes, writer) -> None:
+        delivered = False
+
+        async def receive():
+            nonlocal delivered
+            if delivered:
+                return {"type": "http.disconnect"}
+            delivered = True
+            return {"type": "http.request", "body": body, "more_body": False}
+
+        async def send(message):
+            if message["type"] == "http.response.start":
+                writer.write(
+                    _response_head(message["status"], message.get("headers", []))
+                )
+            elif message["type"] == "http.response.body":
+                writer.write(message.get("body", b""))
+                await writer.drain()
+
+        await self.app(scope, receive, send)
+
+    async def _write_raw_error(self, writer, exc: _HttpError) -> None:
+        """A parse failure never reached the app; answer it directly."""
+        body = _json_bytes({"error": exc.message, "status": exc.status})
+        writer.write(
+            _response_head(
+                exc.status,
+                [
+                    (b"content-type", b"application/json"),
+                    (b"content-length", str(len(body)).encode("ascii")),
+                ],
+            )
+        )
+        writer.write(body)
+        await writer.drain()
+
+
+def _response_head(status: int, headers) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}".encode("ascii")]
+    for name, value in headers:
+        lines.append(name + b": " + value)
+    lines.append(b"connection: close")
+    return b"\r\n".join(lines) + b"\r\n\r\n"
+
+
+def make_demo_service(
+    width: float = 0.5,
+    window: int = 16,
+    input_shape: tuple[int, int, int] = (1, 16, 16),
+    seed: int = 0,
+    **service_kwargs,
+) -> InferenceService:
+    """A self-contained service for demos, smoke tests and benchmarks.
+
+    Untrained LeNet (deterministic weights from ``seed``) converted to a
+    spiking network with random-data normalization, served under TTFS
+    coding — arbitrary predictions, real compute, zero downloads.
+    ``service_kwargs`` forward to :class:`InferenceService`.
+    """
+    from repro.coding.ttfs import TTFSCoding
+    from repro.convert.converter import convert_to_snn
+    from repro.nn.architectures import lenet
+    from repro.snn.engine import Simulator
+
+    rng = np.random.default_rng(seed)
+    model = lenet(input_shape=input_shape, num_classes=10, width=width, rng=seed)
+    network = convert_to_snn(model, rng.random((32, *input_shape)))
+    sim = Simulator(network, TTFSCoding(window=window))
+    return InferenceService(sim, **service_kwargs)
+
+
+async def _run_server(args) -> None:
+    service = make_demo_service(
+        width=args.width,
+        window=args.window,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        adaptive_wait=args.adaptive_wait,
+        wait_ceiling_ms=args.wait_ceiling_ms,
+        max_pending=args.max_pending,
+        default_deadline_ms=args.deadline_ms,
+        budget_ms=args.budget_ms,
+    )
+    aio = AsyncInferenceService(service)
+    server = HttpServer(PredictApp(aio), host=args.host, port=args.port)
+    loop = asyncio.get_running_loop()
+    try:
+        await server.start()
+        shape = "x".join(str(d) for d in service.input_shape)
+        print(
+            f"serving on http://{server.host}:{server.port} "
+            f"(input {shape}, max_batch={service.max_batch}, "
+            f"adaptive_wait={args.adaptive_wait})",
+            flush=True,
+        )
+        await server.serve_forever()
+    finally:
+        await server.close()
+        await loop.run_in_executor(None, service.close)
+
+
+def main(argv=None) -> None:
+    """CLI entry point: ``python -m repro.serve.http``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.http",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080, help="0 = ephemeral")
+    parser.add_argument("--width", type=float, default=0.5)
+    parser.add_argument("--window", type=int, default=16)
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--adaptive-wait", action="store_true")
+    parser.add_argument("--wait-ceiling-ms", type=float, default=None)
+    parser.add_argument("--max-pending", type=int, default=None)
+    parser.add_argument("--deadline-ms", type=float, default=None)
+    parser.add_argument("--budget-ms", type=float, default=None)
+    args = parser.parse_args(argv)
+    try:
+        asyncio.run(_run_server(args))
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        print("shutting down", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -64,7 +64,7 @@ from __future__ import annotations
 import threading
 import time
 import warnings
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 import numpy as np
 
@@ -118,6 +118,18 @@ class ServedResult:
     margin: float | None = None
 
 
+def _export_fields(record, **derived) -> dict:
+    """Every dataclass field of ``record`` (dicts re-keyed to str) + extras."""
+    out: dict = {}
+    for f in fields(record):
+        value = getattr(record, f.name)
+        if isinstance(value, dict):
+            value = {str(k): v for k, v in value.items()}
+        out[f.name] = value
+    out.update(derived)
+    return out
+
+
 @dataclass
 class ServiceStats:
     """Service-lifetime counters (see :meth:`InferenceService.stats`)."""
@@ -140,6 +152,8 @@ class ServiceStats:
     watchdog_timeouts: int = 0
     partial_results: int = 0
     degrade_level: int = 0
+    adaptive_wait_ms: float = 0.0
+    arrival_rate_per_s: float = 0.0
     breaker_state: str = "disabled"
     flush_sizes: dict[int, int] = field(default_factory=dict)
 
@@ -147,6 +161,16 @@ class ServiceStats:
     def mean_flush_size(self) -> float:
         """Average samples per micro-batch flush (0.0 before any flush)."""
         return self.flushed_samples / self.flushes if self.flushes else 0.0
+
+    def as_dict(self) -> dict:
+        """Flat, JSON-ready export of **every** field plus derived values.
+
+        Built from :func:`dataclasses.fields`, so a counter added to the
+        dataclass shows up in the HTTP ``/metrics`` export automatically —
+        no hand-picked field list to rot.  Dict-valued fields get string
+        keys (JSON objects cannot have int keys).
+        """
+        return _export_fields(self, mean_flush_size=self.mean_flush_size)
 
 
 @dataclass(frozen=True)
@@ -179,6 +203,15 @@ class ServiceHealth:
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    def as_dict(self) -> dict:
+        """Flat, JSON-ready export of every field plus the ``ok`` flag.
+
+        Same contract as :meth:`ServiceStats.as_dict`: driven by
+        :func:`dataclasses.fields`, so the HTTP ``/health`` payload can
+        never silently miss a field.
+        """
+        return _export_fields(self, ok=self.ok)
 
 
 #: Fraction of the flush deadline handed to the engine as its compute
@@ -278,7 +311,17 @@ class InferenceService:
         ``max(capacities)``.
     max_wait_ms:
         Flush deadline for a partially filled micro-batch — the
-        latency/throughput trade-off knob.
+        latency/throughput trade-off knob.  With ``adaptive_wait`` this
+        is the base (and floor) wait.
+    adaptive_wait:
+        Arrival-rate-adaptive flush wait (DESIGN.md §16): the batcher
+        tracks an EWMA of request inter-arrival gaps and stretches the
+        wait toward the expected batch-fill time — clamped to
+        ``wait_ceiling_ms`` — when traffic is dense enough that waiting
+        buys fuller (cheaper-per-sample) flushes; sparse traffic keeps
+        the base ``max_wait_ms``.  Off by default.
+    wait_ceiling_ms:
+        Cap on the adaptive wait (``None`` = ``12.5 * max_wait_ms``).
     cache_size:
         LRU result-cache entries (``0`` disables caching).
     workers:
@@ -335,6 +378,8 @@ class InferenceService:
         max_batch: int = 16,
         capacities: tuple[int, ...] | None = None,
         max_wait_ms: float = 2.0,
+        adaptive_wait: bool = False,
+        wait_ceiling_ms: float | None = None,
         cache_size: int = 256,
         workers: int | str = 1,
         calibrate: bool = True,
@@ -443,6 +488,8 @@ class InferenceService:
             max_wait_ms=max_wait_ms,
             max_pending=max_pending,
             on_drop=self._on_drop,
+            adaptive_wait=adaptive_wait,
+            wait_ceiling_ms=wait_ceiling_ms,
         )
 
     # ------------------------------------------------------------------ #
@@ -454,6 +501,7 @@ class InferenceService:
         x: np.ndarray,
         deadline_ms: float | None = None,
         budget_ms: float | None = None,
+        priority: int = 0,
     ) -> ServedFuture:
         """Enqueue one sample; returns a future resolving to a result.
 
@@ -472,6 +520,12 @@ class InferenceService:
         tightest member budget, watchdog-enforced — see the constructor.
         Raises :class:`QueueFull` when ``max_pending`` is configured and
         the queue is saturated.
+
+        ``priority`` orders flush assembly when the backlog exceeds one
+        micro-batch: lower values are more urgent (default ``0``; negative
+        values jump the queue).  It changes *which* pending requests fill
+        the next flush, never admission — a dedup follower rides its
+        primary's flush regardless of either request's priority.
         """
         if self._closed:
             raise ServiceClosed("InferenceService is closed")
@@ -496,6 +550,8 @@ class InferenceService:
             raise ValueError(
                 f"budget_ms must be a positive number, got {budget_ms!r}"
             )
+        if isinstance(priority, bool) or not isinstance(priority, (int, np.integer)):
+            raise ValueError(f"priority must be an int, got {priority!r}")
         x = np.asarray(x)
         if x.shape == (1, *self.input_shape):
             x = x[0]
@@ -510,6 +566,7 @@ class InferenceService:
         with self._stats_lock:
             self._stats.requests += 1
         future = ServedFuture()
+        future.priority = int(priority)
         if deadline_ms is not None:
             future.deadline_at = time.monotonic() + deadline_ms / 1000.0
         if budget_ms is not None:
@@ -997,6 +1054,8 @@ class InferenceService:
                 cancelled_after_dispatch=self._batcher.cancelled_late,
                 rejected_full=self._batcher.rejected_full,
                 degrade_level=self._degrade_level,
+                adaptive_wait_ms=self._batcher.current_wait_ms,
+                arrival_rate_per_s=self._batcher.arrival_rate_per_s,
                 breaker_state=(
                     self._breaker.state if self._workers > 1 else "disabled"
                 ),

@@ -30,6 +30,7 @@ class TestRegistry:
             "RPL005",
             "RPL006",
             "RPL007",
+            "RPL008",
         ]
 
     def test_make_rules_instantiates_selection(self):

@@ -311,3 +311,60 @@ class TestExceptionPolicy:
     def test_out_of_scope_packages_ignored(self):
         src = "def f():\n    raise RuntimeError('fine elsewhere')\n"
         assert run_rule("RPL007", src, "src/repro/runtime/x.py") == []
+
+
+class TestBlockingCalls:
+    SERVE = "src/repro/serve/x.py"
+
+    def test_fires_on_sleep_in_async_def(self):
+        src = "import time\n\nasync def f():\n    time.sleep(1.0)\n"
+        findings = run_rule("RPL008", src, self.SERVE)
+        assert [f.rule for f in findings] == ["RPL008"]
+        assert "time.sleep()" in findings[0].message
+
+    def test_fires_on_future_result(self):
+        src = "async def f(fut):\n    return fut.result(5.0)\n"
+        assert [f.rule for f in run_rule("RPL008", src, self.SERVE)] == ["RPL008"]
+
+    def test_fires_on_open_and_lock_acquire(self):
+        src = (
+            "async def f(lock):\n"
+            "    lock.acquire()\n"
+            "    with open('x') as fh:\n"
+            "        return fh\n"
+        )
+        assert len(run_rule("RPL008", src, self.SERVE)) == 2
+
+    def test_silent_on_awaited_call(self):
+        src = "async def f(loop, fn):\n    return await loop.run_in_executor(None, fn)\n"
+        assert run_rule("RPL008", src, self.SERVE) == []
+
+    def test_awaited_exemption_does_not_cover_arguments(self):
+        src = "async def f(g, fut):\n    return await g(fut.result(0))\n"
+        assert [f.rule for f in run_rule("RPL008", src, self.SERVE)] == ["RPL008"]
+
+    def test_silent_in_sync_def(self):
+        src = "import time\n\ndef f():\n    time.sleep(1.0)\n"
+        assert run_rule("RPL008", src, self.SERVE) == []
+
+    def test_silent_in_nested_sync_callback(self):
+        src = (
+            "async def f(fut):\n"
+            "    def cb(s):\n"
+            "        return s.result(0)\n"
+            "    fut.add_done_callback(cb)\n"
+        )
+        assert run_rule("RPL008", src, self.SERVE) == []
+
+    def test_silent_on_str_join_and_stream_read(self):
+        src = (
+            "async def f(reader, parts):\n"
+            "    text = ', '.join(parts)\n"
+            "    data = await reader.readline()\n"
+            "    return text, data\n"
+        )
+        assert run_rule("RPL008", src, self.SERVE) == []
+
+    def test_silent_outside_serve(self):
+        src = "import time\n\nasync def f():\n    time.sleep(1.0)\n"
+        assert run_rule("RPL008", src, "src/repro/runtime/x.py") == []

@@ -282,3 +282,187 @@ class TestAdmissionControl:
             mb.submit("p", future)
             future.result(timeout=5)
         assert future.submitted_at == 123.456
+
+
+class TestPriorities:
+    def _gated_batcher(self, record, gate, started, **kwargs):
+        """A batcher whose first flush blocks on ``gate`` (signalling
+        ``started``) so later submissions pile up in the queue and the
+        *second* flush exercises priority-ordered assembly."""
+
+        def flush(requests):
+            record.append([payload for payload, _ in requests])
+            if len(record) == 1:
+                started.set()
+                gate.wait(10)
+            for payload, future in requests:
+                future._resolve(payload)
+
+        return MicroBatcher(flush, **kwargs)
+
+    def test_urgent_entries_jump_the_queue(self):
+        record, gate, started = [], threading.Event(), threading.Event()
+        mb = self._gated_batcher(record, gate, started, max_batch=2, max_wait_ms=5)
+        try:
+            first = [mb.submit(f"gate{i}", ServedFuture()) for i in range(2)]
+            assert started.wait(5)  # the first flush holds the dispatch thread
+            # Queue builds behind the gated flush: default-priority early
+            # arrivals, then an urgent latecomer.
+            backlog = []
+            for name, prio in [("a", 0), ("b", 0), ("urgent", -5)]:
+                future = ServedFuture()
+                future.priority = prio
+                backlog.append(mb.submit(name, future))
+            gate.set()
+            for f in first + backlog:
+                f.result(timeout=5)
+        finally:
+            gate.set()
+            mb.close()
+        assert record[0] == ["gate0", "gate1"]
+        # The urgent entry displaced "b" from the first post-gate batch.
+        assert record[1] == ["urgent", "a"]
+        assert record[2] == ["b"]
+
+    def test_equal_priority_ties_break_oldest_first(self):
+        record, gate, started = [], threading.Event(), threading.Event()
+        mb = self._gated_batcher(record, gate, started, max_batch=2, max_wait_ms=5)
+        try:
+            mb.submit("gate0", ServedFuture())
+            mb.submit("gate1", ServedFuture())
+            assert started.wait(5)
+            backlog = [mb.submit(n, ServedFuture()) for n in ["a", "b", "c"]]
+            gate.set()
+            for f in backlog:
+                f.result(timeout=5)
+        finally:
+            gate.set()
+            mb.close()
+        assert record[1] == ["a", "b"]
+        assert record[2] == ["c"]
+
+    def test_wake_uses_minimum_over_all_pending(self):
+        """A pre-aged entry at the *tail* of the queue must trigger the
+        flush timer: the wake computation takes the min over all pending
+        submit times, not the head's (priority reordering and follower
+        promotion break the head-is-oldest assumption)."""
+        record = []
+        mb = MicroBatcher(collecting_flush(record), max_batch=64, max_wait_ms=500)
+        try:
+            fresh = mb.submit("fresh", ServedFuture())
+            aged = ServedFuture()
+            aged.submitted_at = time.monotonic() - 10.0  # long past the wait
+            t0 = time.monotonic()
+            mb.submit("aged", aged)
+            aged.result(timeout=5)
+            fresh.result(timeout=5)
+            # Head-of-queue logic would have slept the full 500 ms wait.
+            assert time.monotonic() - t0 < 0.4
+        finally:
+            mb.close()
+        # One batch, ordered oldest-first by the priority sort.
+        assert record == [["aged", "fresh"]]
+
+
+class TestAdaptiveWait:
+    def _idle_batcher(self, **kwargs):
+        return MicroBatcher(
+            lambda requests: None, max_batch=8, max_wait_ms=2.0, **kwargs
+        )
+
+    def test_disabled_by_default(self):
+        with self._idle_batcher() as mb:
+            assert not mb.adaptive_wait
+            assert mb.current_wait_ms == pytest.approx(2.0)
+            assert mb.arrival_rate_per_s == 0.0
+
+    def test_dense_arrivals_stretch_the_wait(self):
+        with self._idle_batcher(adaptive_wait=True, wait_ceiling_ms=50.0) as mb:
+            with mb._lock:
+                mb._ewma_gap_s = 0.001  # 1 ms between arrivals
+            # Expected fill time: (8 - 1) * 1 ms = 7 ms, inside the ceiling.
+            assert mb.current_wait_ms == pytest.approx(7.0)
+            assert mb.arrival_rate_per_s == pytest.approx(1000.0)
+
+    def test_sparse_arrivals_keep_the_base_wait(self):
+        with self._idle_batcher(adaptive_wait=True, wait_ceiling_ms=50.0) as mb:
+            with mb._lock:
+                mb._ewma_gap_s = 1.0  # one request a second: batching won't pay
+            assert mb.current_wait_ms == pytest.approx(2.0)
+
+    def test_wait_clamps_to_ceiling_and_floor(self):
+        with self._idle_batcher(adaptive_wait=True, wait_ceiling_ms=20.0) as mb:
+            with mb._lock:
+                mb._ewma_gap_s = 0.009  # fill time 63 ms > ceiling
+            assert mb.current_wait_ms == pytest.approx(20.0)
+            with mb._lock:
+                mb._ewma_gap_s = 0.0001  # fill time 0.7 ms < base wait
+            assert mb.current_wait_ms == pytest.approx(2.0)
+
+    def test_ewma_tracks_real_submissions(self):
+        record = []
+        with MicroBatcher(
+            collecting_flush(record),
+            max_batch=64,
+            max_wait_ms=1.0,
+            adaptive_wait=True,
+        ) as mb:
+            futures = [mb.submit(i, ServedFuture()) for i in range(5)]
+            for f in futures:
+                f.result(timeout=5)
+            assert mb.arrival_rate_per_s > 0.0
+
+    def test_ceiling_validation(self):
+        with pytest.raises(ValueError, match="wait_ceiling_ms"):
+            MicroBatcher(
+                lambda r: None,
+                max_batch=4,
+                max_wait_ms=10.0,
+                adaptive_wait=True,
+                wait_ceiling_ms=5.0,
+            )
+
+    def test_default_ceiling_scales_with_base_wait(self):
+        with self._idle_batcher(adaptive_wait=True) as mb:
+            assert mb.wait_ceiling_s == pytest.approx(12.5 * 0.002)
+
+
+class TestDoneCallbacks:
+    def test_callback_fires_on_resolve(self):
+        future, seen = ServedFuture(), []
+        future.add_done_callback(seen.append)
+        assert seen == []
+        future._resolve("v")
+        assert seen == [future]
+
+    def test_callback_fires_immediately_when_already_settled(self):
+        future, seen = ServedFuture(), []
+        future._resolve("v")
+        future.add_done_callback(seen.append)
+        assert seen == [future]
+
+    def test_callback_fires_on_cancel(self):
+        future, seen = ServedFuture(), []
+        future.add_done_callback(seen.append)
+        assert future.cancel()
+        assert seen == [future]
+        assert future.cancelled()
+
+    def test_callback_exception_does_not_block_settlement(self):
+        future, seen = ServedFuture(), []
+
+        def bad(_):
+            raise RuntimeError("observer bug")
+
+        future.add_done_callback(bad)
+        future.add_done_callback(seen.append)
+        assert future._resolve("v")
+        assert seen == [future]
+        assert future.result(0) == "v"
+
+    def test_callbacks_fire_once_only(self):
+        future, seen = ServedFuture(), []
+        future.add_done_callback(seen.append)
+        future._resolve("v")
+        future._reject(RuntimeError("late"))  # first-wins: no second firing
+        assert seen == [future]

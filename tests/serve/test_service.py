@@ -300,3 +300,87 @@ class TestValidation:
             InferenceService(
                 Simulator(tiny_network, TTFSCoding(window=12)), workers=True
             )
+
+
+class TestStatsExports:
+    def test_stats_as_dict_covers_every_field(self, tiny_network):
+        """The /metrics contract: every ServiceStats dataclass field (and
+        the derived mean) appears in the flat export — a counter added to
+        the dataclass can never silently miss the HTTP surface."""
+        import dataclasses
+
+        from repro.serve import ServiceStats
+
+        service = InferenceService(
+            Simulator(tiny_network, TTFSCoding(window=12)),
+            capacities=(1, 2),
+            max_wait_ms=1.0,
+        )
+        with service:
+            exported = service.stats().as_dict()
+        field_names = {f.name for f in dataclasses.fields(ServiceStats)}
+        assert field_names <= set(exported)
+        assert "mean_flush_size" in exported
+        # JSON-ready: dict-valued fields carry string keys.
+        assert all(
+            isinstance(k, str)
+            for v in exported.values()
+            if isinstance(v, dict)
+            for k in v
+        )
+
+    def test_health_as_dict_covers_every_field(self, tiny_network):
+        import dataclasses
+
+        from repro.serve import ServiceHealth
+
+        service = InferenceService(
+            Simulator(tiny_network, TTFSCoding(window=12)),
+            capacities=(1,),
+            max_wait_ms=1.0,
+        )
+        with service:
+            exported = service.health().as_dict()
+        field_names = {f.name for f in dataclasses.fields(ServiceHealth)}
+        assert field_names <= set(exported)
+        assert exported["ok"] is True
+
+
+class TestPriorityAndAdaptiveKnobs:
+    def test_priority_validation(self, tiny_network):
+        service = InferenceService(
+            Simulator(tiny_network, TTFSCoding(window=12)),
+            capacities=(1,),
+            max_wait_ms=1.0,
+        )
+        x = np.zeros(service.input_shape, dtype=np.float64)
+        with service:
+            with pytest.raises(ValueError, match="priority"):
+                service.submit(x, priority=1.5)
+            with pytest.raises(ValueError, match="priority"):
+                service.submit(x, priority=True)
+            future = service.submit(x, priority=-3)
+            assert future.priority == -3
+            future.result(timeout=30)
+
+    def test_adaptive_knobs_reach_batcher_and_stats(self, tiny_network):
+        service = InferenceService(
+            Simulator(tiny_network, TTFSCoding(window=12)),
+            capacities=(1, 4),
+            max_wait_ms=2.0,
+            adaptive_wait=True,
+            wait_ceiling_ms=40.0,
+        )
+        with service:
+            assert service._batcher.adaptive_wait
+            assert service._batcher.wait_ceiling_s == pytest.approx(0.040)
+            stats = service.stats()
+            # Before two arrivals the adaptive wait is the base wait.
+            assert stats.adaptive_wait_ms == pytest.approx(2.0)
+            assert stats.arrival_rate_per_s == 0.0
+            x = np.zeros(service.input_shape, dtype=np.float64)
+            service.predict_many(np.stack([x] * 3 ) + np.arange(3)[:, None, None, None])
+            assert service.stats().arrival_rate_per_s > 0.0
+        # Exported flat dict carries both fields.
+        exported = stats.as_dict()
+        assert "adaptive_wait_ms" in exported and "arrival_rate_per_s" in exported

@@ -65,8 +65,10 @@ MODULES = [
     "repro.runtime.config",
     "repro.runtime.backends",
     "repro.runtime.runtime",
+    "repro.serve.aio",
     "repro.serve.batcher",
     "repro.serve.cache",
+    "repro.serve.http",
     "repro.serve.dispatch",
     "repro.serve.service",
     "repro.analysis.experiments",
